@@ -1,0 +1,174 @@
+// Benchmark harness: one testing.B entry per experiment in DESIGN.md §4
+// (E1–E10). Each heavyweight experiment runs once per benchmark
+// iteration at quick scale and reports its headline metrics via
+// b.ReportMetric; the rendered tables land in the -v output. Micro
+// benchmarks for the hot paths live next to their packages (cdr, giop,
+// orb, iiop, events, cpkg, simnet); `go test -bench=. ./...` runs
+// everything, and cmd/corbalc-bench re-runs the experiments standalone
+// with configurable scale.
+package corbalc_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"corbalc/internal/experiments"
+)
+
+var benchScale = experiments.Scale{Nodes: 1, Seconds: 0.5}
+
+func parseCell(s string) (float64, bool) {
+	f := strings.Fields(strings.TrimSuffix(s, "%"))
+	if len(f) == 0 {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(strings.TrimRight(f[0], "xs"), 64)
+	return v, err == nil
+}
+
+func logTable(b *testing.B, t *experiments.Table) {
+	b.Helper()
+	b.Log("\n" + t.Render())
+}
+
+func BenchmarkE1_Invocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.E1Invocation(benchScale)
+		if i == b.N-1 {
+			logTable(b, t)
+			// Row 0: collocated null_op µs/call.
+			if v, ok := parseCell(t.Rows[0][3]); ok {
+				b.ReportMetric(v, "us/null-call-collocated")
+			}
+			// Row 6: iiop/tcp null_op µs/call.
+			if v, ok := parseCell(t.Rows[6][3]); ok {
+				b.ReportMetric(v, "us/null-call-tcp")
+			}
+		}
+	}
+}
+
+func BenchmarkE2_Registry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.E2Registry(benchScale)
+		if i == b.N-1 {
+			logTable(b, t)
+			last := t.Rows[len(t.Rows)-1]
+			if v, ok := parseCell(last[2]); ok {
+				b.ReportMetric(v, "queries/s-at-max-repo")
+			}
+		}
+	}
+}
+
+func BenchmarkE3_SoftVsStrongConsistency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.E3Consistency(benchScale)
+		if i == b.N-1 {
+			logTable(b, t)
+			n := len(t.Rows)
+			soft, _ := parseCell(t.Rows[n-2][3])
+			strong, _ := parseCell(t.Rows[n-1][3])
+			b.ReportMetric(soft, "softB/node/s")
+			b.ReportMetric(strong, "strongB/node/s")
+		}
+	}
+}
+
+func BenchmarkE4_HierarchicalVsFlatQuery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.E4QueryHierarchy(benchScale)
+		if i == b.N-1 {
+			logTable(b, t)
+			n := len(t.Rows)
+			hier, _ := parseCell(t.Rows[n-2][2])
+			flat, _ := parseCell(t.Rows[n-1][2])
+			b.ReportMetric(hier, "msgs/query-hier")
+			b.ReportMetric(flat, "msgs/query-flat")
+		}
+	}
+}
+
+func BenchmarkE5_MRMFailover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.E5Failover(benchScale)
+		if i == b.N-1 {
+			logTable(b, t)
+		}
+	}
+}
+
+func BenchmarkE6_RuntimeVsStaticDeployment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.E6Deployment(benchScale)
+		if i == b.N-1 {
+			logTable(b, t)
+			static, _ := parseCell(t.Rows[0][4])
+			runtime, _ := parseCell(t.Rows[1][4])
+			b.ReportMetric(static, "loadstddev-static")
+			b.ReportMetric(runtime, "loadstddev-runtime")
+		}
+	}
+}
+
+func BenchmarkE7_FetchVsRemote(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.E7Migration(benchScale)
+		if i == b.N-1 {
+			logTable(b, t)
+		}
+	}
+}
+
+func BenchmarkE8_TinyDevices(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.E8TinyDevices(benchScale)
+		if i == b.N-1 {
+			logTable(b, t)
+		}
+	}
+}
+
+func BenchmarkE9_GridSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.E9Grid(benchScale)
+		if i == b.N-1 {
+			logTable(b, t)
+			for _, row := range t.Rows {
+				if row[0] == "8" && row[1] == "false" {
+					if v, ok := parseCell(row[3]); ok {
+						b.ReportMetric(v, "speedup-8workers")
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkE10_PredictiveUpdates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.E10Predictive(benchScale)
+		if i == b.N-1 {
+			logTable(b, t)
+		}
+	}
+}
+
+func BenchmarkA1_FanoutAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.A1Fanout(benchScale)
+		if i == b.N-1 {
+			logTable(b, t)
+		}
+	}
+}
+
+func BenchmarkA2_ReplicaAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.A2Replicas(benchScale)
+		if i == b.N-1 {
+			logTable(b, t)
+		}
+	}
+}

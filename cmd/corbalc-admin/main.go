@@ -1,0 +1,501 @@
+// corbalc-admin is the management client: it talks to a live CORBA-LC
+// network over IIOP through any member's contact IOR, without joining.
+//
+// Usage:
+//
+//	corbalc-admin -contact IOR:...|@contact.ior <command> [args]
+//
+// Commands:
+//
+//	dir                         show the membership directory
+//	report <node>               one node's resource report
+//	components <node>           list a node's installed components
+//	query <port-repoid> [ver]   network-wide component query via the root MRM
+//	install <node> <pkg.zip>    install a package on a node
+//	instantiate <node> <component-id> <instance>
+//	ports <node> <component-id> <instance>   show an instance's port states
+//	deploy <assembly.xml> [listen-addr]
+//	    join as an ephemeral peer and deploy an application assembly at
+//	    run time (instances land on the currently best nodes)
+//	call <node> <component-id> <instance> <port> <op> [args...]
+//	    invoke any operation through the Dynamic Invocation Interface:
+//	    the component's own IDL (shipped in its package) provides the
+//	    signature; scalar arguments are parsed per parameter type
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"strconv"
+
+	"corbalc"
+	"corbalc/internal/assembly"
+	"corbalc/internal/cdr"
+	"corbalc/internal/cohesion"
+	"corbalc/internal/component"
+	"corbalc/internal/dii"
+	"corbalc/internal/idl"
+	"corbalc/internal/iiop"
+	"corbalc/internal/ior"
+	"corbalc/internal/node"
+	"corbalc/internal/orb"
+)
+
+func main() {
+	contact := flag.String("contact", "", "contact IOR (IOR:... or @file)")
+	flag.Parse()
+	if *contact == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: corbalc-admin -contact IOR:...|@file <dir|report|components|query|install|instantiate|ports> ...")
+		os.Exit(2)
+	}
+
+	o := orb.NewORB()
+	o.RegisterTransport(&iiop.Transport{CallTimeout: 10 * time.Second})
+	defer o.Shutdown()
+
+	ref, err := o.ResolveStr(resolveContact(*contact))
+	if err != nil {
+		fatal(err)
+	}
+	dir := fetchDirectory(o, ref)
+
+	args := flag.Args()
+	switch args[0] {
+	case "dir":
+		fmt.Printf("epoch %d, %d node(s)\n", dir.Epoch, dir.Len())
+		for g, members := range dir.Groups {
+			if len(members) == 0 {
+				continue
+			}
+			fmt.Printf("group %d:", g)
+			for _, m := range members {
+				fmt.Printf(" %s(%s)", m, dir.Nodes[m].Capability)
+			}
+			fmt.Println()
+		}
+	case "report":
+		nd := nodeArg(dir, args, 1)
+		r := fetchReport(o, nd)
+		fmt.Printf("node %s (%s): os=%s/%s cpu=%.2f/%.2f mem=%d/%dMB bw=%.0fMbps instances=%d digest=%d\n",
+			r.Node, r.Capability, r.OS, r.Arch, r.CPUUsed, r.CPUCores,
+			r.MemoryUsedMB, r.MemoryMB, r.BandwidthMbps, r.Instances, r.Digest)
+	case "components":
+		nd := nodeArg(dir, args, 1)
+		var names []string
+		must(o.NewRef(nd.Registry).Invoke("list_components", nil, func(d *cdr.Decoder) error {
+			var e error
+			names, e = d.ReadStringSeq()
+			return e
+		}))
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		if len(names) == 0 {
+			fmt.Println("(none)")
+		}
+	case "query":
+		if len(args) < 2 {
+			fatal(fmt.Errorf("query needs a port repository ID"))
+		}
+		verReq := "*"
+		if len(args) > 2 {
+			verReq = args[2]
+		}
+		offers := rootQuery(o, dir, args[1], verReq)
+		for _, of := range offers {
+			fmt.Printf("%-24s node=%-12s port=%-10s load=%.2f movable=%v\n",
+				of.ComponentID, of.Node, of.Port, of.NodeLoad, of.Movable)
+		}
+		if len(offers) == 0 {
+			fmt.Println("(no offers)")
+		}
+	case "install":
+		nd := nodeArg(dir, args, 1)
+		if len(args) < 3 {
+			fatal(fmt.Errorf("install needs <node> <pkg.zip>"))
+		}
+		data, err := os.ReadFile(args[2])
+		if err != nil {
+			fatal(err)
+		}
+		var id string
+		must(o.NewRef(nd.Acceptor).Invoke("install",
+			func(e *cdr.Encoder) { e.WriteOctetSeq(data) },
+			func(d *cdr.Decoder) error { var e error; id, e = d.ReadString(); return e }))
+		fmt.Println("installed", id, "on", nd.Name)
+	case "instantiate":
+		nd := nodeArg(dir, args, 1)
+		if len(args) < 4 {
+			fatal(fmt.Errorf("instantiate needs <node> <component-id> <instance>"))
+		}
+		var equiv *ior.IOR
+		must(o.NewRef(nd.Acceptor).Invoke("instantiate",
+			func(e *cdr.Encoder) { e.WriteString(args[2]); e.WriteString(args[3]) },
+			func(d *cdr.Decoder) error { var e error; equiv, e = ior.Unmarshal(d); return e }))
+		fmt.Printf("instance %s of %s running on %s\n", args[3], args[2], nd.Name)
+		fmt.Println("equivalent IOR:", equiv.String())
+	case "ports":
+		nd := nodeArg(dir, args, 1)
+		if len(args) < 4 {
+			fatal(fmt.Errorf("ports needs <node> <component-id> <instance>"))
+		}
+		must(o.NewRef(nd.Registry).Invoke("instance_ports",
+			func(e *cdr.Encoder) { e.WriteString(args[2]); e.WriteString(args[3]) },
+			func(d *cdr.Decoder) error {
+				n, err := d.ReadULong()
+				if err != nil {
+					return err
+				}
+				for i := uint32(0); i < n; i++ {
+					name, err := d.ReadString()
+					if err != nil {
+						return err
+					}
+					kind, err := d.ReadString()
+					if err != nil {
+						return err
+					}
+					repoID, err := d.ReadString()
+					if err != nil {
+						return err
+					}
+					connected, err := d.ReadBool()
+					if err != nil {
+						return err
+					}
+					fmt.Printf("%-8s %-16s %-32s connected=%v\n", kind, name, repoID, connected)
+				}
+				return nil
+			}))
+	case "map":
+		// The visual-builder view (§2.4.2: the reflection data is used
+		// "by visual builder tools to offer to the user the palette of
+		// available components, instances and connections among them"):
+		// every node, its components, instances and port states.
+		for _, name := range dir.Names() {
+			nd := dir.Nodes[name]
+			r := fetchReport(o, nd)
+			fmt.Printf("%s (%s) load=%.2f\n", name, nd.Capability, r.LoadFraction())
+			var comps []string
+			_ = o.NewRef(nd.Registry).Invoke("list_components", nil, func(d *cdr.Decoder) error {
+				var e error
+				comps, e = d.ReadStringSeq()
+				return e
+			})
+			for _, comp := range comps {
+				fmt.Printf("  component %s\n", comp)
+			}
+			type instRow struct{ comp, inst string }
+			var insts []instRow
+			_ = o.NewRef(nd.Registry).Invoke("list_instances", nil, func(d *cdr.Decoder) error {
+				n, err := d.ReadULong()
+				if err != nil {
+					return err
+				}
+				for i := uint32(0); i < n; i++ {
+					comp, err := d.ReadString()
+					if err != nil {
+						return err
+					}
+					inst, err := d.ReadString()
+					if err != nil {
+						return err
+					}
+					insts = append(insts, instRow{comp, inst})
+				}
+				return nil
+			})
+			for _, ir := range insts {
+				fmt.Printf("  instance  %s of %s\n", ir.inst, ir.comp)
+				_ = o.NewRef(nd.Registry).Invoke("instance_ports",
+					func(e *cdr.Encoder) { e.WriteString(ir.comp); e.WriteString(ir.inst) },
+					func(d *cdr.Decoder) error {
+						n, err := d.ReadULong()
+						if err != nil {
+							return err
+						}
+						for i := uint32(0); i < n; i++ {
+							pname, err := d.ReadString()
+							if err != nil {
+								return err
+							}
+							kind, err := d.ReadString()
+							if err != nil {
+								return err
+							}
+							repoID, err := d.ReadString()
+							if err != nil {
+								return err
+							}
+							connected, err := d.ReadBool()
+							if err != nil {
+								return err
+							}
+							mark := " "
+							if connected {
+								mark = "*"
+							}
+							fmt.Printf("    %s %-8s %-14s %s\n", mark, kind, pname, repoID)
+						}
+						return nil
+					})
+			}
+		}
+	case "deploy":
+		// deploy <assembly.xml> [listen-addr]: join the network as an
+		// ephemeral peer, match the assembly against it at run time,
+		// print the placements and leave (the application keeps
+		// running).
+		if len(args) < 2 {
+			fatal(fmt.Errorf("deploy needs an assembly.xml path"))
+		}
+		listen := "127.0.0.1:0"
+		if len(args) > 2 {
+			listen = args[2]
+		}
+		deployAssembly(*contact, args[1], listen)
+	case "call":
+		if len(args) < 6 {
+			fatal(fmt.Errorf("call needs <node> <component-id> <instance> <port> <op> [args...]"))
+		}
+		nd := nodeArg(dir, args, 1)
+		callOp(o, nd, args[2], args[3], args[4], args[5], args[6:])
+	default:
+		fatal(fmt.Errorf("unknown command %q", args[0]))
+	}
+}
+
+// deployAssembly runs the run-time matching of §2.4.4 from the command
+// line: an ephemeral peer joins the network (so it can query the
+// Distributed Registry and drive acceptors), deploys the assembly, and
+// leaves. The deployed instances stay up on their nodes.
+func deployAssembly(contact, path, listen string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	app, err := assembly.Parse(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	peer := corbalc.NewPeer(fmt.Sprintf("admin-%d", os.Getpid()), corbalc.Options{
+		UpdateInterval: 250 * time.Millisecond,
+	})
+	defer peer.Close()
+	srv, err := peer.ServeIIOP(listen)
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+	ref, err := peer.Node.ORB().ResolveStr(resolveContact(contact))
+	if err != nil {
+		fatal(err)
+	}
+	if err := peer.Join(ref.IOR()); err != nil {
+		fatal(err)
+	}
+	defer peer.Leave()
+
+	// Wait until every declared component is visible to the registry.
+	deadline := time.Now().Add(15 * time.Second)
+	for _, decl := range app.Instances {
+		for {
+			offers, err := peer.Agent.Query(node.ComponentKey(decl.Component), orDefaultStr(decl.Version, "*"))
+			if err == nil && len(offers) > 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				fatal(fmt.Errorf("component %s (%s) not offered anywhere", decl.Component, decl.Version))
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+
+	dep, err := assembly.Deploy(peer.Engine, peer.Node.ORB(), app)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("deployed %s:\n", app.Name)
+	for inst, pl := range dep.Placements {
+		fmt.Printf("  %-12s -> %-12s (%s)\n", inst, pl.Node, pl.ComponentID)
+	}
+}
+
+func orDefaultStr(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// callOp drives an arbitrary operation through DII: it fetches the
+// component package for its IDL, binds the port reference against the
+// port's interface type, parses scalar arguments per the signature and
+// prints the outputs.
+func callOp(o *orb.ORB, nd *cohesion.NodeDesc, compID, instance, port, op string, rawArgs []string) {
+	// The component's IDL travels inside its package.
+	var pkgBytes []byte
+	must(o.NewRef(nd.Registry).Invoke("get_package",
+		func(e *cdr.Encoder) { e.WriteString(compID) },
+		func(d *cdr.Decoder) error { var e error; pkgBytes, e = d.ReadOctetSeq(); return e }))
+	comp, err := component.LoadBytes(pkgBytes)
+	must(err)
+
+	var portRef *ior.IOR
+	must(o.NewRef(nd.Acceptor).Invoke("provide",
+		func(e *cdr.Encoder) {
+			e.WriteString(compID)
+			e.WriteString(instance)
+			e.WriteString(port)
+		},
+		func(d *cdr.Decoder) error { var e error; portRef, e = ior.Unmarshal(d); return e }))
+
+	obj, err := dii.BindByID(comp.IDL(), o.NewRef(portRef), portRef.TypeID)
+	must(err)
+	opSig, ok := obj.Iface.LookupOperation(op)
+	if !ok {
+		fatal(fmt.Errorf("interface %s has no operation %q", obj.Iface.ScopedName(), op))
+	}
+	var in []idl.Param
+	for _, p := range opSig.Params {
+		if p.Dir == idl.DirIn || p.Dir == idl.DirInOut {
+			in = append(in, p)
+		}
+	}
+	if len(rawArgs) != len(in) {
+		fatal(fmt.Errorf("%s takes %d argument(s), got %d", op, len(in), len(rawArgs)))
+	}
+	callArgs := make([]any, len(in))
+	for i, p := range in {
+		v, err := parseScalar(p.Type, rawArgs[i])
+		if err != nil {
+			fatal(fmt.Errorf("argument %s: %v", p.Name, err))
+		}
+		callArgs[i] = v
+	}
+	res, err := obj.Call(op, callArgs...)
+	must(err)
+	if res.Return != nil {
+		fmt.Printf("return: %v\n", res.Return)
+	}
+	for name, v := range res.Out {
+		fmt.Printf("out %s: %v\n", name, v)
+	}
+	if res.Return == nil && len(res.Out) == 0 {
+		fmt.Println("ok")
+	}
+}
+
+// parseScalar converts a command-line token per an IDL parameter type.
+func parseScalar(t *idl.Type, s string) (any, error) {
+	switch t.Resolve().Kind {
+	case idl.KindBoolean:
+		return strconv.ParseBool(s)
+	case idl.KindOctet, idl.KindChar:
+		if len(s) == 1 {
+			return s[0], nil
+		}
+		v, err := strconv.ParseUint(s, 0, 8)
+		return byte(v), err
+	case idl.KindShort, idl.KindLong, idl.KindLongLong:
+		v, err := strconv.ParseInt(s, 0, 64)
+		return v, err
+	case idl.KindUShort, idl.KindULong, idl.KindULongLong:
+		v, err := strconv.ParseUint(s, 0, 64)
+		return v, err
+	case idl.KindFloat:
+		v, err := strconv.ParseFloat(s, 32)
+		return float32(v), err
+	case idl.KindDouble:
+		return strconv.ParseFloat(s, 64)
+	case idl.KindString:
+		return s, nil
+	}
+	return nil, fmt.Errorf("cannot parse %q as %s from the command line", s, t)
+}
+
+func fetchDirectory(o *orb.ORB, contact *orb.ObjectRef) *cohesion.Directory {
+	var dir *cohesion.Directory
+	must(contact.Invoke("get_directory", nil, func(d *cdr.Decoder) error {
+		var e error
+		dir, e = cohesion.UnmarshalDirectory(d)
+		return e
+	}))
+	return dir
+}
+
+func fetchReport(o *orb.ORB, nd *cohesion.NodeDesc) *node.Report {
+	var r *node.Report
+	must(o.NewRef(nd.Resources).Invoke("report", nil, func(d *cdr.Decoder) error {
+		var e error
+		r, e = node.UnmarshalReport(d)
+		return e
+	}))
+	return r
+}
+
+// rootQuery asks the root MRM (first root candidate that answers).
+func rootQuery(o *orb.ORB, dir *cohesion.Directory, portID, verReq string) []*node.Offer {
+	for _, cand := range dir.RootCandidates(4) {
+		nd := dir.Nodes[cand]
+		if nd == nil {
+			continue
+		}
+		var offers []*node.Offer
+		err := o.NewRef(nd.Cohesion).Invoke("root_query",
+			func(e *cdr.Encoder) {
+				e.WriteString(portID)
+				e.WriteString(verReq)
+				e.WriteLong(-1) // no group to skip
+			},
+			func(d *cdr.Decoder) error {
+				var e error
+				offers, e = node.UnmarshalOffers(d)
+				return e
+			})
+		if err == nil {
+			return offers
+		}
+	}
+	fatal(fmt.Errorf("no root MRM answered the query"))
+	return nil
+}
+
+func nodeArg(dir *cohesion.Directory, args []string, i int) *cohesion.NodeDesc {
+	if len(args) <= i {
+		fatal(fmt.Errorf("command needs a node name; known: %v", dir.Names()))
+	}
+	nd := dir.Nodes[args[i]]
+	if nd == nil {
+		fatal(fmt.Errorf("unknown node %q; known: %v", args[i], dir.Names()))
+	}
+	return nd
+}
+
+func resolveContact(s string) string {
+	if strings.HasPrefix(s, "@") {
+		raw, err := os.ReadFile(s[1:])
+		if err != nil {
+			fatal(err)
+		}
+		return strings.TrimSpace(string(raw))
+	}
+	return s
+}
+
+func must(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "corbalc-admin:", err)
+	os.Exit(1)
+}

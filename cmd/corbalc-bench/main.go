@@ -1,0 +1,73 @@
+// corbalc-bench re-runs the reproduction's evaluation harness (the
+// experiments of DESIGN.md §4 / EXPERIMENTS.md) and prints each result
+// table.
+//
+// Usage:
+//
+//	corbalc-bench [-scale N] [-seconds F] [-only E1,E3,...]
+//
+// -scale multiplies cluster sizes, -seconds multiplies measurement
+// windows; -only selects a subset of experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"corbalc/internal/experiments"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "multiply cluster sizes")
+	seconds := flag.Float64("seconds", 1, "multiply measurement windows")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. E1,E3); empty runs all")
+	flag.Parse()
+
+	sc := experiments.Scale{Nodes: *scale, Seconds: *seconds}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	type exp struct {
+		id  string
+		run func(experiments.Scale) *experiments.Table
+	}
+	all := []exp{
+		{"E1", experiments.E1Invocation},
+		{"E2", experiments.E2Registry},
+		{"E3", experiments.E3Consistency},
+		{"E4", experiments.E4QueryHierarchy},
+		{"E5", experiments.E5Failover},
+		{"E6", experiments.E6Deployment},
+		{"E7", experiments.E7Migration},
+		{"E8", experiments.E8TinyDevices},
+		{"E9", experiments.E9Grid},
+		{"E10", experiments.E10Predictive},
+		{"A1", experiments.A1Fanout},
+		{"A2", experiments.A2Replicas},
+	}
+
+	ran := 0
+	start := time.Now()
+	for _, e := range all {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		t0 := time.Now()
+		table := e.run(sc)
+		fmt.Println(table.Render())
+		fmt.Printf("(%s took %v)\n\n", e.id, time.Since(t0).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments selected; ids are E1..E10, A1, A2")
+		os.Exit(2)
+	}
+	fmt.Printf("ran %d experiments in %v\n", ran, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,92 @@
+// corbalc-idl parses OMG IDL files into the runtime interface repository
+// and dumps what it finds — the standalone face of internal/idl.
+//
+// Usage:
+//
+//	corbalc-idl [-check] [-q] file.idl [more.idl ...]
+//
+// Without flags it prints every constructed type; -check only reports
+// success/failure (exit status); -q limits output to interfaces.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"corbalc/internal/idl"
+)
+
+func main() {
+	check := flag.Bool("check", false, "parse only; print nothing but errors")
+	quiet := flag.Bool("q", false, "print interfaces only")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: corbalc-idl [-check] [-q] file.idl ...")
+		os.Exit(2)
+	}
+
+	repo := idl.NewRepository()
+	for _, path := range flag.Args() {
+		if err := repo.ParseFile(path); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *check {
+		fmt.Printf("ok: %d types\n", len(repo.Types()))
+		return
+	}
+
+	for _, t := range repo.Types() {
+		switch t.Kind {
+		case idl.KindInterface:
+			printInterface(t)
+		case idl.KindStruct, idl.KindException:
+			if *quiet {
+				continue
+			}
+			fmt.Printf("%s %s (%s)\n", t.Kind, t.ScopedName(), t.RepoID())
+			for _, f := range t.Fields {
+				fmt.Printf("    %s %s\n", f.Type, f.Name)
+			}
+		case idl.KindEnum:
+			if *quiet {
+				continue
+			}
+			fmt.Printf("enum %s { %s }\n", t.ScopedName(), strings.Join(t.Labels, ", "))
+		case idl.KindAlias:
+			if *quiet {
+				continue
+			}
+			fmt.Printf("typedef %s %s\n", t.Elem, t.ScopedName())
+		}
+	}
+}
+
+func printInterface(t *idl.Type) {
+	fmt.Printf("interface %s (%s)\n", t.ScopedName(), t.RepoID())
+	for _, base := range t.Iface.Bases {
+		fmt.Printf("    inherits %s\n", base.ScopedName())
+	}
+	for _, op := range t.AllOperations() {
+		var params []string
+		for _, p := range op.Params {
+			params = append(params, fmt.Sprintf("%s %s %s", p.Dir, p.Type, p.Name))
+		}
+		mod := ""
+		if op.Oneway {
+			mod = "oneway "
+		}
+		raises := ""
+		if len(op.Raises) > 0 {
+			var names []string
+			for _, ex := range op.Raises {
+				names = append(names, ex.ScopedName())
+			}
+			raises = " raises (" + strings.Join(names, ", ") + ")"
+		}
+		fmt.Printf("    %s%s %s(%s)%s\n", mod, op.Result, op.Name, strings.Join(params, ", "), raises)
+	}
+}

@@ -1,0 +1,278 @@
+// corbalc-pack builds, inspects, verifies and subsets CORBA-LC component
+// packages (paper §2.3).
+//
+// Usage:
+//
+//	corbalc-pack keygen -o keyfile
+//	    Write an Ed25519 key pair (hex): keyfile (private), keyfile.pub.
+//
+//	corbalc-pack build -softpkg softpkg.xml -type componenttype.xml \
+//	    [-idl dir] [-bin dir] [-sign keyfile] -o component.zip
+//	    Assemble a package from its descriptors, IDL sources and binary
+//	    payloads. Binary file names must match the softpkg's
+//	    <fileinarchive> entries (relative to -bin).
+//
+//	corbalc-pack inspect component.zip
+//	    Print the package's identity, implementations, ports and files.
+//
+//	corbalc-pack verify -key keyfile.pub component.zip
+//	    Check the manifest digests and signature.
+//
+//	corbalc-pack subset -impl id[,id...] [-sign keyfile] -o out.zip component.zip
+//	    Extract a platform subset (e.g. for a PDA).
+package main
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"corbalc/internal/cpkg"
+	"corbalc/internal/xmldesc"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "keygen":
+		keygen(os.Args[2:])
+	case "build":
+		build(os.Args[2:])
+	case "inspect":
+		inspect(os.Args[2:])
+	case "verify":
+		verify(os.Args[2:])
+	case "subset":
+		subset(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: corbalc-pack keygen|build|inspect|verify|subset ... (see -h of each)")
+	os.Exit(2)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "corbalc-pack:", err)
+	os.Exit(1)
+}
+
+func keygen(args []string) {
+	fs := flag.NewFlagSet("keygen", flag.ExitOnError)
+	out := fs.String("o", "corbalc.key", "output file (private key; .pub appended for public)")
+	_ = fs.Parse(args)
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		die(err)
+	}
+	if err := os.WriteFile(*out, []byte(hex.EncodeToString(priv)+"\n"), 0o600); err != nil {
+		die(err)
+	}
+	if err := os.WriteFile(*out+".pub", []byte(hex.EncodeToString(pub)+"\n"), 0o644); err != nil {
+		die(err)
+	}
+	fmt.Printf("wrote %s and %s.pub\n", *out, *out)
+}
+
+func readKey(path string, want int) []byte {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		die(err)
+	}
+	key, err := hex.DecodeString(strings.TrimSpace(string(raw)))
+	if err != nil {
+		die(fmt.Errorf("%s: %v", path, err))
+	}
+	if len(key) != want {
+		die(fmt.Errorf("%s: key is %d bytes, want %d", path, len(key), want))
+	}
+	return key
+}
+
+func build(args []string) {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	spPath := fs.String("softpkg", "", "softpkg.xml path (required)")
+	ctPath := fs.String("type", "", "componenttype.xml path (required)")
+	idlDir := fs.String("idl", "", "directory of .idl files (archived under idl/)")
+	binDir := fs.String("bin", "", "directory holding implementation binaries")
+	signKey := fs.String("sign", "", "private key file to sign with")
+	out := fs.String("o", "component.zip", "output package path")
+	_ = fs.Parse(args)
+	if *spPath == "" || *ctPath == "" {
+		die(fmt.Errorf("build needs -softpkg and -type"))
+	}
+
+	spFile, err := os.Open(*spPath)
+	if err != nil {
+		die(err)
+	}
+	sp, err := xmldesc.ParseSoftPkg(spFile)
+	spFile.Close()
+	if err != nil {
+		die(err)
+	}
+	ctFile, err := os.Open(*ctPath)
+	if err != nil {
+		die(err)
+	}
+	ct, err := xmldesc.ParseComponentType(ctFile)
+	ctFile.Close()
+	if err != nil {
+		die(err)
+	}
+
+	b := &cpkg.Builder{SoftPkg: sp, ComponentType: ct, IDL: map[string]string{}, Binaries: map[string][]byte{}}
+	if *idlDir != "" {
+		entries, err := os.ReadDir(*idlDir)
+		if err != nil {
+			die(err)
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".idl") {
+				continue
+			}
+			src, err := os.ReadFile(filepath.Join(*idlDir, e.Name()))
+			if err != nil {
+				die(err)
+			}
+			b.IDL["idl/"+e.Name()] = string(src)
+		}
+	}
+	for _, im := range sp.Implementations {
+		name := im.Code.File.Name
+		if *binDir == "" {
+			die(fmt.Errorf("implementation %s needs binary %s but -bin not given", im.ID, name))
+		}
+		data, err := os.ReadFile(filepath.Join(*binDir, filepath.FromSlash(name)))
+		if err != nil {
+			die(err)
+		}
+		b.Binaries[name] = data
+	}
+	if *signKey != "" {
+		b.Sign(ed25519.PrivateKey(readKey(*signKey, ed25519.PrivateKeySize)))
+	}
+	data, err := b.Build()
+	if err != nil {
+		die(err)
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		die(err)
+	}
+	fmt.Printf("built %s: %s-%s, %d bytes, %d implementation(s)\n",
+		*out, sp.Name, sp.Version, len(data), len(sp.Implementations))
+}
+
+func open(path string) *cpkg.Package {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		die(err)
+	}
+	p, err := cpkg.Open(data)
+	if err != nil {
+		die(err)
+	}
+	return p
+}
+
+func inspect(args []string) {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		die(fmt.Errorf("inspect needs one package path"))
+	}
+	p := open(fs.Arg(0))
+	sp, ct := p.SoftPkg(), p.ComponentType()
+	fmt.Printf("package   %s-%s (%d bytes)\n", sp.Name, sp.Version, p.Size())
+	if sp.Title != "" {
+		fmt.Printf("title     %s\n", sp.Title)
+	}
+	fmt.Printf("type      %s (%s)\n", ct.Name, ct.RepoID)
+	fmt.Printf("mobility  %s   replication %s   splittable %v\n",
+		orDefault(sp.Mobility, "movable"), orDefault(sp.Replication, "none"), sp.Aggregation.Splittable)
+	for _, d := range sp.Dependencies {
+		fmt.Printf("depends   %-10s %s %s\n", d.Type, d.Name, d.Version)
+	}
+	for _, im := range sp.Implementations {
+		fmt.Printf("impl      %-16s %s/%s code=%s entry=%s\n",
+			im.ID, orDefault(im.OS, "any"), orDefault(im.Processor, "any"),
+			im.Code.File.Name, im.Code.EntryPoint)
+	}
+	for _, port := range ct.Ports {
+		opt := ""
+		if port.Optional {
+			opt = " (optional)"
+		}
+		fmt.Printf("port      %-8s %-16s %s%s\n", port.Kind, port.Name, port.RepoID, opt)
+	}
+	fmt.Println("files:")
+	for _, name := range p.Names() {
+		data, _ := p.File(name)
+		fmt.Printf("  %8d  %s\n", len(data), name)
+	}
+	if err := p.CheckManifest(); err != nil {
+		fmt.Println("manifest:", err)
+	} else {
+		fmt.Println("manifest: ok")
+	}
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+func verify(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	keyPath := fs.String("key", "", "public key file (required)")
+	_ = fs.Parse(args)
+	if *keyPath == "" || fs.NArg() != 1 {
+		die(fmt.Errorf("verify needs -key and one package path"))
+	}
+	p := open(fs.Arg(0))
+	pub := ed25519.PublicKey(readKey(*keyPath, ed25519.PublicKeySize))
+	if err := p.Verify(pub); err != nil {
+		die(err)
+	}
+	fmt.Println("signature ok")
+}
+
+func subset(args []string) {
+	fs := flag.NewFlagSet("subset", flag.ExitOnError)
+	impls := fs.String("impl", "", "comma-separated implementation ids to keep (required)")
+	signKey := fs.String("sign", "", "private key file to re-sign the subset with")
+	out := fs.String("o", "subset.zip", "output path")
+	_ = fs.Parse(args)
+	if *impls == "" || fs.NArg() != 1 {
+		die(fmt.Errorf("subset needs -impl and one package path"))
+	}
+	p := open(fs.Arg(0))
+	var signer ed25519.PrivateKey
+	if *signKey != "" {
+		signer = ed25519.PrivateKey(readKey(*signKey, ed25519.PrivateKeySize))
+	}
+	ids := strings.Split(*impls, ",")
+	for i := range ids {
+		ids[i] = strings.TrimSpace(ids[i])
+	}
+	sub, err := p.Subset(signer, ids...)
+	if err != nil {
+		die(err)
+	}
+	if err := os.WriteFile(*out, sub, 0o644); err != nil {
+		die(err)
+	}
+	fmt.Printf("subset %s: %d -> %d bytes (%.0f%%)\n",
+		*out, p.Size(), len(sub), 100*float64(len(sub))/float64(p.Size()))
+}

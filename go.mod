@@ -1,0 +1,3 @@
+module corbalc
+
+go 1.22

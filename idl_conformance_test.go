@@ -1,0 +1,119 @@
+package corbalc_test
+
+import (
+	"errors"
+	"testing"
+
+	"corbalc"
+	"corbalc/internal/cdr"
+	"corbalc/internal/component"
+	"corbalc/internal/idl"
+	"corbalc/internal/ior"
+	"corbalc/internal/orb"
+)
+
+// TestServiceIDLConformance parses idl/corbalc.idl — the published
+// contracts of every CORBA-LC service — and checks each declared
+// operation against the live servants: invoking a declared operation
+// (with empty arguments) must never produce CORBA::BAD_OPERATION, which
+// is what the servants return for names they do not implement. This
+// keeps the IDL file and the Go implementations in lock-step.
+func TestServiceIDLConformance(t *testing.T) {
+	repo := idl.NewRepository()
+	if err := repo.ParseFile("idl/corbalc.idl"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A live peer with one component instance gives us real servants
+	// for every interface.
+	reg := component.NewRegistry()
+	reg.Register("conf/x.New", func() component.Instance { return &component.Base{} })
+	p := corbalc.NewPeer("conformance", corbalc.Options{Impls: reg})
+	defer p.Close()
+	p.Bootstrap()
+
+	spec := &component.Spec{Name: "confcomp", Version: "1.0.0", Entrypoint: "conf/x.New"}
+	spec.Provide("svc", "IDL:conf/Svc:1.0")
+	comp, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Node.InstallComponent(comp); err != nil {
+		t.Fatal(err)
+	}
+	mi, err := p.Node.Instantiate(comp.ID(), "i1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := p.Node.ContainerFor(comp.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o := p.Node.ORB()
+	targets := map[string]*ior.IOR{
+		"corbalc::NetworkCohesion":   p.Contact(),
+		"corbalc::ComponentRegistry": p.Node.RegistryIOR(),
+		"corbalc::ComponentAcceptor": p.Node.AcceptorIOR(),
+		"corbalc::ResourceManager":   p.Node.ResourcesIOR(),
+		"corbalc::EventService":      p.Node.EventsIOR(),
+		"corbalc::ComponentFactory":  ct.FactoryIOR(),
+		"corbalc::ComponentInstance": mi.EquivalentIOR(),
+	}
+
+	for scoped, target := range targets {
+		iface, ok := repo.LookupType(scoped)
+		if !ok {
+			t.Errorf("idl/corbalc.idl does not declare %s", scoped)
+			continue
+		}
+		ref := o.NewRef(target)
+		// The IOR type IDs must match the IDL repository IDs.
+		if target.TypeID != iface.RepoID() {
+			t.Errorf("%s: servant advertises %q, IDL says %q", scoped, target.TypeID, iface.RepoID())
+		}
+		for _, op := range iface.AllOperations() {
+			err := ref.Invoke(op.Name, nil, nil)
+			var se *orb.SystemException
+			if errors.As(err, &se) && se.Name == "BAD_OPERATION" {
+				t.Errorf("%s: declared operation %q not recognised by the servant", scoped, op.Name)
+			}
+		}
+	}
+}
+
+// TestServiceIDLTypesUsable double-checks the declared aggregate aliases
+// survive the dynamic marshaller (i.e. the IDL is not just parseable but
+// usable for DII against these services).
+func TestServiceIDLTypesUsable(t *testing.T) {
+	repo := idl.NewRepository()
+	if err := repo.ParseFile("idl/corbalc.idl"); err != nil {
+		t.Fatal(err)
+	}
+	blob, ok := repo.LookupType("corbalc::Blob")
+	if !ok {
+		t.Fatal("Blob missing")
+	}
+	e := cdr.NewEncoder(cdr.LittleEndian)
+	if err := idl.Encode(e, blob, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := idl.Decode(cdr.NewDecoder(e.Bytes(), cdr.LittleEndian), blob)
+	if err != nil || len(v.([]byte)) != 3 {
+		t.Fatalf("blob round trip: %v, %v", v, err)
+	}
+	// Every declared exception carries a repository ID matching the ones
+	// the servants raise.
+	for _, want := range []string{
+		"IDL:corbalc/ComponentRegistry/NoSuchComponent:1.0",
+		"IDL:corbalc/ComponentAcceptor/Rejected:1.0",
+		"IDL:corbalc/ComponentFactory/CreateFailed:1.0",
+		"IDL:corbalc/ComponentInstance/NoSuchPort:1.0",
+		"IDL:corbalc/EventService/NoSuchBridge:1.0",
+		"IDL:corbalc/NetworkCohesion/Refused:1.0",
+	} {
+		if _, ok := repo.LookupByRepoID(want); !ok {
+			t.Errorf("IDL does not declare exception %s", want)
+		}
+	}
+}

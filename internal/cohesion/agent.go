@@ -1,0 +1,799 @@
+package cohesion
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"corbalc/internal/cdr"
+	"corbalc/internal/ior"
+	"corbalc/internal/node"
+	"corbalc/internal/orb"
+)
+
+// Mode selects the consistency protocol (paper §2.4.3).
+type Mode int
+
+// Consistency modes.
+const (
+	// Soft: periodic keep-alive updates to the group's MRM replicas;
+	// MRMs hold an approximate view and time out silent nodes.
+	Soft Mode = iota
+	// Strong: every reflective change is immediately flooded to every
+	// node, giving all of them "perfect knowledge" — the baseline the
+	// paper argues is unscalable.
+	Strong
+)
+
+// SendPolicy refines Soft updates.
+type SendPolicy int
+
+// Send policies.
+const (
+	// Periodic sends a full update every interval.
+	Periodic SendPolicy = iota
+	// DeadBand suppresses updates while the load stays within epsilon
+	// of the last sent value (a keep-alive floor still applies).
+	DeadBand
+	// Predictive suppresses updates while a linear extrapolation of the
+	// last two sent values tracks the real load within epsilon.
+	Predictive
+)
+
+// KeyCohesion is the agent's object key in the node's adapter.
+const KeyCohesion = "node/cohesion"
+
+// CohesionRepoID is the CORBA interface ID of the cohesion agent.
+const CohesionRepoID = "IDL:corbalc/NetworkCohesion:1.0"
+
+// Errors returned by the agent.
+var (
+	ErrNotJoined = errors.New("cohesion: agent has not joined a network")
+	ErrNoRoot    = errors.New("cohesion: no reachable root MRM")
+)
+
+// Config assembles an Agent.
+type Config struct {
+	Node *node.Node
+	// GroupSize is the MRM fanout G (default 8).
+	GroupSize int
+	// Replicas is the number of peer MRM replicas per group (default 2).
+	Replicas int
+	// UpdateInterval is the soft-consistency period (default 500ms).
+	UpdateInterval time.Duration
+	// FailMultiple times UpdateInterval gives the failure timeout
+	// (default 3).
+	FailMultiple int
+	// Mode selects Soft or Strong consistency.
+	Mode Mode
+	// Policy refines Soft sending.
+	Policy SendPolicy
+	// Epsilon is the dead-band width as a load fraction (default 0.05).
+	Epsilon float64
+}
+
+func (c *Config) fill() {
+	if c.GroupSize <= 0 {
+		c.GroupSize = 8
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.Replicas > c.GroupSize {
+		c.Replicas = c.GroupSize
+	}
+	if c.UpdateInterval <= 0 {
+		c.UpdateInterval = 500 * time.Millisecond
+	}
+	if c.FailMultiple <= 0 {
+		c.FailMultiple = 3
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.05
+	}
+}
+
+// memberState is an MRM's knowledge of one node.
+type memberState struct {
+	report   *node.Report
+	offers   []*node.Offer
+	lastSeen time.Time
+}
+
+// groupSummary is the root MRM's aggregated knowledge of one group
+// ("a hierarchical treatment of network resources", §2.4.3).
+type groupSummary struct {
+	group    int
+	alive    uint32
+	freeCPU  float64
+	exports  map[string]bool // provided port repo IDs in the group
+	lastSeen time.Time
+}
+
+// Stats are protocol-level counters for the consistency experiments.
+type Stats struct {
+	UpdatesSent   uint64
+	UpdateBytes   uint64
+	UpdatesRecv   uint64
+	QueriesSent   uint64
+	QueriesServed uint64
+	Floods        uint64
+}
+
+// Agent runs the cohesion protocol for one node.
+type Agent struct {
+	cfg  Config
+	n    *node.Node
+	o    *orb.ORB
+	name string
+
+	mu        sync.Mutex
+	dir       *Directory
+	view      map[string]*memberState
+	summaries map[int]*groupSummary
+	// expected tracks when this MRM first counted on hearing from a
+	// group member that has not reported yet; members silent from birth
+	// beyond a grace period are declared dead too.
+	expected map[string]time.Time
+	joined   bool
+
+	// send-policy state
+	lastSent   *node.Report
+	prevSent   *node.Report
+	lastSentAt time.Time
+	prevSentAt time.Time
+	forceSend  bool
+
+	stop  chan struct{}
+	wg    sync.WaitGroup
+	ticks uint64 // tick counter driving periodic anti-entropy
+	// floodKick coalesces Strong-mode change floods: many rapid changes
+	// collapse into one pending flood, and a single worker serialises
+	// the sends so a change storm cannot pile up goroutines.
+	floodKick chan struct{}
+	// pushDir coalesces directory broadcasts the same way: under join
+	// or removal storms only the newest directory needs to travel.
+	pushDir chan *Directory
+
+	updatesSent   atomic.Uint64
+	updateBytes   atomic.Uint64
+	updatesRecv   atomic.Uint64
+	queriesSent   atomic.Uint64
+	queriesServed atomic.Uint64
+	floods        atomic.Uint64
+}
+
+// NewAgent creates the agent and activates its servant on the node's
+// ORB; it does not start the protocol until Bootstrap or Join.
+func NewAgent(cfg Config) *Agent {
+	cfg.fill()
+	a := &Agent{
+		cfg:       cfg,
+		n:         cfg.Node,
+		o:         cfg.Node.ORB(),
+		dir:       NewDirectory(),
+		view:      make(map[string]*memberState),
+		summaries: make(map[int]*groupSummary),
+		expected:  make(map[string]time.Time),
+		stop:      make(chan struct{}),
+		pushDir:   make(chan *Directory, 1),
+	}
+	a.name = cfg.Node.Name()
+	a.o.Activate(KeyCohesion, &agentServant{a: a})
+	if cfg.Mode == Strong {
+		a.floodKick = make(chan struct{}, 1)
+		a.n.SetChangeListener(func() {
+			select {
+			case a.floodKick <- struct{}{}:
+			default: // a flood is already pending; it will carry this change
+			}
+		})
+	}
+	return a
+}
+
+// Desc mints this agent's directory entry. IORs are minted lazily so
+// they carry the profiles of every transport attached by the time the
+// agent joins a network.
+func (a *Agent) Desc() *NodeDesc {
+	return &NodeDesc{
+		Name:       a.name,
+		Capability: string(a.n.Resources().Profile().Capability),
+		Cohesion:   a.o.NewIOR(CohesionRepoID, KeyCohesion),
+		Registry:   a.n.RegistryIOR(),
+		Acceptor:   a.n.AcceptorIOR(),
+		Resources:  a.n.ResourcesIOR(),
+	}
+}
+
+// CohesionIOR returns the agent's own servant reference, used as a join
+// contact by other nodes.
+func (a *Agent) CohesionIOR() *ior.IOR { return a.o.NewIOR(CohesionRepoID, KeyCohesion) }
+
+// Stats snapshots the protocol counters.
+func (a *Agent) Stats() Stats {
+	return Stats{
+		UpdatesSent:   a.updatesSent.Load(),
+		UpdateBytes:   a.updateBytes.Load(),
+		UpdatesRecv:   a.updatesRecv.Load(),
+		QueriesSent:   a.queriesSent.Load(),
+		QueriesServed: a.queriesServed.Load(),
+		Floods:        a.floods.Load(),
+	}
+}
+
+// MemberView is one member's state as known to an MRM: its directory
+// entry plus the latest soft-consistency report and offers.
+type MemberView struct {
+	Desc   *NodeDesc
+	Report *node.Report
+	Offers []*node.Offer
+}
+
+// GroupView snapshots this MRM's live member states (fresh within the
+// failure timeout). The network-level load balancer consumes it.
+func (a *Agent) GroupView() []MemberView {
+	cutoff := time.Now().Add(-a.failTimeout())
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]MemberView, 0, len(a.view))
+	for name, st := range a.view {
+		if st.lastSeen.Before(cutoff) {
+			continue
+		}
+		desc, ok := a.dir.Nodes[name]
+		if !ok {
+			continue
+		}
+		out = append(out, MemberView{Desc: desc, Report: st.report, Offers: st.offers})
+	}
+	return out
+}
+
+// Directory snapshots the agent's current view of membership.
+func (a *Agent) Directory() *Directory {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.dir.Clone()
+}
+
+// Bootstrap makes this agent the first node of a new logical network and
+// starts its protocol loop.
+func (a *Agent) Bootstrap() {
+	a.mu.Lock()
+	dir := NewDirectory()
+	dir.Assign(a.Desc(), a.cfg.GroupSize)
+	a.dir = dir
+	a.joined = true
+	a.mu.Unlock()
+	a.start()
+}
+
+// Join enters an existing network through any member's cohesion
+// reference and starts the protocol loop.
+func (a *Agent) Join(contact *ior.IOR) error {
+	ref := a.o.NewRef(contact)
+	var dir *Directory
+	desc := a.Desc()
+	err := ref.Invoke("join",
+		func(e *cdr.Encoder) { desc.Marshal(e) },
+		func(d *cdr.Decoder) error {
+			var e error
+			dir, e = UnmarshalDirectory(d)
+			return e
+		})
+	if err != nil {
+		return fmt.Errorf("cohesion: join: %w", err)
+	}
+	a.mu.Lock()
+	a.dir = dir
+	a.joined = true
+	a.forceSend = true
+	a.mu.Unlock()
+	a.start()
+	if a.cfg.Mode == Strong {
+		a.floodReport()
+	}
+	return nil
+}
+
+// Leave departs gracefully: the root removes this node and broadcasts
+// the new directory.
+func (a *Agent) Leave() {
+	a.mu.Lock()
+	joined := a.joined
+	a.joined = false
+	a.mu.Unlock()
+	if joined {
+		_ = a.callRoot("leave", func(e *cdr.Encoder) { e.WriteString(a.name) }, nil)
+	}
+	a.Stop()
+}
+
+// Stop halts the protocol loop without notifying anyone (crash
+// simulation pairs this with simnet.SetDown).
+func (a *Agent) Stop() {
+	a.mu.Lock()
+	select {
+	case <-a.stop:
+	default:
+		close(a.stop)
+	}
+	a.mu.Unlock()
+	a.wg.Wait()
+}
+
+func (a *Agent) start() {
+	a.wg.Add(1)
+	go a.loop()
+	a.wg.Add(1)
+	go a.broadcastLoop()
+	if a.cfg.Mode == Strong {
+		a.wg.Add(1)
+		go a.floodLoop()
+	}
+}
+
+// broadcastLoop drains coalesced directory broadcasts (root duty).
+func (a *Agent) broadcastLoop() {
+	defer a.wg.Done()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case dir := <-a.pushDir:
+			a.broadcastDirectory(dir)
+		}
+	}
+}
+
+// kickBroadcast schedules a directory broadcast, replacing any pending
+// older one.
+func (a *Agent) kickBroadcast(dir *Directory) {
+	for {
+		select {
+		case a.pushDir <- dir:
+			return
+		default:
+			select {
+			case <-a.pushDir: // discard the stale pending directory
+			default:
+			}
+		}
+	}
+}
+
+// floodLoop drains coalesced change notifications in Strong mode.
+func (a *Agent) floodLoop() {
+	defer a.wg.Done()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-a.floodKick:
+			a.floodReport()
+		}
+	}
+}
+
+func (a *Agent) loop() {
+	defer a.wg.Done()
+	t := time.NewTicker(a.cfg.UpdateInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-t.C:
+			a.tick()
+		}
+	}
+}
+
+// tick performs this node's periodic duties.
+func (a *Agent) tick() {
+	a.mu.Lock()
+	if !a.joined {
+		a.mu.Unlock()
+		return
+	}
+	dir := a.dir
+	group := dir.GroupOf(a.name)
+	cands := dir.Candidates(group, a.cfg.Replicas)
+	rootCands := dir.RootCandidates(a.cfg.Replicas)
+	a.mu.Unlock()
+	if group < 0 {
+		return
+	}
+
+	switch a.cfg.Mode {
+	case Soft:
+		if report, offers, send := a.policyDecide(); send {
+			a.sendUpdate(cands, report, offers)
+		}
+	case Strong:
+		// Liveness keep-alive only; changes flood immediately.
+		report := a.n.Report()
+		a.sendUpdate(cands, &report, nil)
+	}
+
+	// MRM replica duties. Stale view entries are not deleted here: the
+	// failure timeout filters them out of every read, and reportDeaths
+	// needs to see them once to escalate to the root.
+	if contains(cands, a.name) && a.actingLeader(group) {
+		a.sendSummary(group, rootCands)
+		a.reportDeaths(group)
+	}
+
+	// Anti-entropy: periodically compare directory epochs with the root
+	// (one tiny ping) and pull the full directory only on divergence.
+	// This repairs missed broadcasts and detects false expulsion (a
+	// member the root timed out during a stall): an expelled node
+	// rejoins.
+	a.ticks++
+	if a.ticks%uint64(4*(a.cfg.FailMultiple+1)) == 0 && !a.actingRootLeader() {
+		a.syncDirectory()
+	}
+}
+
+// syncDirectory compares epochs with the root and reconciles: adopt the
+// newer directory, or rejoin if this node has been expelled.
+func (a *Agent) syncDirectory() {
+	var rootEpoch uint64
+	err := a.callRoot("ping", nil, func(d *cdr.Decoder) error {
+		var e error
+		rootEpoch, e = d.ReadULongLong()
+		return e
+	})
+	if err != nil {
+		return
+	}
+	a.mu.Lock()
+	same := rootEpoch == a.dir.Epoch
+	a.mu.Unlock()
+	if same {
+		return
+	}
+	var dir *Directory
+	err = a.callRoot("get_directory", nil, func(d *cdr.Decoder) error {
+		var e error
+		dir, e = UnmarshalDirectory(d)
+		return e
+	})
+	if err != nil || dir == nil {
+		return
+	}
+	a.mu.Lock()
+	newer := dir.Epoch > a.dir.Epoch
+	_, member := dir.Nodes[a.name]
+	a.mu.Unlock()
+	if newer && !member {
+		// Falsely expelled (or the root lost us): rejoin through the
+		// root and adopt the resulting directory.
+		desc := a.Desc()
+		var fresh *Directory
+		err := a.callRoot("join",
+			func(e *cdr.Encoder) { desc.Marshal(e) },
+			func(d *cdr.Decoder) error {
+				var e error
+				fresh, e = UnmarshalDirectory(d)
+				return e
+			})
+		if err == nil && fresh != nil {
+			a.mu.Lock()
+			if fresh.Epoch > a.dir.Epoch {
+				a.dir = fresh
+			}
+			a.forceSend = true
+			a.mu.Unlock()
+		}
+		return
+	}
+	if newer {
+		a.installDirectory(dir)
+	}
+}
+
+// policyDecide applies the send policy; it returns the report/offers to
+// send and whether to send at all.
+func (a *Agent) policyDecide() (*node.Report, []*node.Offer, bool) {
+	report := a.n.Report()
+	offers := a.n.AllOffers()
+	now := time.Now()
+	keepAliveFloor := a.cfg.UpdateInterval * time.Duration(a.cfg.FailMultiple) / 2
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.forceSend || a.lastSent == nil || now.Sub(a.lastSentAt) >= keepAliveFloor ||
+		a.lastSent.Digest != report.Digest {
+		a.recordSentLocked(&report, now)
+		return &report, offers, true
+	}
+	switch a.cfg.Policy {
+	case Periodic:
+		a.recordSentLocked(&report, now)
+		return &report, offers, true
+	case DeadBand:
+		if math.Abs(report.LoadFraction()-a.lastSent.LoadFraction()) > a.cfg.Epsilon {
+			a.recordSentLocked(&report, now)
+			return &report, offers, true
+		}
+		return nil, nil, false
+	case Predictive:
+		predicted := a.predictLocked(now)
+		if math.Abs(report.LoadFraction()-predicted) > a.cfg.Epsilon {
+			a.recordSentLocked(&report, now)
+			return &report, offers, true
+		}
+		return nil, nil, false
+	}
+	a.recordSentLocked(&report, now)
+	return &report, offers, true
+}
+
+func (a *Agent) recordSentLocked(r *node.Report, now time.Time) {
+	a.prevSent, a.prevSentAt = a.lastSent, a.lastSentAt
+	a.lastSent, a.lastSentAt = r, now
+	a.forceSend = false
+}
+
+// predictLocked linearly extrapolates load from the last two sent
+// reports.
+func (a *Agent) predictLocked(now time.Time) float64 {
+	if a.lastSent == nil {
+		return 0
+	}
+	if a.prevSent == nil || !a.lastSentAt.After(a.prevSentAt) {
+		return a.lastSent.LoadFraction()
+	}
+	dt := a.lastSentAt.Sub(a.prevSentAt).Seconds()
+	slope := (a.lastSent.LoadFraction() - a.prevSent.LoadFraction()) / dt
+	return a.lastSent.LoadFraction() + slope*now.Sub(a.lastSentAt).Seconds()
+}
+
+// sendUpdate pushes one update to each MRM replica candidate.
+func (a *Agent) sendUpdate(cands []string, report *node.Report, offers []*node.Offer) {
+	payload := func(e *cdr.Encoder) {
+		report.Marshal(e)
+		node.MarshalOffers(e, offers)
+	}
+	// Measure the payload size once for accounting.
+	sizer := cdr.NewEncoder(cdr.LittleEndian)
+	payload(sizer)
+	for _, cand := range cands {
+		ref, ok := a.refOf(cand)
+		if !ok {
+			continue
+		}
+		a.updatesSent.Add(1)
+		a.updateBytes.Add(uint64(sizer.Len()))
+		_ = ref.InvokeOneway("update", payload)
+	}
+}
+
+// floodReport sends this node's report to every node (Strong mode).
+func (a *Agent) floodReport() {
+	a.mu.Lock()
+	if !a.joined {
+		a.mu.Unlock()
+		return
+	}
+	names := a.dir.Names()
+	a.mu.Unlock()
+	report := a.n.Report()
+	offers := a.n.AllOffers()
+	payload := func(e *cdr.Encoder) {
+		report.Marshal(e)
+		node.MarshalOffers(e, offers)
+	}
+	sizer := cdr.NewEncoder(cdr.LittleEndian)
+	payload(sizer)
+	a.floods.Add(1)
+	for _, name := range names {
+		if name == a.name {
+			continue
+		}
+		ref, ok := a.refOf(name)
+		if !ok {
+			continue
+		}
+		a.updatesSent.Add(1)
+		a.updateBytes.Add(uint64(sizer.Len()))
+		_ = ref.InvokeOneway("update", payload)
+	}
+}
+
+// refOf builds an invocable ref to another agent's cohesion servant.
+func (a *Agent) refOf(name string) (*orb.ObjectRef, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	nd, ok := a.dir.Nodes[name]
+	if !ok {
+		return nil, false
+	}
+	return a.o.NewRef(nd.Cohesion), true
+}
+
+// failTimeout is the silence duration after which a node is suspected
+// dead.
+func (a *Agent) failTimeout() time.Duration {
+	return a.cfg.UpdateInterval * time.Duration(a.cfg.FailMultiple)
+}
+
+// actingLeader reports whether this agent currently leads its group: it
+// is the first candidate it believes alive (the replicated view doubles
+// as the failure detector, so no election messages are needed).
+func (a *Agent) actingLeader(group int) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cutoff := time.Now().Add(-a.failTimeout())
+	for _, cand := range a.dir.Candidates(group, a.cfg.Replicas) {
+		if cand == a.name {
+			return true
+		}
+		if st, ok := a.view[cand]; ok && st.lastSeen.After(cutoff) {
+			return false // an earlier candidate is alive
+		}
+	}
+	return false
+}
+
+// sendSummary pushes this group's aggregate to the root MRM replicas.
+func (a *Agent) sendSummary(group int, rootCands []string) {
+	a.mu.Lock()
+	alive := uint32(0)
+	freeCPU := 0.0
+	exports := make(map[string]bool)
+	members := a.dir.Members(group)
+	for _, m := range members {
+		st, ok := a.view[m]
+		if !ok && m == a.name {
+			// The leader's own state may not round-trip through its
+			// view; count it directly.
+			alive++
+			r := a.n.Report()
+			freeCPU += r.CPUFree()
+			for _, of := range a.n.AllOffers() {
+				exports[of.PortRepoID] = true
+			}
+			continue
+		}
+		if !ok {
+			continue
+		}
+		alive++
+		freeCPU += st.report.CPUFree()
+		for _, of := range st.offers {
+			exports[of.PortRepoID] = true
+		}
+	}
+	a.mu.Unlock()
+
+	exportList := make([]string, 0, len(exports))
+	for k := range exports {
+		exportList = append(exportList, k)
+	}
+	payload := func(e *cdr.Encoder) {
+		e.WriteULong(uint32(group))
+		e.WriteULong(alive)
+		e.WriteDouble(freeCPU)
+		e.WriteStringSeq(exportList)
+	}
+	for _, rc := range rootCands {
+		if rc == a.name {
+			// Local shortcut: ingest own summary directly.
+			a.ingestSummary(group, alive, freeCPU, exportList)
+			continue
+		}
+		ref, ok := a.refOf(rc)
+		if !ok {
+			continue
+		}
+		_ = ref.InvokeOneway("summary", payload)
+	}
+}
+
+// reportDeaths escalates group members that fell silent beyond the
+// failure timeout ("the MRM can suppose a node of the group has been
+// down after some time-out"). Before accusing, the MRM performs the
+// paper’s ping/reply handshake: a suspect that still answers a direct
+// ping is merely slow (e.g. the whole system is CPU-starved during a
+// join storm), not dead — its liveness is refreshed instead. Members
+// never seen get a grace period before their first suspicion. Reported
+// members are dropped from the view so the accusation happens once.
+func (a *Agent) reportDeaths(group int) {
+	cutoff := time.Now().Add(-a.failTimeout())
+	graceCutoff := time.Now().Add(-4 * a.failTimeout())
+	now := time.Now()
+	a.mu.Lock()
+	var suspects []string
+	for _, m := range a.dir.Members(group) {
+		if m == a.name {
+			continue
+		}
+		if st, ok := a.view[m]; ok {
+			if st.lastSeen.Before(cutoff) {
+				suspects = append(suspects, m)
+			}
+			continue
+		}
+		// Never heard from this member: start (or check) its grace
+		// clock.
+		first, tracked := a.expected[m]
+		switch {
+		case !tracked:
+			a.expected[m] = now
+		case first.Before(graceCutoff):
+			suspects = append(suspects, m)
+		}
+	}
+	a.mu.Unlock()
+
+	for _, name := range suspects {
+		if ref, ok := a.refOf(name); ok {
+			err := ref.Invoke("ping", nil, func(d *cdr.Decoder) error {
+				_, e := d.ReadULongLong()
+				return e
+			})
+			if err == nil {
+				// Alive after all: refresh liveness, keep the view.
+				a.mu.Lock()
+				if st, ok := a.view[name]; ok {
+					st.lastSeen = time.Now()
+				} else {
+					a.expected[name] = time.Now()
+				}
+				a.mu.Unlock()
+				continue
+			}
+		}
+		if err := a.callRoot("report_dead", func(e *cdr.Encoder) { e.WriteString(name) }, nil); err == nil {
+			a.mu.Lock()
+			delete(a.view, name)
+			delete(a.expected, name)
+			a.mu.Unlock()
+		}
+	}
+}
+
+// callRoot invokes an operation on the first reachable root MRM replica.
+func (a *Agent) callRoot(op string, args orb.Marshaller, result orb.Unmarshaller) error {
+	a.mu.Lock()
+	rootCands := a.dir.RootCandidates(a.cfg.Replicas)
+	a.mu.Unlock()
+	var lastErr error = ErrNoRoot
+	for _, rc := range rootCands {
+		if rc == a.name {
+			// Self-call through the ORB's collocation path.
+			ref := a.o.NewRef(a.CohesionIOR())
+			if err := ref.Invoke(op, args, result); err == nil {
+				return nil
+			} else {
+				lastErr = err
+			}
+			continue
+		}
+		ref, ok := a.refOf(rc)
+		if !ok {
+			continue
+		}
+		if err := ref.Invoke(op, args, result); err == nil {
+			return nil
+		} else {
+			lastErr = err
+		}
+	}
+	return lastErr
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,579 @@
+package cohesion
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"corbalc/internal/cdr"
+	"corbalc/internal/component"
+	"corbalc/internal/ior"
+	"corbalc/internal/node"
+	"corbalc/internal/simnet"
+	"corbalc/internal/xmldesc"
+)
+
+// testCluster is a set of nodes + agents wired over a virtual network.
+type testCluster struct {
+	net    *simnet.Network
+	nodes  []*node.Node
+	agents []*Agent
+}
+
+func adderSpec(name, ver string) *component.Spec {
+	s := &component.Spec{Name: name, Version: ver, Entrypoint: "test/adder.New"}
+	s.Provide("sum", "IDL:test/Adder:1.0")
+	s.QoS = xmldesc.QoS{CPUMin: 0.05}
+	return s
+}
+
+func testImpls() *component.Registry {
+	reg := component.NewRegistry()
+	reg.Register("test/adder.New", func() component.Instance { return &component.Base{} })
+	return reg
+}
+
+// newCluster builds n nodes, bootstraps the first and joins the rest.
+func newCluster(t testing.TB, n int, tweak func(*Config)) *testCluster {
+	t.Helper()
+	tc := &testCluster{net: simnet.New(simnet.Link{})}
+	impls := testImpls()
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("n%02d", i)
+		nd := node.New(node.Config{Name: name, Impls: impls, Profile: node.WorkstationProfile()})
+		if err := tc.net.Attach(name, nd.ORB()); err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{
+			Node:           nd,
+			GroupSize:      3,
+			Replicas:       2,
+			UpdateInterval: 25 * time.Millisecond,
+			FailMultiple:   3,
+		}
+		if tweak != nil {
+			tweak(&cfg)
+		}
+		ag := NewAgent(cfg)
+		tc.nodes = append(tc.nodes, nd)
+		tc.agents = append(tc.agents, ag)
+	}
+	tc.agents[0].Bootstrap()
+	for i := 1; i < n; i++ {
+		if err := tc.agents[i].Join(tc.agents[0].CohesionIOR()); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, ag := range tc.agents {
+			ag.Stop()
+		}
+		for _, nd := range tc.nodes {
+			nd.Close()
+		}
+	})
+	return tc
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t testing.TB, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestDirectoryAssignRemove(t *testing.T) {
+	dir := NewDirectory()
+	mk := func(name string) *NodeDesc {
+		ref := ior.New("IDL:x:1.0", "h", 1, []byte(name))
+		return &NodeDesc{Name: name, Cohesion: ref, Registry: ref, Acceptor: ref, Resources: ref}
+	}
+	for i := 0; i < 7; i++ {
+		g := dir.Assign(mk(fmt.Sprintf("m%d", i)), 3)
+		if want := i / 3; g != want {
+			t.Fatalf("member %d assigned to group %d, want %d", i, g, want)
+		}
+	}
+	if dir.Len() != 7 || len(dir.Groups) != 3 {
+		t.Fatalf("dir = %d nodes, %d groups", dir.Len(), len(dir.Groups))
+	}
+	if dir.GroupOf("m4") != 1 {
+		t.Fatalf("GroupOf(m4) = %d", dir.GroupOf("m4"))
+	}
+	cands := dir.Candidates(0, 2)
+	if len(cands) != 2 || cands[0] != "m0" || cands[1] != "m1" {
+		t.Fatalf("candidates = %v", cands)
+	}
+	if rc := dir.RootCandidates(2); rc[0] != "m0" {
+		t.Fatalf("root candidates = %v", rc)
+	}
+	e0 := dir.Epoch
+	if !dir.Remove("m0") {
+		t.Fatal("remove failed")
+	}
+	if dir.Epoch <= e0 {
+		t.Fatal("epoch not bumped")
+	}
+	if dir.Remove("m0") {
+		t.Fatal("double remove succeeded")
+	}
+	// After removing the whole first group, the root group moves on.
+	dir.Remove("m1")
+	dir.Remove("m2")
+	if rg := dir.RootGroup(); rg != 1 {
+		t.Fatalf("root group after removals = %d", rg)
+	}
+}
+
+func TestDirectoryMarshalRoundTrip(t *testing.T) {
+	dir := NewDirectory()
+	ref := ior.New("IDL:x:1.0", "h", 1, []byte("k"))
+	for i := 0; i < 5; i++ {
+		dir.Assign(&NodeDesc{
+			Name: fmt.Sprintf("m%d", i), Capability: "workstation",
+			Cohesion: ref, Registry: ref, Acceptor: ref, Resources: ref,
+		}, 2)
+	}
+	e := cdr.NewEncoder(cdr.BigEndian)
+	dir.Marshal(e)
+	got, err := UnmarshalDirectory(cdr.NewDecoder(e.Bytes(), cdr.BigEndian))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != dir.Epoch || got.Len() != 5 || len(got.Groups) != 3 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if got.Nodes["m3"].Capability != "workstation" {
+		t.Fatal("node desc lost")
+	}
+	if _, err := UnmarshalDirectory(cdr.NewDecoder([]byte{0, 1}, cdr.BigEndian)); err == nil {
+		t.Fatal("garbage directory accepted")
+	}
+}
+
+func TestJoinBuildsConvergentDirectory(t *testing.T) {
+	tc := newCluster(t, 7, nil)
+	waitFor(t, 3*time.Second, "directory convergence", func() bool {
+		want := tc.agents[0].Directory().Epoch
+		for _, ag := range tc.agents {
+			d := ag.Directory()
+			if d.Epoch != want || d.Len() != 7 {
+				return false
+			}
+		}
+		return true
+	})
+	dir := tc.agents[3].Directory()
+	if len(dir.Groups) != 3 {
+		t.Fatalf("groups = %d", len(dir.Groups))
+	}
+	for _, g := range dir.Groups {
+		if len(g) > 3 {
+			t.Fatalf("oversized group %v", g)
+		}
+	}
+}
+
+func TestSoftUpdatesPopulateMRMView(t *testing.T) {
+	tc := newCluster(t, 3, nil)
+	// Install a component on n02; its offers must reach the group MRM
+	// (n00) through periodic updates.
+	c, err := adderSpec("adder", "1.0.0").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.nodes[2].InstallComponent(c); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 3*time.Second, "MRM view to include n02's offer", func() bool {
+		offers := tc.agents[0].viewQuery("IDL:test/Adder:1.0", "*")
+		return len(offers) == 1 && offers[0].Node == "n02"
+	})
+	// Query from another member of the same group resolves locally (one
+	// MRM hop, no root involvement).
+	offers, err := tc.agents[1].Query("IDL:test/Adder:1.0", "*")
+	if err != nil || len(offers) != 1 || offers[0].Node != "n02" {
+		t.Fatalf("query = %+v, %v", offers, err)
+	}
+}
+
+func TestHierarchicalQueryAcrossGroups(t *testing.T) {
+	tc := newCluster(t, 7, nil) // groups: {0,1,2} {3,4,5} {6}
+	c, err := adderSpec("adder", "2.0.0").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.nodes[5].InstallComponent(c); err != nil { // group 1
+		t.Fatal(err)
+	}
+	// n06 (group 2) asks; its group has nothing, so the query climbs to
+	// the root, whose summaries route it to group 1.
+	waitFor(t, 5*time.Second, "cross-group query to find the offer", func() bool {
+		offers, err := tc.agents[6].Query("IDL:test/Adder:1.0", ">=2.0")
+		return err == nil && len(offers) == 1 && offers[0].Node == "n05"
+	})
+	// Version filtering works across the hierarchy.
+	offers, err := tc.agents[6].Query("IDL:test/Adder:1.0", "<2.0")
+	if err != nil || len(offers) != 0 {
+		t.Fatalf("filtered query = %+v, %v", offers, err)
+	}
+}
+
+func TestFlatQueryBaseline(t *testing.T) {
+	tc := newCluster(t, 6, nil)
+	waitFor(t, 3*time.Second, "directory convergence", func() bool {
+		return tc.agents[1].Directory().Len() == 6
+	})
+	c, err := adderSpec("adder", "1.0.0").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.nodes[4].InstallComponent(c); err != nil {
+		t.Fatal(err)
+	}
+	offers, err := tc.agents[1].QueryFlat("IDL:test/Adder:1.0", "*")
+	if err != nil || len(offers) != 1 || offers[0].Node != "n04" {
+		t.Fatalf("flat query = %+v, %v", offers, err)
+	}
+	// Flat querying must have contacted every other node's registry.
+	if st := tc.agents[1].Stats(); st.QueriesSent < 5 {
+		t.Fatalf("flat queries sent = %d, want >= 5", st.QueriesSent)
+	}
+}
+
+func TestFailureDetectionRemovesNode(t *testing.T) {
+	tc := newCluster(t, 4, nil)
+	waitFor(t, 3*time.Second, "initial convergence", func() bool {
+		return tc.agents[3].Directory().Len() == 4
+	})
+	// Crash n02 (same group as the MRM n00): stop its loop and cut it
+	// from the network.
+	tc.agents[2].Stop()
+	tc.net.SetDown("n02", true)
+	waitFor(t, 5*time.Second, "root to expel the dead node", func() bool {
+		return tc.agents[0].Directory().Len() == 3
+	})
+	// Survivors learn the new directory.
+	waitFor(t, 3*time.Second, "survivors to converge", func() bool {
+		return tc.agents[1].Directory().Len() == 3 && tc.agents[3].Directory().Len() == 3
+	})
+}
+
+func TestMRMFailoverToReplica(t *testing.T) {
+	tc := newCluster(t, 3, nil) // one group {n00,n01,n02}, candidates n00,n01
+	c, err := adderSpec("adder", "1.0.0").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.nodes[2].InstallComponent(c); err != nil {
+		t.Fatal(err)
+	}
+	// Both replicas acquire the view (peer-replicated MRMs).
+	waitFor(t, 3*time.Second, "replica n01 to hold the view", func() bool {
+		return len(tc.agents[1].viewQuery("IDL:test/Adder:1.0", "*")) == 1
+	})
+	if !tc.agents[0].actingLeader(0) {
+		t.Fatal("n00 should lead initially")
+	}
+	// Kill the leader.
+	tc.agents[0].Stop()
+	tc.net.SetDown("n00", true)
+	// n01 takes over leadership once n00's updates stop.
+	waitFor(t, 5*time.Second, "n01 to assume leadership", func() bool {
+		return tc.agents[1].actingLeader(0)
+	})
+	// Queries from the surviving member still resolve via the replica.
+	waitFor(t, 3*time.Second, "query after failover", func() bool {
+		offers, err := tc.agents[2].Query("IDL:test/Adder:1.0", "*")
+		return err == nil && len(offers) == 1
+	})
+}
+
+func TestStrongModePerfectKnowledge(t *testing.T) {
+	tc := newCluster(t, 4, func(c *Config) { c.Mode = Strong })
+	c, err := adderSpec("adder", "1.0.0").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Install on n03; the change listener floods immediately.
+	if _, err := tc.nodes[3].InstallComponent(c); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 3*time.Second, "flooded knowledge on n01", func() bool {
+		offers, err := tc.agents[1].Query("IDL:test/Adder:1.0", "*")
+		return err == nil && len(offers) == 1 && offers[0].Node == "n03"
+	})
+	// In strong mode the query itself was answered locally: zero query
+	// messages, non-zero floods.
+	st1 := tc.agents[1].Stats()
+	st3 := tc.agents[3].Stats()
+	if st1.QueriesSent != 0 {
+		t.Fatalf("strong-mode query sent %d messages", st1.QueriesSent)
+	}
+	if st3.Floods == 0 {
+		t.Fatal("no floods recorded")
+	}
+}
+
+func TestDeadBandSendsFewerUpdatesThanPeriodic(t *testing.T) {
+	countUpdates := func(policy SendPolicy) uint64 {
+		tc := newCluster(t, 2, func(c *Config) {
+			c.Policy = policy
+			c.GroupSize = 2
+			c.FailMultiple = 20 // push the keep-alive floor out of the way
+		})
+		time.Sleep(400 * time.Millisecond) // stable load, ~16 intervals
+		return tc.agents[1].Stats().UpdatesSent
+	}
+	periodic := countUpdates(Periodic)
+	deadband := countUpdates(DeadBand)
+	predictive := countUpdates(Predictive)
+	if periodic < 8 {
+		t.Fatalf("periodic sent only %d updates", periodic)
+	}
+	if deadband*2 >= periodic {
+		t.Fatalf("deadband (%d) not substantially below periodic (%d)", deadband, periodic)
+	}
+	if predictive*2 >= periodic {
+		t.Fatalf("predictive (%d) not substantially below periodic (%d)", predictive, periodic)
+	}
+}
+
+func TestGracefulLeave(t *testing.T) {
+	tc := newCluster(t, 4, nil)
+	waitFor(t, 3*time.Second, "initial convergence", func() bool {
+		return tc.agents[0].Directory().Len() == 4
+	})
+	tc.agents[3].Leave()
+	waitFor(t, 3*time.Second, "directory to drop the leaver", func() bool {
+		return tc.agents[0].Directory().Len() == 3
+	})
+}
+
+func TestQueryBeforeJoinFails(t *testing.T) {
+	nd := node.New(node.Config{Name: "loner", Impls: testImpls()})
+	defer nd.Close()
+	ag := NewAgent(Config{Node: nd})
+	if _, err := ag.Query("IDL:x:1.0", "*"); err != ErrNotJoined {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ag.QueryFlat("IDL:x:1.0", "*"); err != ErrNotJoined {
+		t.Fatalf("flat err = %v", err)
+	}
+}
+
+// Property: any interleaving of joins and removals keeps the directory
+// invariants — each member in exactly one group, no group over G, epoch
+// strictly monotone, candidates always a prefix of their group.
+func TestQuickDirectoryInvariants(t *testing.T) {
+	mk := func(name string) *NodeDesc {
+		ref := ior.New("IDL:x:1.0", "h", 1, []byte(name))
+		return &NodeDesc{Name: name, Cohesion: ref, Registry: ref, Acceptor: ref, Resources: ref}
+	}
+	f := func(ops []uint8, gRaw uint8) bool {
+		g := int(gRaw)%6 + 1
+		dir := NewDirectory()
+		lastEpoch := dir.Epoch
+		for i, op := range ops {
+			name := fmt.Sprintf("m%d", int(op)%12)
+			if i%3 == 2 {
+				dir.Remove(name)
+			} else {
+				dir.Assign(mk(name), g)
+			}
+			if dir.Epoch < lastEpoch {
+				return false
+			}
+			lastEpoch = dir.Epoch
+		}
+		// Invariants.
+		seen := map[string]int{}
+		for gi, members := range dir.Groups {
+			if len(members) > g {
+				return false
+			}
+			for _, m := range members {
+				seen[m]++
+				if dir.GroupOf(m) != gi && seen[m] == 1 {
+					// GroupOf returns the first occurrence; with the
+					// idempotent Assign there must be exactly one.
+					return false
+				}
+			}
+		}
+		for name, count := range seen {
+			if count != 1 {
+				return false
+			}
+			if _, ok := dir.Nodes[name]; !ok {
+				return false
+			}
+		}
+		if len(seen) != dir.Len() {
+			return false
+		}
+		for gi := range dir.Groups {
+			cands := dir.Candidates(gi, 2)
+			members := dir.Members(gi)
+			if len(cands) > 2 || len(cands) > len(members) {
+				return false
+			}
+			for i, c := range cands {
+				if members[i] != c {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: directories of any shape survive the wire round trip.
+func TestQuickDirectoryMarshalRoundTrip(t *testing.T) {
+	mk := func(name string) *NodeDesc {
+		ref := ior.New("IDL:x:1.0", "h", 1, []byte(name))
+		return &NodeDesc{Name: name, Capability: "w", Cohesion: ref, Registry: ref, Acceptor: ref, Resources: ref}
+	}
+	f := func(names []uint8, gRaw uint8) bool {
+		g := int(gRaw)%5 + 1
+		dir := NewDirectory()
+		for _, n := range names {
+			dir.Assign(mk(fmt.Sprintf("n%d", n)), g)
+		}
+		e := cdr.NewEncoder(cdr.LittleEndian)
+		dir.Marshal(e)
+		got, err := UnmarshalDirectory(cdr.NewDecoder(e.Bytes(), cdr.LittleEndian))
+		if err != nil {
+			return false
+		}
+		if got.Epoch != dir.Epoch || got.Len() != dir.Len() || len(got.Groups) != len(dir.Groups) {
+			return false
+		}
+		for i := range dir.Groups {
+			if len(got.Groups[i]) != len(dir.Groups[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupViewSnapshot(t *testing.T) {
+	tc := newCluster(t, 3, nil)
+	comp, err := adderSpec("adder", "1.0.0").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.nodes[1].InstallComponent(comp); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 3*time.Second, "MRM view to fill", func() bool {
+		view := tc.agents[0].GroupView()
+		if len(view) != 3 {
+			return false
+		}
+		for _, m := range view {
+			if m.Report.Node == "n01" && len(m.Offers) >= 1 {
+				return true
+			}
+		}
+		return false
+	})
+	for _, m := range tc.agents[0].GroupView() {
+		if m.Desc == nil || m.Report == nil {
+			t.Fatalf("incomplete member view: %+v", m)
+		}
+	}
+	// A non-MRM member has an empty view.
+	if got := tc.agents[2].GroupView(); len(got) != 0 {
+		t.Fatalf("non-candidate view = %d members", len(got))
+	}
+}
+
+func TestQueryAllSpansGroups(t *testing.T) {
+	tc := newCluster(t, 6, nil) // groups {0,1,2} {3,4,5}
+	comp, err := adderSpec("adder", "1.0.0").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One provider in each group.
+	if _, err := tc.nodes[1].InstallComponent(comp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.nodes[4].InstallComponent(comp); err != nil {
+		t.Fatal(err)
+	}
+	// Plain Query from n02 stops at its group (locality): one offer.
+	waitFor(t, 5*time.Second, "local query", func() bool {
+		offers, err := tc.agents[2].Query("IDL:test/Adder:1.0", "*")
+		return err == nil && len(offers) == 1 && offers[0].Node == "n01"
+	})
+	// QueryAll merges both groups.
+	waitFor(t, 5*time.Second, "exhaustive query", func() bool {
+		offers, err := tc.agents[2].QueryAll("IDL:test/Adder:1.0", "*")
+		if err != nil || len(offers) != 2 {
+			return false
+		}
+		nodes := map[string]bool{}
+		for _, of := range offers {
+			nodes[of.Node] = true
+		}
+		return nodes["n01"] && nodes["n04"]
+	})
+}
+
+func TestAntiEntropyRejoinAfterFalseExpulsion(t *testing.T) {
+	tc := newCluster(t, 4, nil)
+	waitFor(t, 3*time.Second, "convergence", func() bool {
+		return tc.agents[0].Directory().Len() == 4
+	})
+	// Simulate a false expulsion: the root removes a live member behind
+	// its back.
+	victim := tc.agents[3]
+	if err := victim.callRoot("report_dead", func(e *cdr.Encoder) { e.WriteString("n03") }, nil); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 3*time.Second, "expulsion to propagate", func() bool {
+		return tc.agents[0].Directory().Len() == 3
+	})
+	// Anti-entropy on the victim notices the divergence and rejoins.
+	waitFor(t, 10*time.Second, "victim to rejoin", func() bool {
+		return tc.agents[0].Directory().Len() == 4
+	})
+}
+
+func TestJoinForwardedThroughNonRootContact(t *testing.T) {
+	// Join via a contact that is NOT the root leader: the contact must
+	// forward to the root and return a directory that includes the
+	// newcomer.
+	tc := newCluster(t, 3, nil)
+	nd := node.New(node.Config{Name: "late", Impls: testImpls(), Profile: node.WorkstationProfile()})
+	if err := tc.net.Attach("late", nd.ORB()); err != nil {
+		t.Fatal(err)
+	}
+	ag := NewAgent(Config{Node: nd, GroupSize: 3, Replicas: 2, UpdateInterval: 25 * time.Millisecond})
+	t.Cleanup(func() { ag.Stop(); nd.Close() })
+	// agents[2] is a plain member, not even an MRM candidate.
+	if err := ag.Join(tc.agents[2].CohesionIOR()); err != nil {
+		t.Fatal(err)
+	}
+	if ag.Directory().Len() != 4 {
+		t.Fatalf("directory after forwarded join = %d", ag.Directory().Len())
+	}
+	if ag.Directory().GroupOf("late") != 1 {
+		t.Fatalf("late lands in group %d", ag.Directory().GroupOf("late"))
+	}
+}

@@ -1,0 +1,258 @@
+// Package cohesion implements the logical network cohesion protocol of
+// CORBA-LC (paper §2.4.1 and §2.4.3): membership (join/leave/ping),
+// hierarchical grouping with Meta-Resource Managers (MRMs), soft
+// network consistency through periodic keep-alive resource updates with
+// failure timeouts, peer-replicated MRMs with deterministic failover,
+// and the distributed component query path that climbs the hierarchy
+// only when the local group cannot satisfy a request.
+//
+// Three consistency modes are provided because the paper argues their
+// trade-off: Soft (periodic deltas to the group's MRM replicas — the
+// design the paper advocates), Strong (every change immediately flooded
+// to every node — the "perfect knowledge" baseline it argues against),
+// and the Predictive refinement of Soft (updates suppressed while a
+// dead-band/linear predictor tracks the real value, §2.4.3 "predictive
+// and adaptive techniques can be used ... reducing even more the
+// bandwidth requirements").
+package cohesion
+
+import (
+	"fmt"
+	"sort"
+
+	"corbalc/internal/cdr"
+	"corbalc/internal/ior"
+)
+
+// NodeDesc is one node's entry in the directory: identity plus the
+// references of its externally visible services.
+type NodeDesc struct {
+	Name       string
+	Capability string
+	Cohesion   *ior.IOR
+	Registry   *ior.IOR
+	Acceptor   *ior.IOR
+	Resources  *ior.IOR
+}
+
+// Marshal encodes the descriptor.
+func (nd *NodeDesc) Marshal(e *cdr.Encoder) {
+	e.WriteString(nd.Name)
+	e.WriteString(nd.Capability)
+	nd.Cohesion.Marshal(e)
+	nd.Registry.Marshal(e)
+	nd.Acceptor.Marshal(e)
+	nd.Resources.Marshal(e)
+}
+
+// UnmarshalNodeDesc decodes a descriptor.
+func UnmarshalNodeDesc(d *cdr.Decoder) (*NodeDesc, error) {
+	nd := &NodeDesc{}
+	var err error
+	if nd.Name, err = d.ReadString(); err != nil {
+		return nil, err
+	}
+	if nd.Capability, err = d.ReadString(); err != nil {
+		return nil, err
+	}
+	if nd.Cohesion, err = ior.Unmarshal(d); err != nil {
+		return nil, err
+	}
+	if nd.Registry, err = ior.Unmarshal(d); err != nil {
+		return nil, err
+	}
+	if nd.Acceptor, err = ior.Unmarshal(d); err != nil {
+		return nil, err
+	}
+	if nd.Resources, err = ior.Unmarshal(d); err != nil {
+		return nil, err
+	}
+	return nd, nil
+}
+
+// Directory is the replicated membership state: the set of nodes, their
+// grouping, and a monotonically increasing epoch. The root MRM mutates
+// it (joins, leaves, confirmed deaths) and pushes new epochs to every
+// node; everyone else treats it as read-only.
+type Directory struct {
+	Epoch  uint64
+	Groups [][]string // group index -> member names, join order preserved
+	Nodes  map[string]*NodeDesc
+}
+
+// NewDirectory returns an empty directory at epoch 0.
+func NewDirectory() *Directory {
+	return &Directory{Nodes: make(map[string]*NodeDesc)}
+}
+
+// Clone deep-copies the directory (descriptors are shared, they are
+// immutable once published).
+func (dir *Directory) Clone() *Directory {
+	out := &Directory{Epoch: dir.Epoch, Nodes: make(map[string]*NodeDesc, len(dir.Nodes))}
+	out.Groups = make([][]string, len(dir.Groups))
+	for i, g := range dir.Groups {
+		out.Groups[i] = append([]string(nil), g...)
+	}
+	for k, v := range dir.Nodes {
+		out.Nodes[k] = v
+	}
+	return out
+}
+
+// GroupOf returns the group index containing the node, or -1.
+func (dir *Directory) GroupOf(name string) int {
+	for i, g := range dir.Groups {
+		for _, m := range g {
+			if m == name {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// Members returns the member list of a group (nil when out of range).
+func (dir *Directory) Members(group int) []string {
+	if group < 0 || group >= len(dir.Groups) {
+		return nil
+	}
+	return dir.Groups[group]
+}
+
+// Assign places a node into the first group with room (group size
+// limit g), creating a new group when all are full. It mutates the
+// directory and bumps the epoch. Assigning an existing member is
+// idempotent (refreshes its descriptor, keeps its group) so duplicate
+// or racing joins cannot corrupt the grouping.
+func (dir *Directory) Assign(desc *NodeDesc, g int) int {
+	if existing := dir.GroupOf(desc.Name); existing >= 0 {
+		dir.Nodes[desc.Name] = desc
+		dir.Epoch++
+		return existing
+	}
+	dir.Nodes[desc.Name] = desc
+	for i := range dir.Groups {
+		if len(dir.Groups[i]) < g {
+			dir.Groups[i] = append(dir.Groups[i], desc.Name)
+			dir.Epoch++
+			return i
+		}
+	}
+	dir.Groups = append(dir.Groups, []string{desc.Name})
+	dir.Epoch++
+	return len(dir.Groups) - 1
+}
+
+// Remove deletes a node (leave or confirmed death); empty groups are
+// kept in place so group indices remain stable.
+func (dir *Directory) Remove(name string) bool {
+	if _, ok := dir.Nodes[name]; !ok {
+		return false
+	}
+	delete(dir.Nodes, name)
+	for i, g := range dir.Groups {
+		for j, m := range g {
+			if m == name {
+				dir.Groups[i] = append(g[:j], g[j+1:]...)
+				dir.Epoch++
+				return true
+			}
+		}
+	}
+	dir.Epoch++
+	return true
+}
+
+// Names lists all member names, sorted.
+func (dir *Directory) Names() []string {
+	out := make([]string, 0, len(dir.Nodes))
+	for n := range dir.Nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the node count.
+func (dir *Directory) Len() int { return len(dir.Nodes) }
+
+// RootGroup is the group whose leading members act as the root MRM
+// replicas. It is the first non-empty group.
+func (dir *Directory) RootGroup() int {
+	for i, g := range dir.Groups {
+		if len(g) > 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Candidates returns the first r members of a group — the group's MRM
+// replica candidates in priority order ("the protocol must allow
+// replicated peer MRMs per group").
+func (dir *Directory) Candidates(group, r int) []string {
+	g := dir.Members(group)
+	if len(g) < r {
+		r = len(g)
+	}
+	return g[:r]
+}
+
+// RootCandidates returns the root MRM replica candidates.
+func (dir *Directory) RootCandidates(r int) []string {
+	rg := dir.RootGroup()
+	if rg < 0 {
+		return nil
+	}
+	return dir.Candidates(rg, r)
+}
+
+// Marshal encodes the directory.
+func (dir *Directory) Marshal(e *cdr.Encoder) {
+	e.WriteULongLong(dir.Epoch)
+	e.WriteULong(uint32(len(dir.Groups)))
+	for _, g := range dir.Groups {
+		e.WriteStringSeq(g)
+	}
+	e.WriteULong(uint32(len(dir.Nodes)))
+	for _, name := range dir.Names() {
+		dir.Nodes[name].Marshal(e)
+	}
+}
+
+// UnmarshalDirectory decodes a directory.
+func UnmarshalDirectory(d *cdr.Decoder) (*Directory, error) {
+	dir := NewDirectory()
+	var err error
+	if dir.Epoch, err = d.ReadULongLong(); err != nil {
+		return nil, err
+	}
+	ng, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	if uint32(d.Remaining())/4 < ng {
+		return nil, cdr.ErrTooLong
+	}
+	dir.Groups = make([][]string, ng)
+	for i := range dir.Groups {
+		if dir.Groups[i], err = d.ReadStringSeq(); err != nil {
+			return nil, err
+		}
+	}
+	nn, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	if uint32(d.Remaining())/8 < nn {
+		return nil, cdr.ErrTooLong
+	}
+	for i := uint32(0); i < nn; i++ {
+		nd, err := UnmarshalNodeDesc(d)
+		if err != nil {
+			return nil, fmt.Errorf("cohesion: node %d: %w", i, err)
+		}
+		dir.Nodes[nd.Name] = nd
+	}
+	return dir, nil
+}

@@ -1,0 +1,517 @@
+package cohesion
+
+import (
+	"time"
+
+	"corbalc/internal/cdr"
+	"corbalc/internal/component"
+	"corbalc/internal/node"
+	"corbalc/internal/orb"
+	"corbalc/internal/version"
+)
+
+// agentServant is the CORBA face of the cohesion agent: the Network
+// Cohesion interface of Fig. 1.
+type agentServant struct{ a *Agent }
+
+func (s *agentServant) RepositoryID() string { return CohesionRepoID }
+
+func (s *agentServant) Invoke(op string, args *cdr.Decoder, reply *cdr.Encoder) error {
+	a := s.a
+	switch op {
+	case "ping":
+		a.mu.Lock()
+		epoch := a.dir.Epoch
+		a.mu.Unlock()
+		reply.WriteULongLong(epoch)
+		return nil
+
+	case "join":
+		desc, err := UnmarshalNodeDesc(args)
+		if err != nil {
+			return orb.Marshal()
+		}
+		dir, err := a.handleJoin(desc)
+		if err != nil {
+			return joinExc(err)
+		}
+		dir.Marshal(reply)
+		return nil
+
+	case "leave", "report_dead":
+		name, err := args.ReadString()
+		if err != nil {
+			return orb.Marshal()
+		}
+		if err := a.handleRemoval(name); err != nil {
+			return joinExc(err)
+		}
+		return nil
+
+	case "get_directory":
+		a.mu.Lock()
+		dir := a.dir.Clone()
+		a.mu.Unlock()
+		dir.Marshal(reply)
+		return nil
+
+	case "directory_push":
+		dir, err := UnmarshalDirectory(args)
+		if err != nil {
+			return orb.Marshal()
+		}
+		a.installDirectory(dir)
+		return nil
+
+	case "update":
+		report, err := node.UnmarshalReport(args)
+		if err != nil {
+			return orb.Marshal()
+		}
+		offers, err := node.UnmarshalOffers(args)
+		if err != nil {
+			return orb.Marshal()
+		}
+		a.ingestUpdate(report, offers)
+		return nil
+
+	case "summary":
+		group, err := args.ReadULong()
+		if err != nil {
+			return orb.Marshal()
+		}
+		alive, err := args.ReadULong()
+		if err != nil {
+			return orb.Marshal()
+		}
+		freeCPU, err := args.ReadDouble()
+		if err != nil {
+			return orb.Marshal()
+		}
+		exports, err := args.ReadStringSeq()
+		if err != nil {
+			return orb.Marshal()
+		}
+		a.ingestSummary(int(group), alive, freeCPU, exports)
+		return nil
+
+	case "mrm_query":
+		portID, err := args.ReadString()
+		if err != nil {
+			return orb.Marshal()
+		}
+		verReq, err := args.ReadString()
+		if err != nil {
+			return orb.Marshal()
+		}
+		a.queriesServed.Add(1)
+		offers := a.viewQuery(portID, verReq)
+		node.MarshalOffers(reply, offers)
+		return nil
+
+	case "root_query":
+		portID, err := args.ReadString()
+		if err != nil {
+			return orb.Marshal()
+		}
+		verReq, err := args.ReadString()
+		if err != nil {
+			return orb.Marshal()
+		}
+		skipGroup, err := args.ReadLong()
+		if err != nil {
+			return orb.Marshal()
+		}
+		a.queriesServed.Add(1)
+		offers := a.rootQuery(portID, verReq, int(skipGroup))
+		node.MarshalOffers(reply, offers)
+		return nil
+	}
+	return orb.BadOperation()
+}
+
+func joinExc(err error) error {
+	return &orb.UserException{
+		ID:      "IDL:corbalc/NetworkCohesion/Refused:1.0",
+		Payload: func(e *cdr.Encoder) { e.WriteString(err.Error()) },
+	}
+}
+
+// actingRootLeader reports whether this agent currently acts as the root
+// MRM leader.
+func (a *Agent) actingRootLeader() bool {
+	a.mu.Lock()
+	rg := a.dir.RootGroup()
+	inRoot := rg >= 0 && contains(a.dir.Candidates(rg, a.cfg.Replicas), a.name)
+	a.mu.Unlock()
+	return inRoot && a.actingLeader(rg)
+}
+
+// handleJoin admits a node: executed at the root leader, forwarded
+// otherwise.
+func (a *Agent) handleJoin(desc *NodeDesc) (*Directory, error) {
+	if a.actingRootLeader() {
+		a.mu.Lock()
+		a.dir.Assign(desc, a.cfg.GroupSize)
+		dir := a.dir.Clone()
+		a.mu.Unlock()
+		a.kickBroadcast(dir)
+		return dir, nil
+	}
+	// Forward to the root.
+	var dir *Directory
+	err := a.callRoot("join",
+		func(e *cdr.Encoder) { desc.Marshal(e) },
+		func(d *cdr.Decoder) error {
+			var err error
+			dir, err = UnmarshalDirectory(d)
+			return err
+		})
+	if err != nil {
+		return nil, err
+	}
+	return dir, nil
+}
+
+// handleRemoval removes a departed or dead node: executed at the root
+// leader, forwarded otherwise.
+func (a *Agent) handleRemoval(name string) error {
+	if a.actingRootLeader() {
+		a.mu.Lock()
+		removed := a.dir.Remove(name)
+		dir := a.dir.Clone()
+		delete(a.view, name)
+		a.mu.Unlock()
+		if removed {
+			a.kickBroadcast(dir)
+		}
+		return nil
+	}
+	return a.callRoot("report_dead", func(e *cdr.Encoder) { e.WriteString(name) }, nil)
+}
+
+// broadcastDirectory pushes a new directory epoch to every member.
+func (a *Agent) broadcastDirectory(dir *Directory) {
+	for name, nd := range dir.Nodes {
+		if name == a.name {
+			continue
+		}
+		ref := a.o.NewRef(nd.Cohesion)
+		_ = ref.InvokeOneway("directory_push", dir.Marshal)
+	}
+}
+
+// installDirectory adopts a directory if it is newer than the current
+// one.
+func (a *Agent) installDirectory(dir *Directory) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if dir.Epoch > a.dir.Epoch {
+		a.dir = dir
+	}
+}
+
+// ingestUpdate stores a member's report+offers in this MRM's view.
+func (a *Agent) ingestUpdate(report *node.Report, offers []*node.Offer) {
+	a.updatesRecv.Add(1)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.view[report.Node] = &memberState{report: report, offers: offers, lastSeen: time.Now()}
+	delete(a.expected, report.Node)
+}
+
+// ingestSummary stores a group leader's aggregate in the root view.
+func (a *Agent) ingestSummary(group int, alive uint32, freeCPU float64, exports []string) {
+	exp := make(map[string]bool, len(exports))
+	for _, x := range exports {
+		exp[x] = true
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.summaries[group] = &groupSummary{
+		group: group, alive: alive, freeCPU: freeCPU, exports: exp, lastSeen: time.Now(),
+	}
+}
+
+// viewQuery answers a component query from this MRM's (or, in Strong
+// mode, this node's) view.
+func (a *Agent) viewQuery(portID, verReq string) []*node.Offer {
+	req, err := version.ParseRequirement(verReq)
+	if err != nil {
+		return nil
+	}
+	cutoff := time.Now().Add(-a.failTimeout())
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []*node.Offer
+	for _, st := range a.view {
+		if st.lastSeen.Before(cutoff) {
+			continue
+		}
+		for _, of := range st.offers {
+			if of.PortRepoID != portID {
+				continue
+			}
+			if id, err := component.ParseID(of.ComponentID); err == nil && !req.Matches(id.Version) {
+				continue
+			}
+			// Refresh the load figure from the latest report.
+			ofCopy := *of
+			ofCopy.NodeLoad = st.report.LoadFraction()
+			out = append(out, &ofCopy)
+		}
+	}
+	return out
+}
+
+// rootQuery resolves a query at the root: the summaries prune the fan-out
+// to groups that actually export the port, exploiting the hierarchy.
+func (a *Agent) rootQuery(portID, verReq string, skipGroup int) []*node.Offer {
+	a.mu.Lock()
+	var groups []int
+	for g, sum := range a.summaries {
+		if g != skipGroup && sum.exports[portID] {
+			groups = append(groups, g)
+		}
+	}
+	dir := a.dir
+	replicas := a.cfg.Replicas
+	a.mu.Unlock()
+
+	var out []*node.Offer
+	for _, g := range groups {
+		for _, cand := range dir.Candidates(g, replicas) {
+			if cand == a.name {
+				out = append(out, a.viewQuery(portID, verReq)...)
+				break
+			}
+			ref, ok := a.refOf(cand)
+			if !ok {
+				continue
+			}
+			var offers []*node.Offer
+			a.queriesSent.Add(1)
+			err := ref.Invoke("mrm_query",
+				func(e *cdr.Encoder) { e.WriteString(portID); e.WriteString(verReq) },
+				func(d *cdr.Decoder) error {
+					var err error
+					offers, err = node.UnmarshalOffers(d)
+					return err
+				})
+			if err == nil {
+				out = append(out, offers...)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Query resolves a component query through the hierarchy: own group's
+// MRM first ("this reduces network load and exploits locality"), then
+// the root, which fans out only to groups whose summaries export the
+// port. In Strong mode every node has perfect knowledge, so the answer
+// is local.
+func (a *Agent) Query(portID, verReq string) ([]*node.Offer, error) {
+	a.mu.Lock()
+	if !a.joined {
+		a.mu.Unlock()
+		return nil, ErrNotJoined
+	}
+	dir := a.dir
+	group := dir.GroupOf(a.name)
+	cands := dir.Candidates(group, a.cfg.Replicas)
+	a.mu.Unlock()
+
+	if a.cfg.Mode == Strong {
+		offers := a.viewQuery(portID, verReq)
+		offers = append(offers, a.localOffers(portID, verReq)...)
+		return dedupOffers(offers), nil
+	}
+
+	// Level 0: own group MRM replicas in priority order.
+	var lastErr error
+	for _, cand := range cands {
+		var offers []*node.Offer
+		var err error
+		if cand == a.name {
+			offers = a.viewQuery(portID, verReq)
+		} else {
+			ref, ok := a.refOf(cand)
+			if !ok {
+				continue
+			}
+			a.queriesSent.Add(1)
+			err = ref.Invoke("mrm_query",
+				func(e *cdr.Encoder) { e.WriteString(portID); e.WriteString(verReq) },
+				func(d *cdr.Decoder) error {
+					var e error
+					offers, e = node.UnmarshalOffers(d)
+					return e
+				})
+		}
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if len(offers) > 0 {
+			return offers, nil
+		}
+		break // MRM reachable but no local match: climb.
+	}
+
+	// Level 1: the root fans out to exporting groups.
+	var offers []*node.Offer
+	a.queriesSent.Add(1)
+	err := a.callRoot("root_query",
+		func(e *cdr.Encoder) {
+			e.WriteString(portID)
+			e.WriteString(verReq)
+			e.WriteLong(int32(group))
+		},
+		func(d *cdr.Decoder) error {
+			var e error
+			offers, e = node.UnmarshalOffers(d)
+			return e
+		})
+	if err != nil {
+		if lastErr != nil {
+			return nil, lastErr
+		}
+		return nil, err
+	}
+	return offers, nil
+}
+
+// QueryAll resolves a query exhaustively: local group offers plus every
+// other exporting group via the root — for aggregated/data-parallel
+// computations that want *all* providers, not the locally best one.
+func (a *Agent) QueryAll(portID, verReq string) ([]*node.Offer, error) {
+	a.mu.Lock()
+	if !a.joined {
+		a.mu.Unlock()
+		return nil, ErrNotJoined
+	}
+	dir := a.dir
+	group := dir.GroupOf(a.name)
+	cands := dir.Candidates(group, a.cfg.Replicas)
+	a.mu.Unlock()
+
+	if a.cfg.Mode == Strong {
+		offers := a.viewQuery(portID, verReq)
+		offers = append(offers, a.localOffers(portID, verReq)...)
+		return dedupOffers(offers), nil
+	}
+
+	var out []*node.Offer
+	for _, cand := range cands {
+		var offers []*node.Offer
+		var err error
+		if cand == a.name {
+			offers = a.viewQuery(portID, verReq)
+		} else {
+			ref, ok := a.refOf(cand)
+			if !ok {
+				continue
+			}
+			a.queriesSent.Add(1)
+			err = ref.Invoke("mrm_query",
+				func(e *cdr.Encoder) { e.WriteString(portID); e.WriteString(verReq) },
+				func(d *cdr.Decoder) error {
+					var e error
+					offers, e = node.UnmarshalOffers(d)
+					return e
+				})
+		}
+		if err == nil {
+			out = append(out, offers...)
+			break
+		}
+	}
+	var rootOffers []*node.Offer
+	a.queriesSent.Add(1)
+	err := a.callRoot("root_query",
+		func(e *cdr.Encoder) {
+			e.WriteString(portID)
+			e.WriteString(verReq)
+			e.WriteLong(int32(group))
+		},
+		func(d *cdr.Decoder) error {
+			var e error
+			rootOffers, e = node.UnmarshalOffers(d)
+			return e
+		})
+	if err == nil {
+		out = append(out, rootOffers...)
+	} else if len(out) == 0 {
+		return nil, err
+	}
+	return dedupOffers(out), nil
+}
+
+// localOffers lists this node's own matching offers (Strong-mode views
+// exclude self since agents do not flood to themselves).
+func (a *Agent) localOffers(portID, verReq string) []*node.Offer {
+	req, err := version.ParseRequirement(verReq)
+	if err != nil {
+		return nil
+	}
+	var out []*node.Offer
+	for _, of := range a.n.AllOffers() {
+		if of.PortRepoID != portID {
+			continue
+		}
+		if id, err := component.ParseID(of.ComponentID); err == nil && !req.Matches(id.Version) {
+			continue
+		}
+		out = append(out, of)
+	}
+	return out
+}
+
+// QueryFlat is the non-hierarchical baseline: ask every node's Component
+// Registry directly (E4 compares its message count against Query's).
+func (a *Agent) QueryFlat(portID, verReq string) ([]*node.Offer, error) {
+	a.mu.Lock()
+	if !a.joined {
+		a.mu.Unlock()
+		return nil, ErrNotJoined
+	}
+	dir := a.dir.Clone()
+	a.mu.Unlock()
+	var out []*node.Offer
+	for name, nd := range dir.Nodes {
+		if name == a.name {
+			out = append(out, a.localOffers(portID, verReq)...)
+			continue
+		}
+		ref := a.o.NewRef(nd.Registry)
+		var offers []*node.Offer
+		a.queriesSent.Add(1)
+		err := ref.Invoke("query",
+			func(e *cdr.Encoder) { e.WriteString(portID); e.WriteString(verReq) },
+			func(d *cdr.Decoder) error {
+				var e error
+				offers, e = node.UnmarshalOffers(d)
+				return e
+			})
+		if err == nil {
+			out = append(out, offers...)
+		}
+	}
+	return out, nil
+}
+
+// dedupOffers removes duplicate (node, component, port) offers.
+func dedupOffers(offers []*node.Offer) []*node.Offer {
+	seen := make(map[string]bool, len(offers))
+	out := offers[:0]
+	for _, of := range offers {
+		key := of.Node + "|" + of.ComponentID + "|" + of.Port
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, of)
+		}
+	}
+	return out
+}

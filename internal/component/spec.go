@@ -1,0 +1,179 @@
+package component
+
+import (
+	"fmt"
+	"math/rand"
+
+	"corbalc/internal/cpkg"
+	"corbalc/internal/xmldesc"
+)
+
+// Spec is a programmatic component definition. It assembles the two XML
+// descriptors, synthesises the package archive and loads it — the same
+// path a component built by cmd/corbalc-pack takes, so code constructed
+// from a Spec exercises the full packaging pipeline. Examples, tests and
+// benchmarks build their components this way.
+type Spec struct {
+	Name    string
+	Version string
+	Title   string
+
+	// Ports of the component type (use the AddX helpers or fill
+	// directly).
+	Ports []xmldesc.Port
+
+	// IDL maps archive paths to IDL source for the component's types.
+	IDL map[string]string
+
+	// Entrypoint is the Go constructor key in a component.Registry. It
+	// becomes the code <entrypoint> of a "GoRegistered" implementation.
+	Entrypoint string
+
+	// BinarySize synthesises an opaque binary payload of roughly this
+	// many bytes (default 1 KiB), standing in for the real DLL and
+	// making package-transfer costs observable.
+	BinarySize int
+
+	// Compressible selects a repetitive payload (deflates well) instead
+	// of a random one.
+	Compressible bool
+
+	// Platforms lists (os, processor) pairs to emit implementations
+	// for; empty means one "any/any" implementation.
+	Platforms [][2]string
+
+	// Optional static properties.
+	Deps         []xmldesc.Dependency
+	Mobility     string
+	Replication  string
+	Splittable   bool
+	Gather       string
+	Lifecycle    string
+	MaxInstances int
+	QoS          xmldesc.QoS
+	Framework    []string
+}
+
+// Provide appends a provides port.
+func (s *Spec) Provide(name, repoID string) *Spec {
+	s.Ports = append(s.Ports, xmldesc.Port{Kind: xmldesc.PortProvides, Name: name, RepoID: repoID})
+	return s
+}
+
+// Use appends a uses port.
+func (s *Spec) Use(name, repoID string, optional bool) *Spec {
+	s.Ports = append(s.Ports, xmldesc.Port{Kind: xmldesc.PortUses, Name: name, RepoID: repoID, Optional: optional})
+	return s
+}
+
+// Emit appends an emits port.
+func (s *Spec) Emit(name, eventID string) *Spec {
+	s.Ports = append(s.Ports, xmldesc.Port{Kind: xmldesc.PortEmits, Name: name, RepoID: eventID})
+	return s
+}
+
+// Consume appends a consumes port.
+func (s *Spec) Consume(name, eventID string, optional bool) *Spec {
+	s.Ports = append(s.Ports, xmldesc.Port{Kind: xmldesc.PortConsumes, Name: name, RepoID: eventID, Optional: optional})
+	return s
+}
+
+// RepoID returns the component type's repository ID.
+func (s *Spec) RepoID() string { return "IDL:corbalc/components/" + s.Name + ":1.0" }
+
+// Build synthesises, signs nothing, and loads the component.
+func (s *Spec) Build() (*Component, error) {
+	pkg, err := s.BuildPackage()
+	if err != nil {
+		return nil, err
+	}
+	return Load(pkg)
+}
+
+// BuildPackage synthesises the package archive only.
+func (s *Spec) BuildPackage() (*cpkg.Package, error) {
+	if s.Name == "" {
+		return nil, fmt.Errorf("component: spec needs a name")
+	}
+	ver := s.Version
+	if ver == "" {
+		ver = "1.0.0"
+	}
+	entry := s.Entrypoint
+	if entry == "" {
+		entry = "corbalc/" + s.Name + ".New"
+	}
+
+	platforms := s.Platforms
+	if len(platforms) == 0 {
+		platforms = [][2]string{{"any", "any"}}
+	}
+	size := s.BinarySize
+	if size <= 0 {
+		size = 1024
+	}
+
+	sp := &xmldesc.SoftPkg{
+		Name:         s.Name,
+		Version:      ver,
+		Title:        s.Title,
+		Dependencies: s.Deps,
+		Descriptor:   xmldesc.FileRef{Name: cpkg.ComponentTypeFile},
+		Mobility:     s.Mobility,
+		Replication:  s.Replication,
+		Aggregation:  xmldesc.Aggregation{Splittable: s.Splittable, Gather: s.Gather},
+	}
+	binaries := make(map[string][]byte, len(platforms))
+	rng := rand.New(rand.NewSource(int64(len(s.Name)) + int64(size)))
+	for _, pl := range platforms {
+		file := fmt.Sprintf("bin/%s-%s-%s.bin", s.Name, pl[0], pl[1])
+		sp.Implementations = append(sp.Implementations, xmldesc.Implementation{
+			ID:        pl[0] + "-" + pl[1],
+			OS:        pl[0],
+			Processor: pl[1],
+			ORB:       "corbalc",
+			Code: xmldesc.CodeRef{
+				Type:       "GoRegistered",
+				File:       xmldesc.FileRef{Name: file},
+				EntryPoint: entry,
+			},
+		})
+		payload := make([]byte, size)
+		if s.Compressible {
+			for i := range payload {
+				payload[i] = byte(i % 16)
+			}
+		} else {
+			rng.Read(payload)
+		}
+		binaries[file] = payload
+	}
+
+	var fw []xmldesc.ServiceReq
+	for _, name := range s.Framework {
+		fw = append(fw, xmldesc.ServiceReq{Name: name})
+	}
+	ct := &xmldesc.ComponentType{
+		Name:      s.Name,
+		RepoID:    s.RepoID(),
+		Ports:     s.Ports,
+		Factory:   xmldesc.Factory{Lifecycle: s.Lifecycle, MaxInstances: s.MaxInstances},
+		QoS:       s.QoS,
+		Framework: fw,
+	}
+
+	idlFiles := s.IDL
+	if idlFiles == nil {
+		idlFiles = map[string]string{}
+	}
+	for path := range idlFiles {
+		sp.IDLFiles = append(sp.IDLFiles, xmldesc.FileRef{Name: path})
+	}
+
+	b := &cpkg.Builder{SoftPkg: sp, ComponentType: ct, IDL: idlFiles, Binaries: binaries}
+	data, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return cpkg.Open(data)
+}

@@ -1,0 +1,119 @@
+package container
+
+import (
+	"fmt"
+
+	"corbalc/internal/cdr"
+	"corbalc/internal/ior"
+	"corbalc/internal/xmldesc"
+)
+
+// Capsule is a migration/replication snapshot of a component instance:
+// everything another node needs (besides the component package itself)
+// to resume the instance's execution — the paper's "the component can be
+// migrated into another host (in its binary form), instantiated, and
+// then given the previous instance state to continue its execution"
+// (§2.2). Capsules are CDR-encoded so they travel inside ordinary GIOP
+// requests.
+type Capsule struct {
+	ComponentID  string
+	InstanceName string
+	State        []byte
+	DynamicPorts []xmldesc.Port
+	Connections  map[string]*ior.IOR // uses port -> provider
+}
+
+// Encode serialises the capsule.
+func (cp *Capsule) Encode(e *cdr.Encoder) {
+	e.WriteString(cp.ComponentID)
+	e.WriteString(cp.InstanceName)
+	e.WriteOctetSeq(cp.State)
+	e.WriteULong(uint32(len(cp.DynamicPorts)))
+	for _, p := range cp.DynamicPorts {
+		e.WriteString(p.Name)
+		e.WriteString(string(p.Kind))
+		e.WriteString(p.RepoID)
+		e.WriteBool(p.Optional)
+	}
+	e.WriteULong(uint32(len(cp.Connections)))
+	for port, target := range cp.Connections {
+		e.WriteString(port)
+		target.Marshal(e)
+	}
+}
+
+// Bytes renders the capsule as a standalone CDR encapsulation.
+func (cp *Capsule) Bytes() []byte {
+	e := cdr.NewEncoder(cdr.LittleEndian)
+	e.WriteEncapsulation(cdr.LittleEndian, cp.Encode)
+	return e.Bytes()
+}
+
+// DecodeCapsule parses a capsule from a decoder positioned at its start.
+func DecodeCapsule(d *cdr.Decoder) (*Capsule, error) {
+	cp := &Capsule{Connections: make(map[string]*ior.IOR)}
+	var err error
+	if cp.ComponentID, err = d.ReadString(); err != nil {
+		return nil, fmt.Errorf("capsule: component id: %w", err)
+	}
+	if cp.InstanceName, err = d.ReadString(); err != nil {
+		return nil, fmt.Errorf("capsule: instance name: %w", err)
+	}
+	if cp.State, err = d.ReadOctetSeq(); err != nil {
+		return nil, fmt.Errorf("capsule: state: %w", err)
+	}
+	n, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	if uint32(d.Remaining())/4 < n {
+		return nil, cdr.ErrTooLong
+	}
+	for i := uint32(0); i < n; i++ {
+		var p xmldesc.Port
+		if p.Name, err = d.ReadString(); err != nil {
+			return nil, err
+		}
+		kind, err := d.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		p.Kind = xmldesc.PortKind(kind)
+		if p.RepoID, err = d.ReadString(); err != nil {
+			return nil, err
+		}
+		if p.Optional, err = d.ReadBool(); err != nil {
+			return nil, err
+		}
+		cp.DynamicPorts = append(cp.DynamicPorts, p)
+	}
+	m, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	if uint32(d.Remaining())/4 < m {
+		return nil, cdr.ErrTooLong
+	}
+	for i := uint32(0); i < m; i++ {
+		port, err := d.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		target, err := ior.Unmarshal(d)
+		if err != nil {
+			return nil, err
+		}
+		cp.Connections[port] = target
+	}
+	return cp, nil
+}
+
+// DecodeCapsuleBytes parses a capsule from a standalone encapsulation
+// produced by Bytes.
+func DecodeCapsuleBytes(raw []byte) (*Capsule, error) {
+	d, err := cdr.NewDecoder(raw, cdr.LittleEndian).ReadEncapsulation()
+	if err != nil {
+		return nil, err
+	}
+	return DecodeCapsule(d)
+}

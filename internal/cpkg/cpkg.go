@@ -1,0 +1,378 @@
+// Package cpkg implements CORBA-LC component packaging (paper §2.3):
+// self-contained ".zip" archives holding the component binaries for any
+// number of platforms together with their meta-data — the softpkg and
+// componenttype XML descriptors and the IDL files.
+//
+// The packaging requirements the paper states are all covered here:
+// compression for slow links (deflate, with store as an option for
+// already-compressed payloads), modular multi-platform binaries,
+// subsetting (extracting only the binaries a tiny device needs, along
+// with the full meta-data), and authenticity via a manifest of SHA-256
+// digests signed with Ed25519.
+package cpkg
+
+import (
+	"archive/zip"
+	"bytes"
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"corbalc/internal/xmldesc"
+)
+
+// Well-known archive member names.
+const (
+	SoftPkgFile       = "META-INF/softpkg.xml"
+	ComponentTypeFile = "META-INF/componenttype.xml"
+	ManifestFile      = "META-INF/MANIFEST"
+	SignatureFile     = "META-INF/SIGNATURE"
+)
+
+// Errors returned by this package.
+var (
+	ErrNotPackage   = errors.New("cpkg: not a component package")
+	ErrNoFile       = errors.New("cpkg: file not in archive")
+	ErrBadManifest  = errors.New("cpkg: manifest does not match contents")
+	ErrBadSignature = errors.New("cpkg: signature verification failed")
+	ErrUnsigned     = errors.New("cpkg: package is unsigned")
+	ErrNoImpl       = errors.New("cpkg: no implementation for requested platform")
+)
+
+// Builder assembles a component package.
+type Builder struct {
+	SoftPkg       *xmldesc.SoftPkg
+	ComponentType *xmldesc.ComponentType
+	// IDL maps archive paths (e.g. "idl/decoder.idl") to IDL source.
+	IDL map[string]string
+	// Binaries maps archive paths (the code fileinarchive names of the
+	// softpkg implementations) to their payload bytes.
+	Binaries map[string][]byte
+	// Store disables deflate compression for binary members.
+	Store bool
+	// signer, when set, adds a signed manifest.
+	signer ed25519.PrivateKey
+}
+
+// Sign arranges for the package to carry an Ed25519-signed manifest.
+func (b *Builder) Sign(priv ed25519.PrivateKey) { b.signer = priv }
+
+// Build validates the descriptors and produces the archive bytes.
+func (b *Builder) Build() ([]byte, error) {
+	if b.SoftPkg == nil || b.ComponentType == nil {
+		return nil, fmt.Errorf("%w: missing descriptors", ErrNotPackage)
+	}
+	if err := b.SoftPkg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := b.ComponentType.Validate(); err != nil {
+		return nil, err
+	}
+	for i := range b.SoftPkg.Implementations {
+		name := b.SoftPkg.Implementations[i].Code.File.Name
+		if _, ok := b.Binaries[name]; !ok {
+			return nil, fmt.Errorf("cpkg: implementation %s: binary %q not supplied",
+				b.SoftPkg.Implementations[i].ID, name)
+		}
+	}
+
+	var spBuf, ctBuf bytes.Buffer
+	if err := b.SoftPkg.Encode(&spBuf); err != nil {
+		return nil, err
+	}
+	if err := b.ComponentType.Encode(&ctBuf); err != nil {
+		return nil, err
+	}
+
+	files := map[string][]byte{
+		SoftPkgFile:       spBuf.Bytes(),
+		ComponentTypeFile: ctBuf.Bytes(),
+	}
+	for name, src := range b.IDL {
+		files[name] = []byte(src)
+	}
+	for name, data := range b.Binaries {
+		files[name] = data
+	}
+	return writeArchive(files, b.Store, b.signer)
+}
+
+// writeArchive renders files (plus manifest/signature) as a zip.
+func writeArchive(files map[string][]byte, store bool, signer ed25519.PrivateKey) ([]byte, error) {
+	manifest := buildManifest(files)
+	files[ManifestFile] = manifest
+	if signer != nil {
+		files[SignatureFile] = []byte(hex.EncodeToString(ed25519.Sign(signer, manifest)))
+	}
+
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names) // deterministic archives
+
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	for _, name := range names {
+		method := zip.Deflate
+		if store && !strings.HasPrefix(name, "META-INF/") && !strings.HasSuffix(name, ".idl") {
+			method = zip.Store
+		}
+		w, err := zw.CreateHeader(&zip.FileHeader{Name: name, Method: method})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := w.Write(files[name]); err != nil {
+			return nil, err
+		}
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// buildManifest lists every member (except manifest/signature) with its
+// SHA-256, one "hexdigest  name" line each, sorted by name.
+func buildManifest(files map[string][]byte) []byte {
+	names := make([]string, 0, len(files))
+	for n := range files {
+		if n == ManifestFile || n == SignatureFile {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, n := range names {
+		sum := sha256.Sum256(files[n])
+		fmt.Fprintf(&sb, "%s  %s\n", hex.EncodeToString(sum[:]), n)
+	}
+	return []byte(sb.String())
+}
+
+// Package is an opened component package.
+type Package struct {
+	data []byte
+	zr   *zip.Reader
+	sp   *xmldesc.SoftPkg
+	ct   *xmldesc.ComponentType
+}
+
+// Open parses a package from its archive bytes.
+func Open(data []byte) (*Package, error) {
+	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotPackage, err)
+	}
+	p := &Package{data: data, zr: zr}
+	spRaw, err := p.File(SoftPkgFile)
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing %s", ErrNotPackage, SoftPkgFile)
+	}
+	if p.sp, err = xmldesc.ParseSoftPkg(bytes.NewReader(spRaw)); err != nil {
+		return nil, err
+	}
+	ctRaw, err := p.File(ComponentTypeFile)
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing %s", ErrNotPackage, ComponentTypeFile)
+	}
+	if p.ct, err = xmldesc.ParseComponentType(bytes.NewReader(ctRaw)); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Bytes returns the raw archive (what travels between nodes).
+func (p *Package) Bytes() []byte { return p.data }
+
+// Size returns the archive size in bytes.
+func (p *Package) Size() int { return len(p.data) }
+
+// SoftPkg returns the static-dimension descriptor.
+func (p *Package) SoftPkg() *xmldesc.SoftPkg { return p.sp }
+
+// ComponentType returns the dynamic-dimension descriptor.
+func (p *Package) ComponentType() *xmldesc.ComponentType { return p.ct }
+
+// Names lists the archive members in order.
+func (p *Package) Names() []string {
+	out := make([]string, 0, len(p.zr.File))
+	for _, f := range p.zr.File {
+		out = append(out, f.Name)
+	}
+	return out
+}
+
+// File extracts one member's contents.
+func (p *Package) File(name string) ([]byte, error) {
+	for _, f := range p.zr.File {
+		if f.Name == name {
+			rc, err := f.Open()
+			if err != nil {
+				return nil, err
+			}
+			defer rc.Close()
+			return io.ReadAll(rc)
+		}
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNoFile, name)
+}
+
+// IDLSources returns the IDL members (path -> source).
+func (p *Package) IDLSources() (map[string]string, error) {
+	out := make(map[string]string)
+	for _, f := range p.zr.File {
+		if strings.HasSuffix(f.Name, ".idl") {
+			data, err := p.File(f.Name)
+			if err != nil {
+				return nil, err
+			}
+			out[f.Name] = string(data)
+		}
+	}
+	return out, nil
+}
+
+// Binary returns the payload of the implementation matching the platform
+// tuple, with the implementation record.
+func (p *Package) Binary(os, processor, orb string) (*xmldesc.Implementation, []byte, error) {
+	im, ok := p.sp.FindImplementation(os, processor, orb)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s/%s/%s", ErrNoImpl, os, processor, orb)
+	}
+	data, err := p.File(im.Code.File.Name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return im, data, nil
+}
+
+// CheckManifest recomputes every member digest against the manifest.
+func (p *Package) CheckManifest() error {
+	manifest, err := p.File(ManifestFile)
+	if err != nil {
+		return fmt.Errorf("%w: no manifest", ErrBadManifest)
+	}
+	want := make(map[string]string)
+	for _, line := range strings.Split(strings.TrimSpace(string(manifest)), "\n") {
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, "  ", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("%w: malformed line %q", ErrBadManifest, line)
+		}
+		want[parts[1]] = parts[0]
+	}
+	for _, f := range p.zr.File {
+		if f.Name == ManifestFile || f.Name == SignatureFile {
+			continue
+		}
+		digest, ok := want[f.Name]
+		if !ok {
+			return fmt.Errorf("%w: %s not in manifest", ErrBadManifest, f.Name)
+		}
+		data, err := p.File(f.Name)
+		if err != nil {
+			return err
+		}
+		sum := sha256.Sum256(data)
+		if hex.EncodeToString(sum[:]) != digest {
+			return fmt.Errorf("%w: digest mismatch for %s", ErrBadManifest, f.Name)
+		}
+		delete(want, f.Name)
+	}
+	if len(want) > 0 {
+		return fmt.Errorf("%w: manifest names absent members", ErrBadManifest)
+	}
+	return nil
+}
+
+// Verify checks the manifest digests and its Ed25519 signature against
+// the component writer's public key (paper §2.1.1: "the installer must
+// be sure of who really made this component by verifying the component's
+// cryptographic signature").
+func (p *Package) Verify(pub ed25519.PublicKey) error {
+	if err := p.CheckManifest(); err != nil {
+		return err
+	}
+	sigHex, err := p.File(SignatureFile)
+	if err != nil {
+		return ErrUnsigned
+	}
+	sig, err := hex.DecodeString(strings.TrimSpace(string(sigHex)))
+	if err != nil {
+		return fmt.Errorf("%w: undecodable signature", ErrBadSignature)
+	}
+	manifest, err := p.File(ManifestFile)
+	if err != nil {
+		return fmt.Errorf("%w: no manifest", ErrBadManifest)
+	}
+	if !ed25519.Verify(pub, manifest, sig) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Subset produces a new package containing the full meta-data (and IDL)
+// but only the binaries of the named implementations. Tiny devices use
+// it to fetch a component without the fat platform variants (§2.3). The
+// softpkg descriptor in the subset lists only the kept implementations;
+// the subset is re-signed if signer is non-nil, since its manifest
+// differs from the original.
+func (p *Package) Subset(signer ed25519.PrivateKey, implIDs ...string) ([]byte, error) {
+	keep := make(map[string]bool, len(implIDs))
+	for _, id := range implIDs {
+		keep[id] = true
+	}
+	sub := *p.sp
+	sub.Implementations = nil
+	binaries := make(map[string]bool)
+	for _, im := range p.sp.Implementations {
+		if keep[im.ID] {
+			sub.Implementations = append(sub.Implementations, im)
+			binaries[im.Code.File.Name] = true
+			delete(keep, im.ID)
+		}
+	}
+	if len(keep) > 0 {
+		return nil, fmt.Errorf("%w: unknown implementation ids %v", ErrNoImpl, keysOf(keep))
+	}
+	if len(sub.Implementations) == 0 {
+		return nil, fmt.Errorf("%w: subset would keep no implementation", ErrNoImpl)
+	}
+
+	var spBuf bytes.Buffer
+	if err := sub.Encode(&spBuf); err != nil {
+		return nil, err
+	}
+	files := map[string][]byte{SoftPkgFile: spBuf.Bytes()}
+	for _, f := range p.zr.File {
+		switch {
+		case f.Name == SoftPkgFile, f.Name == ManifestFile, f.Name == SignatureFile:
+			continue
+		case f.Name == ComponentTypeFile, strings.HasSuffix(f.Name, ".idl"), binaries[f.Name]:
+			data, err := p.File(f.Name)
+			if err != nil {
+				return nil, err
+			}
+			files[f.Name] = data
+		}
+	}
+	return writeArchive(files, false, signer)
+}
+
+func keysOf(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

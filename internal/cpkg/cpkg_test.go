@@ -1,0 +1,276 @@
+package cpkg
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"strings"
+	"testing"
+
+	"corbalc/internal/xmldesc"
+)
+
+// testBuilder assembles a two-implementation package with a large
+// compressible binary (to observe deflate) and a small one.
+func testBuilder() *Builder {
+	sp := &xmldesc.SoftPkg{
+		Name:    "whiteboard",
+		Version: "2.1.0",
+		Title:   "Shared Whiteboard",
+		Dependencies: []xmldesc.Dependency{
+			{Type: "Component", Name: "display", Version: ">=1.0"},
+		},
+		Implementations: []xmldesc.Implementation{
+			{
+				ID: "linux-amd64", OS: "linux", Processor: "amd64", ORB: "corbalc",
+				Code: xmldesc.CodeRef{Type: "GoRegistered", File: xmldesc.FileRef{Name: "bin/wb-linux-amd64.bin"}, EntryPoint: "whiteboard.New"},
+			},
+			{
+				ID: "pda-arm", OS: "palmos", Processor: "arm",
+				Code: xmldesc.CodeRef{Type: "Script", File: xmldesc.FileRef{Name: "bin/wb-pda.scr"}},
+			},
+		},
+		Descriptor: xmldesc.FileRef{Name: ComponentTypeFile},
+		IDLFiles:   []xmldesc.FileRef{{Name: "idl/wb.idl"}},
+		Mobility:   "movable",
+	}
+	ct := &xmldesc.ComponentType{
+		Name:   "Whiteboard",
+		RepoID: "IDL:cscw/Whiteboard:1.0",
+		Ports: []xmldesc.Port{
+			{Kind: xmldesc.PortProvides, Name: "board", RepoID: "IDL:cscw/Board:1.0"},
+			{Kind: xmldesc.PortUses, Name: "display", RepoID: "IDL:corbalc/Display:1.0"},
+		},
+	}
+	return &Builder{
+		SoftPkg:       sp,
+		ComponentType: ct,
+		IDL:           map[string]string{"idl/wb.idl": "interface Board { void stroke(in double x); };"},
+		Binaries: map[string][]byte{
+			"bin/wb-linux-amd64.bin": bytes.Repeat([]byte("NATIVE CODE "), 4096),
+			"bin/wb-pda.scr":         []byte("tiny script"),
+		},
+	}
+}
+
+func TestBuildOpenRoundTrip(t *testing.T) {
+	data, err := testBuilder().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Open(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SoftPkg().Name != "whiteboard" || p.ComponentType().Name != "Whiteboard" {
+		t.Fatalf("descriptors: %s / %s", p.SoftPkg().Name, p.ComponentType().Name)
+	}
+	if p.Size() != len(data) {
+		t.Fatal("size mismatch")
+	}
+	idl, err := p.IDLSources()
+	if err != nil || len(idl) != 1 || !strings.Contains(idl["idl/wb.idl"], "interface Board") {
+		t.Fatalf("idl = %v, %v", idl, err)
+	}
+	if err := p.CheckManifest(); err != nil {
+		t.Fatalf("manifest: %v", err)
+	}
+}
+
+func TestCompressionShrinksPackage(t *testing.T) {
+	b := testBuilder()
+	deflated, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := testBuilder()
+	b2.Store = true
+	stored, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deflated) >= len(stored) {
+		t.Fatalf("deflate (%d) not smaller than store (%d) for repetitive payload", len(deflated), len(stored))
+	}
+}
+
+func TestBinarySelection(t *testing.T) {
+	data, err := testBuilder().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := Open(data)
+	im, bin, err := p.Binary("linux", "amd64", "corbalc")
+	if err != nil || im.ID != "linux-amd64" || len(bin) == 0 {
+		t.Fatalf("binary = %+v, %d bytes, %v", im, len(bin), err)
+	}
+	im, bin, err = p.Binary("palmos", "arm", "")
+	if err != nil || im.ID != "pda-arm" || string(bin) != "tiny script" {
+		t.Fatalf("pda binary = %+v %q %v", im, bin, err)
+	}
+	if _, _, err := p.Binary("plan9", "mips", ""); !errors.Is(err, ErrNoImpl) {
+		t.Fatalf("missing platform err = %v", err)
+	}
+}
+
+func TestSignAndVerify(t *testing.T) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := testBuilder()
+	b.Sign(priv)
+	data, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Open(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(pub); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	// Wrong key.
+	otherPub, _, _ := ed25519.GenerateKey(rand.Reader)
+	if err := p.Verify(otherPub); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("wrong key err = %v", err)
+	}
+}
+
+func TestVerifyUnsigned(t *testing.T) {
+	data, err := testBuilder().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := Open(data)
+	pub, _, _ := ed25519.GenerateKey(rand.Reader)
+	if err := p.Verify(pub); !errors.Is(err, ErrUnsigned) {
+		t.Fatalf("unsigned err = %v", err)
+	}
+}
+
+func TestTamperDetection(t *testing.T) {
+	pub, priv, _ := ed25519.GenerateKey(rand.Reader)
+	b := testBuilder()
+	b.Sign(priv)
+	data, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside the stored archive payload region. zip files
+	// keep member data inline, so this corrupts some member; either the
+	// zip layer or the manifest check must catch it.
+	tampered := append([]byte(nil), data...)
+	tampered[len(tampered)/2] ^= 0xFF
+	p, err := Open(tampered)
+	if err != nil {
+		return // corrupted at the container level: detected
+	}
+	if err := p.Verify(pub); err == nil {
+		t.Fatal("tampered package verified")
+	}
+}
+
+func TestSubsetForTinyDevice(t *testing.T) {
+	pub, priv, _ := ed25519.GenerateKey(rand.Reader)
+	b := testBuilder()
+	b.Sign(priv)
+	full, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := Open(full)
+
+	sub, err := p.Subset(priv, "pda-arm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) >= len(full) {
+		t.Fatalf("subset (%d) not smaller than full (%d)", len(sub), len(full))
+	}
+	sp, err := Open(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Meta-data intact, fat binary gone, descriptor lists only the kept
+	// implementation.
+	if sp.ComponentType().Name != "Whiteboard" {
+		t.Error("componenttype lost in subset")
+	}
+	if got := len(sp.SoftPkg().Implementations); got != 1 {
+		t.Fatalf("subset implementations = %d", got)
+	}
+	if _, err := sp.File("bin/wb-linux-amd64.bin"); !errors.Is(err, ErrNoFile) {
+		t.Error("fat binary still present in subset")
+	}
+	if _, _, err := sp.Binary("palmos", "arm", ""); err != nil {
+		t.Errorf("pda binary missing from subset: %v", err)
+	}
+	if err := sp.Verify(pub); err != nil {
+		t.Errorf("subset verify: %v", err)
+	}
+	// Unknown implementation id.
+	if _, err := p.Subset(nil, "nope"); !errors.Is(err, ErrNoImpl) {
+		t.Errorf("unknown impl err = %v", err)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	b := testBuilder()
+	delete(b.Binaries, "bin/wb-pda.scr")
+	if _, err := b.Build(); err == nil {
+		t.Error("missing binary accepted")
+	}
+	b = testBuilder()
+	b.SoftPkg.Version = "bogus"
+	if _, err := b.Build(); err == nil {
+		t.Error("invalid softpkg accepted")
+	}
+	b = testBuilder()
+	b.ComponentType.RepoID = "nope"
+	if _, err := b.Build(); err == nil {
+		t.Error("invalid componenttype accepted")
+	}
+	if _, err := (&Builder{}).Build(); !errors.Is(err, ErrNotPackage) {
+		t.Error("empty builder accepted")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open([]byte("not a zip")); !errors.Is(err, ErrNotPackage) {
+		t.Errorf("garbage err = %v", err)
+	}
+	// A zip without descriptors is not a package.
+	var buf bytes.Buffer
+	data, _ := writeArchive(map[string][]byte{"random.txt": []byte("x")}, false, nil)
+	buf.Write(data)
+	if _, err := Open(buf.Bytes()); !errors.Is(err, ErrNotPackage) {
+		t.Errorf("descriptor-less zip err = %v", err)
+	}
+}
+
+func BenchmarkBuildPackage(b *testing.B) {
+	bl := testBuilder()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bl.Build(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOpenPackage(b *testing.B) {
+	data, err := testBuilder().Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Open(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

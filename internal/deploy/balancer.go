@@ -1,0 +1,156 @@
+package deploy
+
+import (
+	"fmt"
+	"sort"
+
+	"corbalc/internal/component"
+	"corbalc/internal/container"
+	"corbalc/internal/node"
+)
+
+// Balancer implements the run-time load balancing the paper assigns to
+// the Distributed Registry ("network resource monitoring and component
+// instance migration and replication to achieve load balancing",
+// §2.4.3): it watches a set of nodes' resource reports and migrates
+// movable instances from overloaded nodes to underloaded ones through
+// the capsule mechanism.
+//
+// The balancer is a management-plane object: it runs wherever the
+// acting MRM runs and manipulates nodes through their public node API
+// (the same operations the CORBA acceptor exposes).
+type Balancer struct {
+	// Threshold is the load-fraction gap above the mean that makes a
+	// node a migration source (default 0.25).
+	Threshold float64
+	// MaxPerStep bounds migrations per Step call (default 1).
+	MaxPerStep int
+}
+
+// loadedNode pairs a node with its report snapshot.
+type loadedNode struct {
+	n      *node.Node
+	report node.Report
+}
+
+// Migration describes one completed move.
+type Migration struct {
+	Instance    string
+	ComponentID string
+	From, To    string
+}
+
+// Step inspects the nodes and performs up to MaxPerStep migrations,
+// returning what moved.
+func (b *Balancer) Step(nodes []*node.Node) ([]Migration, error) {
+	threshold := b.Threshold
+	if threshold <= 0 {
+		threshold = 0.25
+	}
+	maxMoves := b.MaxPerStep
+	if maxMoves <= 0 {
+		maxMoves = 1
+	}
+
+	snapshot := make([]loadedNode, 0, len(nodes))
+	mean := 0.0
+	for _, n := range nodes {
+		r := n.Report()
+		snapshot = append(snapshot, loadedNode{n: n, report: r})
+		mean += r.LoadFraction()
+	}
+	if len(snapshot) < 2 {
+		return nil, nil
+	}
+	mean /= float64(len(snapshot))
+
+	// Sources: most loaded first. Targets: least loaded first.
+	sources := append([]loadedNode(nil), snapshot...)
+	sort.Slice(sources, func(i, j int) bool {
+		return sources[i].report.LoadFraction() > sources[j].report.LoadFraction()
+	})
+	targets := append([]loadedNode(nil), snapshot...)
+	sort.Slice(targets, func(i, j int) bool {
+		return targets[i].report.LoadFraction() < targets[j].report.LoadFraction()
+	})
+
+	var moves []Migration
+	for _, src := range sources {
+		if len(moves) >= maxMoves {
+			break
+		}
+		if src.report.LoadFraction() <= mean+threshold {
+			break // sorted: nobody further is overloaded either
+		}
+		mig, ok := b.migrateOne(src.n, targets, mean)
+		if ok {
+			moves = append(moves, mig)
+		}
+	}
+	return moves, nil
+}
+
+// migrateOne moves one movable instance off src to the best target.
+func (b *Balancer) migrateOne(src *node.Node, targets []loadedNode, mean float64) (Migration, bool) {
+	for id, insts := range src.Instances() {
+		comp, ok := src.Repo().Get(id)
+		if !ok || !comp.Movable() || len(insts) == 0 {
+			continue
+		}
+		qos := comp.Type().QoS
+		for _, tgt := range targets {
+			if tgt.n.Name() == src.Name() {
+				continue
+			}
+			if tgt.report.LoadFraction() >= mean {
+				break // sorted ascending: no better target exists
+			}
+			if !tgt.n.Resources().CanHost(qos) {
+				continue
+			}
+			mi := insts[0]
+			if err := b.moveInstance(src, tgt.n, comp, mi); err != nil {
+				continue
+			}
+			return Migration{
+				Instance:    mi.Name(),
+				ComponentID: id.String(),
+				From:        src.Name(),
+				To:          tgt.n.Name(),
+			}, true
+		}
+	}
+	return Migration{}, false
+}
+
+// moveInstance performs capture -> (install if needed) -> restore.
+func (b *Balancer) moveInstance(src, dst *node.Node, comp *component.Component, mi *container.ManagedInstance) error {
+	if _, ok := dst.Repo().Get(comp.ID()); !ok {
+		if _, err := dst.Install(comp.Package().Bytes()); err != nil {
+			return fmt.Errorf("deploy: installing %s on %s: %w", comp.ID(), dst.Name(), err)
+		}
+	}
+	srcCt, err := src.ContainerFor(comp.ID())
+	if err != nil {
+		return err
+	}
+	capsule, err := srcCt.Migrate(mi.Name())
+	if err != nil {
+		return err
+	}
+	dstCt, err := dst.ContainerFor(comp.ID())
+	if err != nil {
+		// The instance is already gone from src; try to put it back.
+		if _, rerr := srcCt.Restore(capsule); rerr != nil {
+			return fmt.Errorf("deploy: migration lost instance %s: %v (restore: %w)", mi.Name(), err, rerr)
+		}
+		return err
+	}
+	if _, err := dstCt.Restore(capsule); err != nil {
+		if _, rerr := srcCt.Restore(capsule); rerr != nil {
+			return fmt.Errorf("deploy: migration lost instance %s: %v (restore: %w)", mi.Name(), err, rerr)
+		}
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package deploy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"corbalc/internal/cdr"
+	"corbalc/internal/cohesion"
+	"corbalc/internal/orb"
+)
+
+// NetBalancer is the fully distributed load balancer: it runs wherever
+// the acting MRM runs and manipulates member nodes purely through their
+// CORBA services (registry, acceptor), the way the paper assigns the
+// role to the Distributed Registry ("network resource monitoring and
+// component instance migration ... to achieve load balancing", §2.4.3;
+// "this determination can be taken by the container in collaboration
+// with the network", §2.2). Contrast with Balancer, the in-process
+// management-plane variant used by the experiment harness.
+type NetBalancer struct {
+	// ORB performs the calls (typically the MRM node's ORB).
+	ORB *orb.ORB
+	// Threshold is the load gap over the mean that marks a source
+	// (default 0.25).
+	Threshold float64
+}
+
+// ErrNothingToMove reports that no migration was possible (balanced, or
+// no movable instances fit anywhere).
+var ErrNothingToMove = errors.New("deploy: no migration possible")
+
+// Step examines the MRM's member view and performs at most one
+// migration over CORBA, returning what moved.
+func (nb *NetBalancer) Step(view []cohesion.MemberView) (*Migration, error) {
+	threshold := nb.Threshold
+	if threshold <= 0 {
+		threshold = 0.25
+	}
+	if len(view) < 2 {
+		return nil, ErrNothingToMove
+	}
+	mean := 0.0
+	for _, m := range view {
+		mean += m.Report.LoadFraction()
+	}
+	mean /= float64(len(view))
+
+	sources := append([]cohesion.MemberView(nil), view...)
+	sort.Slice(sources, func(i, j int) bool {
+		return sources[i].Report.LoadFraction() > sources[j].Report.LoadFraction()
+	})
+	targets := append([]cohesion.MemberView(nil), view...)
+	sort.Slice(targets, func(i, j int) bool {
+		return targets[i].Report.LoadFraction() < targets[j].Report.LoadFraction()
+	})
+
+	for _, src := range sources {
+		if src.Report.LoadFraction() <= mean+threshold {
+			break
+		}
+		mig, err := nb.migrateFrom(src, targets, mean)
+		if err == nil {
+			return mig, nil
+		}
+	}
+	return nil, ErrNothingToMove
+}
+
+// movableComponents indexes the source's offers by component ID,
+// keeping only movable ones.
+func movableComponents(src cohesion.MemberView) map[string]bool {
+	out := make(map[string]bool)
+	for _, of := range src.Offers {
+		if of.Movable {
+			out[of.ComponentID] = true
+		}
+	}
+	return out
+}
+
+func (nb *NetBalancer) migrateFrom(src cohesion.MemberView, targets []cohesion.MemberView, mean float64) (*Migration, error) {
+	movable := movableComponents(src)
+	if len(movable) == 0 {
+		return nil, ErrNothingToMove
+	}
+	// Enumerate the source's running instances through its registry.
+	type pair struct{ comp, inst string }
+	var pairs []pair
+	reg := nb.ORB.NewRef(src.Desc.Registry)
+	err := reg.Invoke("list_instances", nil, func(d *cdr.Decoder) error {
+		n, err := d.ReadULong()
+		if err != nil {
+			return err
+		}
+		for i := uint32(0); i < n; i++ {
+			comp, err := d.ReadString()
+			if err != nil {
+				return err
+			}
+			inst, err := d.ReadString()
+			if err != nil {
+				return err
+			}
+			pairs = append(pairs, pair{comp, inst})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, p := range pairs {
+		if !movable[p.comp] {
+			continue
+		}
+		for _, tgt := range targets {
+			if tgt.Desc.Name == src.Desc.Name || tgt.Report.LoadFraction() >= mean {
+				continue
+			}
+			if err := nb.moveOver(src, tgt, p.comp, p.inst); err != nil {
+				continue
+			}
+			return &Migration{
+				Instance:    p.inst,
+				ComponentID: p.comp,
+				From:        src.Desc.Name,
+				To:          tgt.Desc.Name,
+			}, nil
+		}
+	}
+	return nil, ErrNothingToMove
+}
+
+// moveOver performs one migration entirely over CORBA:
+// ensure-installed(target) -> yield(source) -> receive(target), with a
+// best-effort local restore if the hand-off fails.
+func (nb *NetBalancer) moveOver(src, tgt cohesion.MemberView, compID, instance string) error {
+	// 1. Make sure the target has the component installed.
+	if !nb.hasComponent(tgt, compID) {
+		var pkg []byte
+		err := nb.ORB.NewRef(src.Desc.Registry).Invoke("get_package",
+			func(e *cdr.Encoder) { e.WriteString(compID) },
+			func(d *cdr.Decoder) error { var e error; pkg, e = d.ReadOctetSeq(); return e })
+		if err != nil {
+			return err
+		}
+		err = nb.ORB.NewRef(tgt.Desc.Acceptor).Invoke("install",
+			func(e *cdr.Encoder) { e.WriteOctetSeq(pkg) },
+			func(d *cdr.Decoder) error { _, e := d.ReadString(); return e })
+		if err != nil {
+			return err
+		}
+	}
+
+	// 2. Yield the instance from the source.
+	var capsule []byte
+	err := nb.ORB.NewRef(src.Desc.Acceptor).Invoke("yield_instance",
+		func(e *cdr.Encoder) { e.WriteString(compID); e.WriteString(instance) },
+		func(d *cdr.Decoder) error { var e error; capsule, e = d.ReadOctetSeq(); return e })
+	if err != nil {
+		return err
+	}
+
+	// 3. Hand it to the target; on failure put it back where it was.
+	receive := func(desc cohesion.MemberView) error {
+		return nb.ORB.NewRef(desc.Desc.Acceptor).Invoke("receive_capsule",
+			func(e *cdr.Encoder) {
+				e.WriteString(compID)
+				e.WriteOctetSeq(capsule)
+			},
+			func(d *cdr.Decoder) error { _, e := d.ReadOctets(d.Remaining()); return e })
+	}
+	if err := receive(tgt); err != nil {
+		if rerr := receive(src); rerr != nil {
+			return fmt.Errorf("deploy: instance %s lost in migration: %v (restore: %v)", instance, err, rerr)
+		}
+		return err
+	}
+	return nil
+}
+
+func (nb *NetBalancer) hasComponent(m cohesion.MemberView, compID string) bool {
+	for _, of := range m.Offers {
+		if of.ComponentID == compID {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,79 @@
+package deploy
+
+import (
+	"errors"
+	"fmt"
+
+	"corbalc/internal/component"
+	"corbalc/internal/container"
+	"corbalc/internal/node"
+)
+
+// Replication (paper §2.1.1: components declare whether their "instances
+// can be replicated, either because they are stateless or they know how
+// to interact with the framework to maintain replica consistency";
+// §2.4.3 assigns "replication to achieve load balancing and fault
+// tolerance" to the Distributed Registry).
+//
+// Replicate seeds a replica of a running instance on another node:
+//
+//   - "stateless" components get a fresh instance (nothing to copy);
+//   - "coordinated" components get a state snapshot of the primary
+//     (captured with a brief quiesce) — from then on, keeping replicas
+//     convergent is the component's declared responsibility, which is
+//     exactly the contract the paper states.
+//
+// After replication, both nodes export offers for the component's
+// ports, so clients that lose the primary re-resolve onto the replica —
+// E5-style fault tolerance at the component level.
+
+// ErrNotReplicable reports a component whose descriptor forbids
+// replication.
+var ErrNotReplicable = errors.New("deploy: component is not replicable")
+
+// Replicate copies one running instance from src to dst, returning the
+// replica's managed instance. The replica keeps the primary's instance
+// name (names are per-node).
+func Replicate(src *node.Node, id component.ID, instance string, dst *node.Node) (*container.ManagedInstance, error) {
+	comp, ok := src.Repo().Get(id)
+	if !ok {
+		return nil, fmt.Errorf("deploy: %s not installed on %s", id, src.Name())
+	}
+	mode := comp.SoftPkg().Replication
+	if mode == "" || mode == "none" {
+		return nil, fmt.Errorf("%w: %s declares replication %q", ErrNotReplicable, id, mode)
+	}
+	srcCt, err := src.ContainerFor(id)
+	if err != nil {
+		return nil, err
+	}
+	mi, ok := srcCt.Instance(instance)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", container.ErrNoInstance, instance)
+	}
+
+	if _, ok := dst.Repo().Get(id); !ok {
+		if _, err := dst.Install(comp.Package().Bytes()); err != nil {
+			return nil, fmt.Errorf("deploy: installing %s on %s: %w", id, dst.Name(), err)
+		}
+	}
+	dstCt, err := dst.ContainerFor(id)
+	if err != nil {
+		return nil, err
+	}
+
+	var capsule *container.Capsule
+	if mode == "stateless" {
+		capsule = &container.Capsule{ComponentID: id.String(), InstanceName: instance}
+	} else {
+		capsule, err = mi.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("deploy: snapshotting %s: %w", instance, err)
+		}
+	}
+	replica, err := dstCt.Restore(capsule)
+	if err != nil {
+		return nil, err
+	}
+	return replica, nil
+}

@@ -1,0 +1,269 @@
+// Package events implements the asynchronous communication substrate of
+// CORBA-LC (paper §2.1.2): for each event kind produced by a component,
+// the framework opens a push-model event channel; consumers subscribe to
+// express interest in that kind.
+//
+// A Hub manages one Channel per event type ID. Delivery to each
+// subscriber is decoupled through a bounded per-subscriber queue drained
+// by a dedicated goroutine, so one slow consumer cannot stall producers
+// or its peers; the overflow policy is configurable (block vs drop
+// oldest).
+package events
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Event is one occurrence pushed through a channel. The payload is
+// opaque to the framework (producers typically CDR-encode it against the
+// event's IDL type).
+type Event struct {
+	// TypeID is the event kind's repository ID, e.g.
+	// "IDL:media/FrameReady:1.0".
+	TypeID string
+	// Source names the emitting component instance.
+	Source string
+	// Seq is the channel-assigned publication sequence number.
+	Seq uint64
+	// Data is the payload.
+	Data []byte
+}
+
+// Consumer receives events; it runs on the subscriber's delivery
+// goroutine, in publication order.
+type Consumer func(Event)
+
+// OverflowPolicy selects behaviour when a subscriber queue is full.
+type OverflowPolicy int
+
+// Overflow policies.
+const (
+	// Block makes Push wait for space (backpressure).
+	Block OverflowPolicy = iota
+	// DropOldest discards the oldest queued event to admit the new one.
+	DropOldest
+)
+
+// ErrClosed reports publication on a closed channel.
+var ErrClosed = errors.New("events: channel closed")
+
+// Channel is one push event channel.
+type Channel struct {
+	typeID string
+	policy OverflowPolicy
+	depth  int
+
+	mu     sync.Mutex
+	subs   map[int]*subscriber
+	nextID int
+	closed bool
+	seq    atomic.Uint64
+
+	published atomic.Uint64
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+type subscriber struct {
+	name string
+	fn   Consumer
+	mu   sync.Mutex
+	cond *sync.Cond
+	// ring buffer
+	buf    []Event
+	start  int
+	count  int
+	closed bool
+}
+
+// NewChannel creates a channel for one event kind. depth is the
+// per-subscriber queue capacity (minimum 1).
+func NewChannel(typeID string, depth int, policy OverflowPolicy) *Channel {
+	if depth < 1 {
+		depth = 1
+	}
+	return &Channel{typeID: typeID, policy: policy, depth: depth, subs: make(map[int]*subscriber)}
+}
+
+// TypeID returns the event kind this channel carries.
+func (c *Channel) TypeID() string { return c.typeID }
+
+// Stats reports lifetime counters: published events, deliveries made
+// (one per event per subscriber) and deliveries dropped by overflow.
+func (c *Channel) Stats() (published, delivered, dropped uint64) {
+	return c.published.Load(), c.delivered.Load(), c.dropped.Load()
+}
+
+// Subscribe registers a consumer and returns a cancel function.
+func (c *Channel) Subscribe(name string, fn Consumer) (cancel func()) {
+	s := &subscriber{name: name, fn: fn, buf: make([]Event, c.depth)}
+	s.cond = sync.NewCond(&s.mu)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return func() {}
+	}
+	id := c.nextID
+	c.nextID++
+	c.subs[id] = s
+	c.mu.Unlock()
+
+	go c.deliverLoop(s)
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			c.mu.Lock()
+			delete(c.subs, id)
+			c.mu.Unlock()
+			s.close()
+		})
+	}
+}
+
+// SubscriberCount reports the current number of subscribers.
+func (c *Channel) SubscriberCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.subs)
+}
+
+// Push publishes an event to every current subscriber. The event's Seq
+// and TypeID fields are set by the channel.
+func (c *Channel) Push(ev Event) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	subs := make([]*subscriber, 0, len(c.subs))
+	for _, s := range c.subs {
+		subs = append(subs, s)
+	}
+	c.mu.Unlock()
+
+	ev.TypeID = c.typeID
+	ev.Seq = c.seq.Add(1)
+	c.published.Add(1)
+	for _, s := range subs {
+		if s.enqueue(ev, c.policy) {
+			c.delivered.Add(1)
+		} else {
+			c.dropped.Add(1)
+		}
+	}
+	return nil
+}
+
+// Close tears the channel down; subscribers' delivery loops drain and
+// exit.
+func (c *Channel) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	subs := c.subs
+	c.subs = make(map[int]*subscriber)
+	c.mu.Unlock()
+	for _, s := range subs {
+		s.close()
+	}
+}
+
+func (s *subscriber) enqueue(ev Event, policy OverflowPolicy) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.count == len(s.buf) && !s.closed {
+		if policy == DropOldest {
+			s.start = (s.start + 1) % len(s.buf)
+			s.count--
+			break
+		}
+		s.cond.Wait()
+	}
+	if s.closed {
+		return false
+	}
+	s.buf[(s.start+s.count)%len(s.buf)] = ev
+	s.count++
+	s.cond.Broadcast()
+	return true
+}
+
+func (s *subscriber) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (c *Channel) deliverLoop(s *subscriber) {
+	for {
+		s.mu.Lock()
+		for s.count == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.count == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		ev := s.buf[s.start]
+		s.start = (s.start + 1) % len(s.buf)
+		s.count--
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		s.fn(ev)
+	}
+}
+
+// Hub manages the per-event-kind channels of one node's framework.
+type Hub struct {
+	mu       sync.Mutex
+	channels map[string]*Channel
+	depth    int
+	policy   OverflowPolicy
+}
+
+// NewHub returns a hub creating channels with the given queue depth and
+// overflow policy.
+func NewHub(depth int, policy OverflowPolicy) *Hub {
+	return &Hub{channels: make(map[string]*Channel), depth: depth, policy: policy}
+}
+
+// Channel returns (creating on first use) the channel for an event kind.
+func (h *Hub) Channel(typeID string) *Channel {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c, ok := h.channels[typeID]
+	if !ok {
+		c = NewChannel(typeID, h.depth, h.policy)
+		h.channels[typeID] = c
+	}
+	return c
+}
+
+// Kinds lists the event kinds with open channels.
+func (h *Hub) Kinds() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.channels))
+	for k := range h.channels {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Close closes every channel.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	chans := h.channels
+	h.channels = make(map[string]*Channel)
+	h.mu.Unlock()
+	for _, c := range chans {
+		c.Close()
+	}
+}

@@ -1,0 +1,135 @@
+package giop
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"corbalc/internal/cdr"
+)
+
+// GIOP 1.2 fragmentation: a Request or Reply too large for one message
+// is sent with the "more fragments" flag set, followed by Fragment
+// messages whose bodies begin with the request ID and whose payloads,
+// concatenated in order, restore the original body. CORBA-LC uses this
+// for large component-package transfers so one transfer cannot hog a
+// multiplexed connection.
+//
+// Both ends of this implementation splice continuation payloads verbatim
+// after the preceding content, so any split point of the original body
+// is valid (the reassembled stream is byte-identical to the unfragmented
+// encoding).
+
+// fragmentIDLen is the fragment header: the request ID.
+const fragmentIDLen = 4
+
+// Fragmentation errors.
+var (
+	ErrNotFragmentable = errors.New("giop: only GIOP 1.2 Request/Reply messages can be fragmented")
+	ErrOrphanFragment  = errors.New("giop: fragment for an unknown request")
+	ErrFragmentState   = errors.New("giop: inconsistent fragment state")
+)
+
+// WriteMessageFragmented writes a message, splitting bodies larger than
+// maxBody across Fragment messages. maxBody <= 0 disables splitting.
+// Only GIOP 1.2 Request/Reply messages may be fragmented (their bodies
+// begin with the request ID, which the reassembler needs).
+func WriteMessageFragmented(w io.Writer, h Header, body []byte, maxBody int) error {
+	if maxBody <= 0 || len(body) <= maxBody {
+		return WriteMessage(w, h, body)
+	}
+	if h.Version != V12 || (h.Type != MsgRequest && h.Type != MsgReply) {
+		return ErrNotFragmentable
+	}
+	if maxBody < 8 {
+		maxBody = 8 // room for at least the request id and some payload
+	}
+	// The request ID leads the 1.2 header in both Request and Reply.
+	reqID, err := cdr.NewDecoderAt(body, h.Order, HeaderLen).ReadULong()
+	if err != nil {
+		return fmt.Errorf("giop: fragmenting: %w", err)
+	}
+
+	first := h
+	first.Fragment = true
+	if err := WriteMessage(w, first, body[:maxBody]); err != nil {
+		return err
+	}
+	rest := body[maxBody:]
+	for len(rest) > 0 {
+		chunk := rest
+		more := false
+		if len(chunk) > maxBody-fragmentIDLen {
+			chunk = chunk[:maxBody-fragmentIDLen]
+			more = true
+		}
+		rest = rest[len(chunk):]
+		fh := Header{Version: V12, Order: h.Order, Type: MsgFragment, Fragment: more}
+		fbody := make([]byte, 0, fragmentIDLen+len(chunk))
+		e := NewBodyEncoder(h.Order)
+		e.WriteULong(reqID)
+		fbody = append(fbody, e.Bytes()...)
+		fbody = append(fbody, chunk...)
+		if err := WriteMessage(w, fh, fbody); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reassembler accumulates fragmented messages. Feed every inbound
+// message through Add: it returns a complete message (possibly the same
+// one, when unfragmented) or nil while a reassembly is pending.
+type Reassembler struct {
+	pending map[uint32]*Message
+}
+
+// NewReassembler returns an empty reassembler.
+func NewReassembler() *Reassembler {
+	return &Reassembler{pending: make(map[uint32]*Message)}
+}
+
+// Add consumes one wire message. The returned message, when non-nil, is
+// complete and has the Fragment flag cleared.
+func (ra *Reassembler) Add(m *Message) (*Message, error) {
+	switch m.Header.Type {
+	case MsgRequest, MsgReply:
+		if !m.Header.Fragment {
+			return m, nil
+		}
+		reqID, err := cdr.NewDecoderAt(m.Body, m.Header.Order, HeaderLen).ReadULong()
+		if err != nil {
+			return nil, fmt.Errorf("%w: undecodable first fragment", ErrFragmentState)
+		}
+		if _, dup := ra.pending[reqID]; dup {
+			return nil, fmt.Errorf("%w: duplicate request id %d", ErrFragmentState, reqID)
+		}
+		// Copy: the caller may reuse the buffer.
+		cp := &Message{Header: m.Header, Body: append([]byte(nil), m.Body...)}
+		ra.pending[reqID] = cp
+		return nil, nil
+	case MsgFragment:
+		d := m.BodyDecoder()
+		reqID, err := d.ReadULong()
+		if err != nil {
+			return nil, fmt.Errorf("%w: undecodable fragment header", ErrFragmentState)
+		}
+		base, ok := ra.pending[reqID]
+		if !ok {
+			return nil, fmt.Errorf("%w: id %d", ErrOrphanFragment, reqID)
+		}
+		base.Body = append(base.Body, m.Body[fragmentIDLen:]...)
+		if m.Header.Fragment {
+			return nil, nil // more to come
+		}
+		delete(ra.pending, reqID)
+		base.Header.Fragment = false
+		base.Header.Size = uint32(len(base.Body))
+		return base, nil
+	default:
+		return m, nil
+	}
+}
+
+// Pending reports how many reassemblies are in flight (diagnostics).
+func (ra *Reassembler) Pending() int { return len(ra.pending) }

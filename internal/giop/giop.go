@@ -1,0 +1,510 @@
+// Package giop implements the General Inter-ORB Protocol message layer:
+// the 12-byte GIOP header, the Request/Reply/Locate message headers for
+// protocol versions 1.0 and 1.2, and blocking framed message I/O over any
+// io.Reader/io.Writer.
+//
+// GIOP bodies are CDR streams whose alignment is measured from the start
+// of the message (i.e. the header occupies offsets 0–11), which is why
+// the encode helpers here hand out cdr encoders pre-based at offset 12.
+package giop
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"corbalc/internal/cdr"
+)
+
+// MsgType enumerates the GIOP message kinds.
+type MsgType byte
+
+// GIOP message type codes.
+const (
+	MsgRequest         MsgType = 0
+	MsgReply           MsgType = 1
+	MsgCancelRequest   MsgType = 2
+	MsgLocateRequest   MsgType = 3
+	MsgLocateReply     MsgType = 4
+	MsgCloseConnection MsgType = 5
+	MsgMessageError    MsgType = 6
+	MsgFragment        MsgType = 7
+)
+
+var msgTypeNames = [...]string{
+	"Request", "Reply", "CancelRequest", "LocateRequest",
+	"LocateReply", "CloseConnection", "MessageError", "Fragment",
+}
+
+func (t MsgType) String() string {
+	if int(t) < len(msgTypeNames) {
+		return msgTypeNames[t]
+	}
+	return fmt.Sprintf("MsgType(%d)", byte(t))
+}
+
+// ReplyStatus enumerates the outcome codes carried in a Reply header.
+type ReplyStatus uint32
+
+// Reply status codes.
+const (
+	ReplyNoException     ReplyStatus = 0
+	ReplyUserException   ReplyStatus = 1
+	ReplySystemException ReplyStatus = 2
+	ReplyLocationForward ReplyStatus = 3
+)
+
+func (s ReplyStatus) String() string {
+	switch s {
+	case ReplyNoException:
+		return "NO_EXCEPTION"
+	case ReplyUserException:
+		return "USER_EXCEPTION"
+	case ReplySystemException:
+		return "SYSTEM_EXCEPTION"
+	case ReplyLocationForward:
+		return "LOCATION_FORWARD"
+	}
+	return fmt.Sprintf("ReplyStatus(%d)", uint32(s))
+}
+
+// LocateStatus enumerates LocateReply outcomes.
+type LocateStatus uint32
+
+// Locate status codes.
+const (
+	LocateUnknownObject LocateStatus = 0
+	LocateObjectHere    LocateStatus = 1
+	LocateObjectForward LocateStatus = 2
+)
+
+// Version is a GIOP protocol version.
+type Version struct{ Major, Minor byte }
+
+// Supported protocol versions.
+var (
+	V10 = Version{1, 0}
+	V12 = Version{1, 2}
+)
+
+func (v Version) String() string { return fmt.Sprintf("%d.%d", v.Major, v.Minor) }
+
+// HeaderLen is the fixed size of the GIOP message header.
+const HeaderLen = 12
+
+var magic = [4]byte{'G', 'I', 'O', 'P'}
+
+// Errors produced by the message layer.
+var (
+	ErrBadMagic     = errors.New("giop: bad magic")
+	ErrBadVersion   = errors.New("giop: unsupported GIOP version")
+	ErrMessageSize  = errors.New("giop: message exceeds size limit")
+	ErrShortMessage = errors.New("giop: truncated message")
+)
+
+// MaxMessageSize bounds accepted message bodies (16 MiB). Component
+// package transfers chunk below this.
+const MaxMessageSize = 16 << 20
+
+// Header is the decoded fixed GIOP header.
+type Header struct {
+	Version  Version
+	Order    cdr.ByteOrder
+	Fragment bool // more fragments follow (GIOP >= 1.1)
+	Type     MsgType
+	Size     uint32 // body size in bytes, excluding the header
+}
+
+// Message is a full GIOP message: header plus raw body bytes.
+type Message struct {
+	Header Header
+	Body   []byte
+}
+
+// BodyDecoder returns a CDR decoder over the message body with alignment
+// based at the end of the header, as GIOP requires.
+func (m *Message) BodyDecoder() *cdr.Decoder {
+	return cdr.NewDecoderAt(m.Body, m.Header.Order, HeaderLen)
+}
+
+// NewBodyEncoder returns a CDR encoder for a message body, pre-based at
+// stream offset 12 so alignment matches what BodyDecoder expects.
+func NewBodyEncoder(order cdr.ByteOrder) *cdr.Encoder {
+	return cdr.NewEncoderAt(order, HeaderLen)
+}
+
+// EncodeHeader renders the 12-byte header for a body of length size.
+func EncodeHeader(h Header, size int) [HeaderLen]byte {
+	var out [HeaderLen]byte
+	copy(out[:4], magic[:])
+	out[4] = h.Version.Major
+	out[5] = h.Version.Minor
+	flags := byte(h.Order)
+	if h.Fragment && !(h.Version.Major == 1 && h.Version.Minor == 0) {
+		flags |= 2
+	}
+	out[6] = flags
+	out[7] = byte(h.Type)
+	u := uint32(size)
+	if h.Order == cdr.BigEndian {
+		out[8], out[9], out[10], out[11] = byte(u>>24), byte(u>>16), byte(u>>8), byte(u)
+	} else {
+		out[8], out[9], out[10], out[11] = byte(u), byte(u>>8), byte(u>>16), byte(u>>24)
+	}
+	return out
+}
+
+// DecodeHeader parses a 12-byte GIOP header.
+func DecodeHeader(raw []byte) (Header, error) {
+	var h Header
+	if len(raw) < HeaderLen {
+		return h, ErrShortMessage
+	}
+	if raw[0] != 'G' || raw[1] != 'I' || raw[2] != 'O' || raw[3] != 'P' {
+		return h, ErrBadMagic
+	}
+	h.Version = Version{raw[4], raw[5]}
+	if h.Version.Major != 1 || h.Version.Minor > 2 {
+		return h, fmt.Errorf("%w: %v", ErrBadVersion, h.Version)
+	}
+	h.Order = cdr.ByteOrder(raw[6] & 1)
+	h.Fragment = raw[6]&2 != 0
+	h.Type = MsgType(raw[7])
+	if h.Order == cdr.BigEndian {
+		h.Size = uint32(raw[8])<<24 | uint32(raw[9])<<16 | uint32(raw[10])<<8 | uint32(raw[11])
+	} else {
+		h.Size = uint32(raw[11])<<24 | uint32(raw[10])<<16 | uint32(raw[9])<<8 | uint32(raw[8])
+	}
+	if h.Size > MaxMessageSize {
+		return h, ErrMessageSize
+	}
+	return h, nil
+}
+
+// WriteMessage frames and writes one message.
+func WriteMessage(w io.Writer, h Header, body []byte) error {
+	hdr := EncodeHeader(h, len(body))
+	// Single write where possible keeps the TCP segmentation friendly.
+	buf := make([]byte, 0, HeaderLen+len(body))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, body...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadMessage reads one framed message, blocking until complete.
+func ReadMessage(r io.Reader) (*Message, error) {
+	var hraw [HeaderLen]byte
+	if _, err := io.ReadFull(r, hraw[:]); err != nil {
+		return nil, err
+	}
+	h, err := DecodeHeader(hraw[:])
+	if err != nil {
+		return nil, err
+	}
+	body := make([]byte, h.Size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, ErrShortMessage
+		}
+		return nil, err
+	}
+	return &Message{Header: h, Body: body}, nil
+}
+
+// ServiceContext is one entry of a GIOP service context list; CORBA-LC
+// uses it to piggyback node identity and tracing data on requests.
+type ServiceContext struct {
+	ID   uint32
+	Data []byte
+}
+
+// Service context IDs used by CORBA-LC (vendor range).
+const (
+	SvcNodeIdentity uint32 = 0x434C4300 // "CLC\0": sender node name
+	SvcTracing      uint32 = 0x434C4301 // request hop trace
+)
+
+func encodeServiceContexts(e *cdr.Encoder, scs []ServiceContext) {
+	e.WriteULong(uint32(len(scs)))
+	for _, sc := range scs {
+		e.WriteULong(sc.ID)
+		e.WriteOctetSeq(sc.Data)
+	}
+}
+
+func decodeServiceContexts(d *cdr.Decoder) ([]ServiceContext, error) {
+	n, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	if uint32(d.Remaining())/8 < n {
+		return nil, cdr.ErrTooLong
+	}
+	out := make([]ServiceContext, n)
+	for i := range out {
+		if out[i].ID, err = d.ReadULong(); err != nil {
+			return nil, err
+		}
+		if out[i].Data, err = d.ReadOctetSeq(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RequestHeader is the version-independent view of a GIOP Request header.
+type RequestHeader struct {
+	RequestID        uint32
+	ResponseExpected bool
+	ObjectKey        []byte
+	Operation        string
+	ServiceContexts  []ServiceContext
+}
+
+// EncodeRequest encodes a Request header (for the given GIOP version) into
+// e, which must be a body encoder from NewBodyEncoder. The request body
+// arguments must be appended to e afterwards (for 1.2 callers must first
+// call AlignBody).
+func EncodeRequest(e *cdr.Encoder, v Version, h *RequestHeader) error {
+	switch v {
+	case V10:
+		encodeServiceContexts(e, h.ServiceContexts)
+		e.WriteULong(h.RequestID)
+		e.WriteBool(h.ResponseExpected)
+		e.WriteOctetSeq(h.ObjectKey)
+		e.WriteString(h.Operation)
+		e.WriteOctetSeq(nil) // requesting principal (deprecated)
+		return nil
+	case V12:
+		e.WriteULong(h.RequestID)
+		if h.ResponseExpected {
+			e.WriteOctet(3) // SYNC_WITH_TARGET
+		} else {
+			e.WriteOctet(0) // SYNC_NONE
+		}
+		e.WriteOctet(0) // reserved[3]
+		e.WriteOctet(0)
+		e.WriteOctet(0)
+		e.WriteShort(0) // target address disposition: KeyAddr
+		e.WriteOctetSeq(h.ObjectKey)
+		e.WriteString(h.Operation)
+		encodeServiceContexts(e, h.ServiceContexts)
+		return nil
+	}
+	return fmt.Errorf("%w: %v", ErrBadVersion, v)
+}
+
+// DecodeRequest parses a Request header for the given version.
+func DecodeRequest(d *cdr.Decoder, v Version) (*RequestHeader, error) {
+	h := &RequestHeader{}
+	var err error
+	switch v {
+	case V10:
+		if h.ServiceContexts, err = decodeServiceContexts(d); err != nil {
+			return nil, err
+		}
+		if h.RequestID, err = d.ReadULong(); err != nil {
+			return nil, err
+		}
+		if h.ResponseExpected, err = d.ReadBool(); err != nil {
+			return nil, err
+		}
+		if h.ObjectKey, err = d.ReadOctetSeq(); err != nil {
+			return nil, err
+		}
+		if h.Operation, err = d.ReadString(); err != nil {
+			return nil, err
+		}
+		if _, err = d.ReadOctetSeq(); err != nil { // principal
+			return nil, err
+		}
+		return h, nil
+	case V12:
+		if h.RequestID, err = d.ReadULong(); err != nil {
+			return nil, err
+		}
+		flags, err := d.ReadOctet()
+		if err != nil {
+			return nil, err
+		}
+		h.ResponseExpected = flags == 3
+		if _, err = d.ReadOctets(3); err != nil { // reserved
+			return nil, err
+		}
+		disp, err := d.ReadShort()
+		if err != nil {
+			return nil, err
+		}
+		if disp != 0 {
+			return nil, fmt.Errorf("giop: unsupported target address disposition %d", disp)
+		}
+		if h.ObjectKey, err = d.ReadOctetSeq(); err != nil {
+			return nil, err
+		}
+		if h.Operation, err = d.ReadString(); err != nil {
+			return nil, err
+		}
+		if h.ServiceContexts, err = decodeServiceContexts(d); err != nil {
+			return nil, err
+		}
+		return h, nil
+	}
+	return nil, fmt.Errorf("%w: %v", ErrBadVersion, v)
+}
+
+// ReplyHeader is the version-independent view of a GIOP Reply header.
+type ReplyHeader struct {
+	RequestID       uint32
+	Status          ReplyStatus
+	ServiceContexts []ServiceContext
+}
+
+// EncodeReply encodes a Reply header for the given version.
+func EncodeReply(e *cdr.Encoder, v Version, h *ReplyHeader) error {
+	switch v {
+	case V10:
+		encodeServiceContexts(e, h.ServiceContexts)
+		e.WriteULong(h.RequestID)
+		e.WriteULong(uint32(h.Status))
+		return nil
+	case V12:
+		e.WriteULong(h.RequestID)
+		e.WriteULong(uint32(h.Status))
+		encodeServiceContexts(e, h.ServiceContexts)
+		return nil
+	}
+	return fmt.Errorf("%w: %v", ErrBadVersion, v)
+}
+
+// DecodeReply parses a Reply header for the given version.
+func DecodeReply(d *cdr.Decoder, v Version) (*ReplyHeader, error) {
+	h := &ReplyHeader{}
+	var err error
+	switch v {
+	case V10:
+		if h.ServiceContexts, err = decodeServiceContexts(d); err != nil {
+			return nil, err
+		}
+		if h.RequestID, err = d.ReadULong(); err != nil {
+			return nil, err
+		}
+		s, err := d.ReadULong()
+		if err != nil {
+			return nil, err
+		}
+		h.Status = ReplyStatus(s)
+		return h, nil
+	case V12:
+		if h.RequestID, err = d.ReadULong(); err != nil {
+			return nil, err
+		}
+		s, err := d.ReadULong()
+		if err != nil {
+			return nil, err
+		}
+		h.Status = ReplyStatus(s)
+		if h.ServiceContexts, err = decodeServiceContexts(d); err != nil {
+			return nil, err
+		}
+		return h, nil
+	}
+	return nil, fmt.Errorf("%w: %v", ErrBadVersion, v)
+}
+
+// AlignBody pads to the 8-byte boundary that GIOP 1.2 requires between a
+// Request/Reply header and its body. It is a no-op for GIOP 1.0 and for
+// empty bodies (callers with no body must not call it).
+func AlignBody(e *cdr.Encoder, v Version) {
+	if v == V12 {
+		e.Align(8)
+	}
+}
+
+// AlignBodyDecode mirrors AlignBody on the decode side: it skips padding
+// before a non-empty 1.2 body.
+func AlignBodyDecode(d *cdr.Decoder, v Version) error {
+	if v != V12 || d.Remaining() == 0 {
+		return nil
+	}
+	pos := HeaderLen + d.Pos() // decoder base is HeaderLen
+	pad := (8 - pos%8) % 8
+	if pad > 0 {
+		if _, err := d.ReadOctets(pad); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LocateRequestHeader is a LocateRequest header (both versions carry a
+// request id and an object key; 1.2 wraps the key in a target address).
+type LocateRequestHeader struct {
+	RequestID uint32
+	ObjectKey []byte
+}
+
+// EncodeLocateRequest encodes a LocateRequest header.
+func EncodeLocateRequest(e *cdr.Encoder, v Version, h *LocateRequestHeader) error {
+	switch v {
+	case V10:
+		e.WriteULong(h.RequestID)
+		e.WriteOctetSeq(h.ObjectKey)
+		return nil
+	case V12:
+		e.WriteULong(h.RequestID)
+		e.WriteShort(0) // KeyAddr
+		e.WriteOctetSeq(h.ObjectKey)
+		return nil
+	}
+	return fmt.Errorf("%w: %v", ErrBadVersion, v)
+}
+
+// DecodeLocateRequest parses a LocateRequest header.
+func DecodeLocateRequest(d *cdr.Decoder, v Version) (*LocateRequestHeader, error) {
+	h := &LocateRequestHeader{}
+	var err error
+	if h.RequestID, err = d.ReadULong(); err != nil {
+		return nil, err
+	}
+	if v == V12 {
+		disp, err := d.ReadShort()
+		if err != nil {
+			return nil, err
+		}
+		if disp != 0 {
+			return nil, fmt.Errorf("giop: unsupported target address disposition %d", disp)
+		}
+	}
+	if h.ObjectKey, err = d.ReadOctetSeq(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// LocateReplyHeader is a LocateReply header.
+type LocateReplyHeader struct {
+	RequestID uint32
+	Status    LocateStatus
+}
+
+// EncodeLocateReply encodes a LocateReply header (same layout in 1.0/1.2).
+func EncodeLocateReply(e *cdr.Encoder, h *LocateReplyHeader) {
+	e.WriteULong(h.RequestID)
+	e.WriteULong(uint32(h.Status))
+}
+
+// DecodeLocateReply parses a LocateReply header.
+func DecodeLocateReply(d *cdr.Decoder) (*LocateReplyHeader, error) {
+	h := &LocateReplyHeader{}
+	var err error
+	if h.RequestID, err = d.ReadULong(); err != nil {
+		return nil, err
+	}
+	s, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	h.Status = LocateStatus(s)
+	return h, nil
+}

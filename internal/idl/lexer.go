@@ -1,0 +1,256 @@
+// Package idl parses the subset of OMG IDL that CORBA-LC components use
+// to describe their types, interfaces and ports: modules, typedefs,
+// enums, structs, exceptions, constants, and interfaces with attributes
+// and operations. The parsed declarations populate a Repository — a
+// runtime interface repository usable for dynamic (DII-style) request
+// marshalling, which is how CORBA-LC gets component genericity without a
+// stub compiler.
+package idl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokString
+	tokPunct // ( ) { } < > [ ] ; , : :: =
+)
+
+// token is one lexical element with its source position.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// keywords of the supported IDL subset. "unsigned" and "long" are
+// combined by the parser.
+var keywords = map[string]bool{
+	"module": true, "interface": true, "struct": true, "enum": true,
+	"typedef": true, "exception": true, "const": true, "attribute": true,
+	"readonly": true, "oneway": true, "raises": true, "in": true,
+	"out": true, "inout": true, "void": true, "boolean": true,
+	"octet": true, "char": true, "short": true, "long": true,
+	"unsigned": true, "float": true, "double": true, "string": true,
+	"sequence": true, "any": true, "Object": true,
+}
+
+// lexError is a scanning failure with position information.
+type lexError struct {
+	line, col int
+	msg       string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("idl: %d:%d: %s", e.line, e.col, e.msg)
+}
+
+// lexer turns IDL source into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return &lexError{line: l.line, col: l.col, msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// skipSpaceAndComments consumes whitespace, // and /* */ comments, and
+// preprocessor lines (#pragma, #include) which are tolerated and ignored.
+func (l *lexer) skipSpaceAndComments() error {
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return nil
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#':
+			for {
+				c, ok := l.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				l.advance()
+			}
+		case c == '/':
+			if l.pos+1 >= len(l.src) {
+				return nil
+			}
+			switch l.src[l.pos+1] {
+			case '/':
+				for {
+					c, ok := l.peekByte()
+					if !ok || c == '\n' {
+						break
+					}
+					l.advance()
+				}
+			case '*':
+				l.advance()
+				l.advance()
+				closed := false
+				for l.pos < len(l.src) {
+					if l.src[l.pos] == '*' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+						l.advance()
+						l.advance()
+						closed = true
+						break
+					}
+					l.advance()
+				}
+				if !closed {
+					return l.errorf("unterminated block comment")
+				}
+			default:
+				return nil
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// next scans the following token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	startLine, startCol := l.line, l.col
+	c, ok := l.peekByte()
+	if !ok {
+		return token{kind: tokEOF, line: startLine, col: startCol}, nil
+	}
+	switch {
+	case isIdentStart(rune(c)):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: startLine, col: startCol}, nil
+	case c >= '0' && c <= '9' || c == '-':
+		start := l.pos
+		l.advance()
+		for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' ||
+			l.src[l.pos] == 'x' || l.src[l.pos] == 'X' ||
+			l.src[l.pos] >= 'a' && l.src[l.pos] <= 'f' ||
+			l.src[l.pos] >= 'A' && l.src[l.pos] <= 'F') {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		if text == "-" {
+			return token{}, l.errorf("stray '-'")
+		}
+		return token{kind: tokInt, text: text, line: startLine, col: startCol}, nil
+	case c == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			c, ok := l.peekByte()
+			if !ok {
+				return token{}, l.errorf("unterminated string literal")
+			}
+			l.advance()
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				e, ok := l.peekByte()
+				if !ok {
+					return token{}, l.errorf("unterminated escape")
+				}
+				l.advance()
+				switch e {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '\\', '"':
+					sb.WriteByte(e)
+				default:
+					return token{}, l.errorf("unknown escape \\%c", e)
+				}
+				continue
+			}
+			sb.WriteByte(c)
+		}
+		return token{kind: tokString, text: sb.String(), line: startLine, col: startCol}, nil
+	case c == ':':
+		l.advance()
+		if nc, ok := l.peekByte(); ok && nc == ':' {
+			l.advance()
+			return token{kind: tokPunct, text: "::", line: startLine, col: startCol}, nil
+		}
+		return token{kind: tokPunct, text: ":", line: startLine, col: startCol}, nil
+	case strings.IndexByte("(){}<>[];,=", c) >= 0:
+		l.advance()
+		return token{kind: tokPunct, text: string(c), line: startLine, col: startCol}, nil
+	default:
+		return token{}, l.errorf("unexpected character %q", c)
+	}
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }
+
+// lexAll scans the whole source (used by the parser, handy in tests).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,314 @@
+package idl
+
+import (
+	"fmt"
+	"math"
+
+	"corbalc/internal/cdr"
+	"corbalc/internal/ior"
+)
+
+// Dynamic marshalling: encode and decode Go values according to an IDL
+// type, the way the CORBA Dynamic Invocation Interface does. This lets
+// CORBA-LC tools and containers call any component port knowing only its
+// parsed IDL, with no generated stubs.
+//
+// The Go value mapping is:
+//
+//	boolean            bool
+//	octet, char        byte
+//	short              int16        unsigned short      uint16
+//	long               int32        unsigned long       uint32
+//	long long          int64        unsigned long long  uint64
+//	float              float32      double              float64
+//	string             string
+//	enum               uint32 (ordinal), validated against the labels
+//	sequence<octet>    []byte
+//	sequence<T>        []any
+//	struct/exception   map[string]any keyed by field name
+//	Object             *ior.IOR
+//
+// For integer kinds, untyped Go int is also accepted and range-checked.
+
+// Encode writes v to e according to t.
+func Encode(e *cdr.Encoder, t *Type, v any) error {
+	t = t.Resolve()
+	switch t.Kind {
+	case KindVoid:
+		return nil
+	case KindBoolean:
+		b, ok := v.(bool)
+		if !ok {
+			return typeErr(t, v)
+		}
+		e.WriteBool(b)
+	case KindOctet, KindChar:
+		b, ok := v.(byte)
+		if !ok {
+			if i, iok := asInt(v); iok && i >= 0 && i <= 255 {
+				b, ok = byte(i), true
+			}
+		}
+		if !ok {
+			return typeErr(t, v)
+		}
+		e.WriteOctet(b)
+	case KindShort:
+		i, ok := intIn(v, math.MinInt16, math.MaxInt16)
+		if !ok {
+			return typeErr(t, v)
+		}
+		e.WriteShort(int16(i))
+	case KindUShort:
+		i, ok := intIn(v, 0, math.MaxUint16)
+		if !ok {
+			return typeErr(t, v)
+		}
+		e.WriteUShort(uint16(i))
+	case KindLong:
+		i, ok := intIn(v, math.MinInt32, math.MaxInt32)
+		if !ok {
+			return typeErr(t, v)
+		}
+		e.WriteLong(int32(i))
+	case KindULong:
+		i, ok := intIn(v, 0, math.MaxUint32)
+		if !ok {
+			return typeErr(t, v)
+		}
+		e.WriteULong(uint32(i))
+	case KindLongLong:
+		i, ok := asInt(v)
+		if !ok {
+			return typeErr(t, v)
+		}
+		e.WriteLongLong(i)
+	case KindULongLong:
+		switch x := v.(type) {
+		case uint64:
+			e.WriteULongLong(x)
+		default:
+			i, ok := asInt(v)
+			if !ok || i < 0 {
+				return typeErr(t, v)
+			}
+			e.WriteULongLong(uint64(i))
+		}
+	case KindFloat:
+		f, ok := v.(float32)
+		if !ok {
+			return typeErr(t, v)
+		}
+		e.WriteFloat(f)
+	case KindDouble:
+		f, ok := v.(float64)
+		if !ok {
+			return typeErr(t, v)
+		}
+		e.WriteDouble(f)
+	case KindString:
+		s, ok := v.(string)
+		if !ok {
+			return typeErr(t, v)
+		}
+		e.WriteString(s)
+	case KindEnum:
+		i, ok := intIn(v, 0, math.MaxUint32)
+		if !ok {
+			return typeErr(t, v)
+		}
+		if int(i) >= len(t.Labels) {
+			return fmt.Errorf("idl: enum %s ordinal %d out of range (%d labels)", t.ScopedName(), i, len(t.Labels))
+		}
+		e.WriteULong(uint32(i))
+	case KindSequence:
+		if t.Elem.Resolve().Kind == KindOctet {
+			b, ok := v.([]byte)
+			if !ok {
+				return typeErr(t, v)
+			}
+			if t.Bound > 0 && uint32(len(b)) > t.Bound {
+				return boundErr(t, len(b))
+			}
+			e.WriteOctetSeq(b)
+			return nil
+		}
+		xs, ok := v.([]any)
+		if !ok {
+			return typeErr(t, v)
+		}
+		if t.Bound > 0 && uint32(len(xs)) > t.Bound {
+			return boundErr(t, len(xs))
+		}
+		e.WriteULong(uint32(len(xs)))
+		for i, x := range xs {
+			if err := Encode(e, t.Elem, x); err != nil {
+				return fmt.Errorf("element %d: %w", i, err)
+			}
+		}
+	case KindStruct, KindException:
+		m, ok := v.(map[string]any)
+		if !ok {
+			return typeErr(t, v)
+		}
+		for _, f := range t.Fields {
+			fv, present := m[f.Name]
+			if !present {
+				return fmt.Errorf("idl: struct %s missing field %q", t.ScopedName(), f.Name)
+			}
+			if err := Encode(e, f.Type, fv); err != nil {
+				return fmt.Errorf("field %s: %w", f.Name, err)
+			}
+		}
+	case KindObject, KindInterface:
+		ref, ok := v.(*ior.IOR)
+		if !ok {
+			if v == nil {
+				ref = &ior.IOR{}
+			} else {
+				return typeErr(t, v)
+			}
+		}
+		if ref == nil {
+			ref = &ior.IOR{}
+		}
+		ref.Marshal(e)
+	case KindAny:
+		return fmt.Errorf("idl: any is not supported by the dynamic marshaller")
+	default:
+		return fmt.Errorf("idl: cannot encode kind %v", t.Kind)
+	}
+	return nil
+}
+
+// Decode reads a value of type t from d.
+func Decode(d *cdr.Decoder, t *Type) (any, error) {
+	t = t.Resolve()
+	switch t.Kind {
+	case KindVoid:
+		return nil, nil
+	case KindBoolean:
+		return d.ReadBool()
+	case KindOctet, KindChar:
+		return d.ReadOctet()
+	case KindShort:
+		return d.ReadShort()
+	case KindUShort:
+		return d.ReadUShort()
+	case KindLong:
+		return d.ReadLong()
+	case KindULong:
+		return d.ReadULong()
+	case KindLongLong:
+		return d.ReadLongLong()
+	case KindULongLong:
+		return d.ReadULongLong()
+	case KindFloat:
+		return d.ReadFloat()
+	case KindDouble:
+		return d.ReadDouble()
+	case KindString:
+		return d.ReadString()
+	case KindEnum:
+		v, err := d.ReadULong()
+		if err != nil {
+			return nil, err
+		}
+		if int(v) >= len(t.Labels) {
+			return nil, fmt.Errorf("idl: enum %s ordinal %d out of range", t.ScopedName(), v)
+		}
+		return v, nil
+	case KindSequence:
+		if t.Elem.Resolve().Kind == KindOctet {
+			return d.ReadOctetSeq()
+		}
+		n, err := d.ReadULong()
+		if err != nil {
+			return nil, err
+		}
+		if t.Bound > 0 && n > t.Bound {
+			return nil, boundErr(t, int(n))
+		}
+		if uint32(d.Remaining()) < n {
+			return nil, cdr.ErrTooLong
+		}
+		xs := make([]any, n)
+		for i := range xs {
+			if xs[i], err = Decode(d, t.Elem); err != nil {
+				return nil, fmt.Errorf("element %d: %w", i, err)
+			}
+		}
+		return xs, nil
+	case KindStruct, KindException:
+		m := make(map[string]any, len(t.Fields))
+		for _, f := range t.Fields {
+			v, err := Decode(d, f.Type)
+			if err != nil {
+				return nil, fmt.Errorf("field %s: %w", f.Name, err)
+			}
+			m[f.Name] = v
+		}
+		return m, nil
+	case KindObject, KindInterface:
+		return ior.Unmarshal(d)
+	case KindAny:
+		return nil, fmt.Errorf("idl: any is not supported by the dynamic marshaller")
+	default:
+		return nil, fmt.Errorf("idl: cannot decode kind %v", t.Kind)
+	}
+}
+
+func typeErr(t *Type, v any) error {
+	return fmt.Errorf("idl: cannot encode %T as %s", v, t)
+}
+
+func boundErr(t *Type, n int) error {
+	return fmt.Errorf("idl: sequence length %d exceeds bound %d of %s", n, t.Bound, t)
+}
+
+// asInt widens any Go signed/unsigned integer to int64.
+func asInt(v any) (int64, bool) {
+	switch x := v.(type) {
+	case int:
+		return int64(x), true
+	case int8:
+		return int64(x), true
+	case int16:
+		return int64(x), true
+	case int32:
+		return int64(x), true
+	case int64:
+		return x, true
+	case uint8:
+		return int64(x), true
+	case uint16:
+		return int64(x), true
+	case uint32:
+		return int64(x), true
+	case uint64:
+		if x > math.MaxInt64 {
+			return 0, false
+		}
+		return int64(x), true
+	}
+	return 0, false
+}
+
+func intIn(v any, lo, hi int64) (int64, bool) {
+	i, ok := asInt(v)
+	if !ok || i < lo || i > hi {
+		return 0, false
+	}
+	return i, true
+}
+
+// EnumOrdinal returns the ordinal of an enum label, for callers building
+// dynamic values from symbolic names.
+func (t *Type) EnumOrdinal(label string) (uint32, bool) {
+	for i, l := range t.Labels {
+		if l == label {
+			return uint32(i), true
+		}
+	}
+	return 0, false
+}

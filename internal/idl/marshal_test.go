@@ -1,0 +1,212 @@
+package idl
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"corbalc/internal/cdr"
+	"corbalc/internal/ior"
+)
+
+func roundTrip(t *testing.T, typ *Type, v any) any {
+	t.Helper()
+	e := cdr.NewEncoder(cdr.LittleEndian)
+	if err := Encode(e, typ, v); err != nil {
+		t.Fatalf("encode %v as %s: %v", v, typ, err)
+	}
+	got, err := Decode(cdr.NewDecoder(e.Bytes(), cdr.LittleEndian), typ)
+	if err != nil {
+		t.Fatalf("decode %s: %v", typ, err)
+	}
+	return got
+}
+
+func TestPrimitiveDynamicRoundTrip(t *testing.T) {
+	cases := []struct {
+		typ *Type
+		v   any
+	}{
+		{TBoolean, true},
+		{TOctet, byte(200)},
+		{TChar, byte('x')},
+		{TShort, int16(-5)},
+		{TUShort, uint16(70)},
+		{TLong, int32(-100000)},
+		{TULong, uint32(4000000000)},
+		{TLongLong, int64(-1 << 60)},
+		{TULongLong, uint64(1) << 63},
+		{TFloat, float32(1.25)},
+		{TDouble, 2.5},
+		{TString, "dynamic"},
+	}
+	for _, tc := range cases {
+		got := roundTrip(t, tc.typ, tc.v)
+		if !reflect.DeepEqual(got, tc.v) {
+			t.Errorf("%s: got %v (%T), want %v (%T)", tc.typ, got, got, tc.v, tc.v)
+		}
+	}
+}
+
+func TestIntWideningAndRangeChecks(t *testing.T) {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	if err := Encode(e, TLong, 42); err != nil { // untyped int accepted
+		t.Fatal(err)
+	}
+	if err := Encode(e, TShort, 1<<20); err == nil {
+		t.Error("out-of-range short accepted")
+	}
+	if err := Encode(e, TULong, -1); err == nil {
+		t.Error("negative ulong accepted")
+	}
+	if err := Encode(e, TOctet, 256); err == nil {
+		t.Error("overflowing octet accepted")
+	}
+	if err := Encode(e, TULongLong, -5); err == nil {
+		t.Error("negative ulonglong accepted")
+	}
+}
+
+func TestStructEnumSequenceRoundTrip(t *testing.T) {
+	r := parseSample(t)
+	pd, _ := r.LookupType("corbalc::PortDesc")
+	val := map[string]any{
+		"name":    "graphics",
+		"kind":    uint32(1), // USES
+		"repo_id": "IDL:corbalc/Display:1.0",
+	}
+	got := roundTrip(t, pd, val).(map[string]any)
+	if got["name"] != "graphics" || got["kind"] != uint32(1) {
+		t.Fatalf("struct = %v", got)
+	}
+
+	seq := Sequence(pd)
+	vals := []any{val, map[string]any{"name": "p2", "kind": uint32(0), "repo_id": "x"}}
+	gotSeq := roundTrip(t, seq, vals).([]any)
+	if len(gotSeq) != 2 || gotSeq[1].(map[string]any)["name"] != "p2" {
+		t.Fatalf("seq = %v", gotSeq)
+	}
+
+	blob, _ := r.LookupType("corbalc::Blob")
+	b := roundTrip(t, blob, []byte{1, 2, 3}).([]byte)
+	if len(b) != 3 || b[2] != 3 {
+		t.Fatalf("blob = %v", b)
+	}
+}
+
+func TestStructMissingFieldRejected(t *testing.T) {
+	r := parseSample(t)
+	pd, _ := r.LookupType("corbalc::PortDesc")
+	e := cdr.NewEncoder(cdr.BigEndian)
+	err := Encode(e, pd, map[string]any{"name": "x"})
+	if err == nil || !strings.Contains(err.Error(), "missing field") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEnumRangeValidation(t *testing.T) {
+	r := parseSample(t)
+	pk, _ := r.LookupType("corbalc::PortKind")
+	e := cdr.NewEncoder(cdr.BigEndian)
+	if err := Encode(e, pk, uint32(9)); err == nil {
+		t.Error("out-of-range enum encode accepted")
+	}
+	e = cdr.NewEncoder(cdr.BigEndian)
+	e.WriteULong(77)
+	if _, err := Decode(cdr.NewDecoder(e.Bytes(), cdr.BigEndian), pk); err == nil {
+		t.Error("out-of-range enum decode accepted")
+	}
+}
+
+func TestBoundedSequenceEnforced(t *testing.T) {
+	seq := Sequence(TLong)
+	seq.Bound = 2
+	e := cdr.NewEncoder(cdr.BigEndian)
+	if err := Encode(e, seq, []any{int32(1), int32(2), int32(3)}); err == nil {
+		t.Error("over-bound sequence encode accepted")
+	}
+	// Decode side.
+	e = cdr.NewEncoder(cdr.BigEndian)
+	e.WriteULong(3)
+	e.WriteLong(1)
+	e.WriteLong(2)
+	e.WriteLong(3)
+	if _, err := Decode(cdr.NewDecoder(e.Bytes(), cdr.BigEndian), seq); err == nil {
+		t.Error("over-bound sequence decode accepted")
+	}
+}
+
+func TestObjectReferenceRoundTrip(t *testing.T) {
+	ref := ior.New("IDL:corbalc/Display:1.0", "host", 99, []byte("disp"))
+	got := roundTrip(t, TObject, ref).(*ior.IOR)
+	if got.TypeID != ref.TypeID {
+		t.Fatalf("ref = %+v", got)
+	}
+	// nil reference
+	gotNil := roundTrip(t, TObject, nil).(*ior.IOR)
+	if !gotNil.IsNil() {
+		t.Fatalf("nil ref = %+v", gotNil)
+	}
+}
+
+func TestHostileSequenceLength(t *testing.T) {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteULong(1 << 30)
+	if _, err := Decode(cdr.NewDecoder(e.Bytes(), cdr.BigEndian), Sequence(TLong)); err == nil {
+		t.Error("hostile sequence length accepted")
+	}
+}
+
+// Property: a randomly generated struct value round-trips through the
+// dynamic marshaller.
+func TestQuickStructRoundTrip(t *testing.T) {
+	st := &Type{Kind: KindStruct, Name: "Q", Fields: []Field{
+		{Name: "b", Type: TBoolean},
+		{Name: "n", Type: TLong},
+		{Name: "u", Type: TULongLong},
+		{Name: "d", Type: TDouble},
+		{Name: "s", Type: TString},
+		{Name: "xs", Type: Sequence(TShort)},
+	}}
+	f := func(b bool, n int32, u uint64, d float64, s string, xs []int16) bool {
+		if strings.ContainsRune(s, 0) {
+			return true
+		}
+		anyXs := make([]any, len(xs))
+		for i, x := range xs {
+			anyXs[i] = x
+		}
+		v := map[string]any{"b": b, "n": n, "u": u, "d": d, "s": s, "xs": anyXs}
+		e := cdr.NewEncoder(cdr.LittleEndian)
+		if err := Encode(e, st, v); err != nil {
+			return false
+		}
+		got, err := Decode(cdr.NewDecoder(e.Bytes(), cdr.LittleEndian), st)
+		if err != nil {
+			return false
+		}
+		m := got.(map[string]any)
+		if m["b"] != b || m["n"] != n || m["u"] != u || m["s"] != s {
+			return false
+		}
+		gd := m["d"].(float64)
+		if gd != d && !(math.IsNaN(gd) && math.IsNaN(d)) {
+			return false
+		}
+		gxs := m["xs"].([]any)
+		if len(gxs) != len(xs) {
+			return false
+		}
+		for i := range xs {
+			if gxs[i] != xs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,403 @@
+// Package iiop carries GIOP messages over TCP, providing the server side
+// (a listener that dispatches inbound requests to an ORB) and the client
+// side (a connection pool transport that multiplexes concurrent requests
+// over one connection per endpoint, demultiplexing replies by request ID).
+package iiop
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"corbalc/internal/giop"
+	"corbalc/internal/ior"
+	"corbalc/internal/orb"
+)
+
+// Handler consumes an inbound GIOP message and produces the reply (nil
+// when none is due). *orb.ORB satisfies it.
+type Handler interface {
+	HandleMessage(*giop.Message) (*giop.Message, error)
+}
+
+// DefaultMaxFragment is the body size beyond which GIOP 1.2 messages
+// are fragmented, bounding head-of-line blocking on multiplexed
+// connections (package transfers can be megabytes).
+const DefaultMaxFragment = 256 << 10
+
+// Server accepts IIOP connections and dispatches their requests.
+type Server struct {
+	handler Handler
+	ln      net.Listener
+	// MaxFragment bounds outgoing GIOP 1.2 bodies; larger replies are
+	// fragmented. Zero disables fragmentation.
+	MaxFragment int
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer returns a server dispatching to h.
+func NewServer(h Handler) *Server {
+	return &Server{handler: h, conns: make(map[net.Conn]struct{}), MaxFragment: DefaultMaxFragment}
+}
+
+// writeMaybeFragmented writes a message, fragmenting eligible large
+// GIOP 1.2 bodies.
+func writeMaybeFragmented(w io.Writer, h giop.Header, body []byte, max int) error {
+	if max > 0 && len(body) > max && h.Version == giop.V12 &&
+		(h.Type == giop.MsgRequest || h.Type == giop.MsgReply) {
+		return giop.WriteMessageFragmented(w, h, body, max)
+	}
+	return giop.WriteMessage(w, h, body)
+}
+
+// Listen binds the server to addr (e.g. "127.0.0.1:0") and starts
+// accepting in the background. It returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+// ListenAndActivate binds the server and records the resulting endpoint
+// on o so subsequently minted IORs point at this server.
+func ListenAndActivate(o *orb.ORB, addr string) (*Server, error) {
+	s := NewServer(o)
+	bound, err := s.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	host, portStr, err := net.SplitHostPort(bound.String())
+	if err != nil {
+		return nil, err
+	}
+	port, err := strconv.ParseUint(portStr, 10, 16)
+	if err != nil {
+		return nil, err
+	}
+	o.SetEndpoint(host, uint16(port))
+	return s, nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	var wmu sync.Mutex // serialises interleaved reply writes
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
+	ra := giop.NewReassembler()
+	for {
+		raw, err := giop.ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		if raw.Header.Type == giop.MsgCloseConnection {
+			return
+		}
+		m, err := ra.Add(raw)
+		if err != nil {
+			return // corrupt fragment stream: drop the connection
+		}
+		if m == nil {
+			continue // waiting for more fragments
+		}
+		reqWG.Add(1)
+		go func(m *giop.Message) {
+			defer reqWG.Done()
+			reply, err := s.handler.HandleMessage(m)
+			if err != nil || reply == nil {
+				if err != nil {
+					// Protocol-level failure: tell the peer and drop.
+					wmu.Lock()
+					_ = giop.WriteMessage(conn, giop.Header{
+						Version: m.Header.Version, Order: m.Header.Order, Type: giop.MsgMessageError,
+					}, nil)
+					wmu.Unlock()
+				}
+				return
+			}
+			wmu.Lock()
+			_ = writeMaybeFragmented(conn, reply.Header, reply.Body, s.MaxFragment)
+			wmu.Unlock()
+		}(m)
+	}
+}
+
+// Close stops accepting and closes every live connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Transport is the client-side IIOP transport, registered with an ORB to
+// serve TagInternetIOP profiles.
+type Transport struct {
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// CallTimeout bounds a single two-way request (default 30s); zero
+	// means no limit.
+	CallTimeout time.Duration
+	// MaxFragment bounds outgoing GIOP 1.2 bodies (default
+	// DefaultMaxFragment; negative disables fragmentation).
+	MaxFragment int
+}
+
+// Tag implements orb.Transport.
+func (t *Transport) Tag() uint32 { return ior.TagInternetIOP }
+
+// Endpoint implements orb.Transport.
+func (t *Transport) Endpoint(profile []byte) (string, error) {
+	p, err := ior.DecodeIIOPProfile(profile)
+	if err != nil {
+		return "", err
+	}
+	return p.Addr(), nil
+}
+
+// Dial implements orb.Transport.
+func (t *Transport) Dial(profile []byte) (orb.Channel, error) {
+	addr, err := t.Endpoint(profile)
+	if err != nil {
+		return nil, err
+	}
+	dt := t.DialTimeout
+	if dt == 0 {
+		dt = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, dt)
+	if err != nil {
+		return nil, fmt.Errorf("iiop: dial %s: %w", addr, err)
+	}
+	maxFrag := t.MaxFragment
+	if maxFrag == 0 {
+		maxFrag = DefaultMaxFragment
+	}
+	if maxFrag < 0 {
+		maxFrag = 0
+	}
+	c := &clientConn{
+		conn:        conn,
+		pending:     make(map[uint32]chan *giop.Message),
+		callTimeout: t.CallTimeout,
+		maxFragment: maxFrag,
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// clientConn multiplexes concurrent calls over one TCP connection.
+type clientConn struct {
+	conn        net.Conn
+	wmu         sync.Mutex
+	callTimeout time.Duration
+	maxFragment int
+
+	mu      sync.Mutex
+	pending map[uint32]chan *giop.Message
+	err     error
+	closed  bool
+}
+
+// errConnClosed reports a connection torn down mid-call.
+var errConnClosed = errors.New("iiop: connection closed")
+
+func (c *clientConn) readLoop() {
+	ra := giop.NewReassembler()
+	for {
+		raw, err := giop.ReadMessage(c.conn)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		m, err := ra.Add(raw)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		if m == nil {
+			continue // mid-reassembly
+		}
+		switch m.Header.Type {
+		case giop.MsgReply, giop.MsgLocateReply:
+			id, ok := peekRequestID(m)
+			if !ok {
+				c.fail(errors.New("iiop: undecodable reply header"))
+				return
+			}
+			c.mu.Lock()
+			ch := c.pending[id]
+			delete(c.pending, id)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- m
+			}
+		case giop.MsgCloseConnection:
+			c.fail(io.EOF)
+			return
+		case giop.MsgMessageError:
+			c.fail(errors.New("iiop: peer reported message error"))
+			return
+		default:
+			// Requests arriving on a client connection (bidirectional
+			// GIOP) are not supported by the lightweight profile.
+		}
+	}
+}
+
+// peekRequestID extracts the request ID from a Reply or LocateReply
+// without fully decoding it (both layouts begin with the ID in 1.2; 1.0
+// Reply prefixes a service context list that must be skipped).
+func peekRequestID(m *giop.Message) (uint32, bool) {
+	d := m.BodyDecoder()
+	if m.Header.Type == giop.MsgReply && m.Header.Version == giop.V10 {
+		h, err := giop.DecodeReply(d, giop.V10)
+		if err != nil {
+			return 0, false
+		}
+		return h.RequestID, true
+	}
+	id, err := d.ReadULong()
+	if err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
+func (c *clientConn) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	pending := c.pending
+	c.pending = make(map[uint32]chan *giop.Message)
+	c.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+	_ = c.conn.Close()
+}
+
+// Call implements orb.Channel.
+func (c *clientConn) Call(req *giop.Message, requestID uint32) (*giop.Message, error) {
+	ch := make(chan *giop.Message, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.pending[requestID] = ch
+	c.mu.Unlock()
+
+	if err := c.write(req); err != nil {
+		c.mu.Lock()
+		delete(c.pending, requestID)
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	var timeout <-chan time.Time
+	if c.callTimeout > 0 {
+		tm := time.NewTimer(c.callTimeout)
+		defer tm.Stop()
+		timeout = tm.C
+	}
+	select {
+	case m, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			if err == nil {
+				err = errConnClosed
+			}
+			return nil, err
+		}
+		return m, nil
+	case <-timeout:
+		c.mu.Lock()
+		delete(c.pending, requestID)
+		c.mu.Unlock()
+		return nil, orb.Timeout()
+	}
+}
+
+// Send implements orb.Channel (oneway requests).
+func (c *clientConn) Send(req *giop.Message) error { return c.write(req) }
+
+func (c *clientConn) write(m *giop.Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return writeMaybeFragmented(c.conn, m.Header, m.Body, c.maxFragment)
+}
+
+// Close implements orb.Channel.
+func (c *clientConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.fail(errConnClosed)
+	return nil
+}

@@ -1,0 +1,391 @@
+package iiop
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"corbalc/internal/cdr"
+	"corbalc/internal/giop"
+	"corbalc/internal/orb"
+)
+
+type calcServant struct{ sleep time.Duration }
+
+func (calcServant) RepositoryID() string { return "IDL:corbalc/test/Calc:1.0" }
+
+func (s calcServant) Invoke(op string, args *cdr.Decoder, reply *cdr.Encoder) error {
+	switch op {
+	case "square":
+		n, err := args.ReadLong()
+		if err != nil {
+			return err
+		}
+		if s.sleep > 0 {
+			time.Sleep(s.sleep)
+		}
+		reply.WriteLong(n * n)
+		return nil
+	case "slow":
+		time.Sleep(200 * time.Millisecond)
+		reply.WriteLong(1)
+		return nil
+	case "boom":
+		return &orb.UserException{ID: "IDL:corbalc/test/Overflow:1.0"}
+	}
+	return orb.BadOperation()
+}
+
+// startServer launches an ORB + IIOP server pair; the cleanup closes it.
+func startServer(t testing.TB, servantKey string, s orb.Servant) (*orb.ORB, *Server) {
+	t.Helper()
+	serverORB := orb.NewORB()
+	srv, err := ListenAndActivate(serverORB, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	serverORB.Activate(servantKey, s)
+	return serverORB, srv
+}
+
+func newClient(t testing.TB, opts ...orb.Option) *orb.ORB {
+	t.Helper()
+	c := orb.NewORB(opts...)
+	c.RegisterTransport(&Transport{CallTimeout: 5 * time.Second})
+	t.Cleanup(c.Shutdown)
+	return c
+}
+
+func TestEndToEndOverTCP(t *testing.T) {
+	serverORB, _ := startServer(t, "calc", calcServant{})
+	iorStr := serverORB.NewIOR("IDL:corbalc/test/Calc:1.0", "calc").String()
+
+	client := newClient(t)
+	ref, err := client.ResolveStr(iorStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sq int32
+	err = ref.Invoke("square",
+		func(e *cdr.Encoder) { e.WriteLong(12) },
+		func(d *cdr.Decoder) error {
+			var err error
+			sq, err = d.ReadLong()
+			return err
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sq != 144 {
+		t.Fatalf("square = %d", sq)
+	}
+}
+
+func TestEndToEndGIOP10BigEndian(t *testing.T) {
+	serverORB, _ := startServer(t, "calc", calcServant{})
+	iorStr := serverORB.NewIOR("IDL:corbalc/test/Calc:1.0", "calc").String()
+
+	client := newClient(t, orb.WithGIOPVersion(giop.V10), orb.WithByteOrder(cdr.BigEndian))
+	ref, err := client.ResolveStr(iorStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sq int32
+	err = ref.Invoke("square",
+		func(e *cdr.Encoder) { e.WriteLong(9) },
+		func(d *cdr.Decoder) error {
+			var err error
+			sq, err = d.ReadLong()
+			return err
+		})
+	if err != nil || sq != 81 {
+		t.Fatalf("sq=%d err=%v", sq, err)
+	}
+}
+
+func TestUserExceptionOverTCP(t *testing.T) {
+	serverORB, _ := startServer(t, "calc", calcServant{})
+	client := newClient(t)
+	ref := client.NewRef(serverORB.NewIOR("IDL:corbalc/test/Calc:1.0", "calc"))
+	err := ref.Invoke("boom", nil, nil)
+	if !orb.IsUserException(err, "IDL:corbalc/test/Overflow:1.0") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConcurrentCallsMultiplexed(t *testing.T) {
+	serverORB, _ := startServer(t, "calc", calcServant{sleep: 2 * time.Millisecond})
+	client := newClient(t)
+	ref := client.NewRef(serverORB.NewIOR("IDL:corbalc/test/Calc:1.0", "calc"))
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 128)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := int32(1); i <= 8; i++ {
+				n := int32(g)*100 + i
+				var sq int32
+				err := ref.Invoke("square",
+					func(e *cdr.Encoder) { e.WriteLong(n) },
+					func(d *cdr.Decoder) error {
+						var err error
+						sq, err = d.ReadLong()
+						return err
+					})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if sq != n*n {
+					errs <- fmt.Errorf("square(%d) = %d", n, sq)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// All 128 calls must have flowed through a single multiplexed
+	// connection (one cached channel per endpoint).
+	if got := serverORB.RequestsServed(); got != 128 {
+		t.Fatalf("served = %d", got)
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	serverORB, srv := startServer(t, "calc", calcServant{})
+	client := newClient(t)
+	ref := client.NewRef(serverORB.NewIOR("IDL:corbalc/test/Calc:1.0", "calc"))
+
+	// Prime the connection.
+	if err := ref.Invoke("square", func(e *cdr.Encoder) { e.WriteLong(2) }, func(d *cdr.Decoder) error {
+		_, err := d.ReadLong()
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_ = srv.Close()
+	err := ref.Invoke("square", func(e *cdr.Encoder) { e.WriteLong(3) }, nil)
+	var se *orb.SystemException
+	if !errors.As(err, &se) {
+		t.Fatalf("err after close = %v", err)
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	serverORB, _ := startServer(t, "calc", calcServant{})
+	client := orb.NewORB()
+	client.RegisterTransport(&Transport{CallTimeout: 30 * time.Millisecond})
+	t.Cleanup(client.Shutdown)
+	ref := client.NewRef(serverORB.NewIOR("IDL:corbalc/test/Calc:1.0", "calc"))
+	err := ref.Invoke("slow", nil, nil)
+	var se *orb.SystemException
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v", err)
+	}
+	// The slow reply arriving later must not corrupt a subsequent call.
+	time.Sleep(250 * time.Millisecond)
+	var sq int32
+	if err := ref.Invoke("square", func(e *cdr.Encoder) { e.WriteLong(4) }, func(d *cdr.Decoder) error {
+		var err error
+		sq, err = d.ReadLong()
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sq != 16 {
+		t.Fatalf("square = %d", sq)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	client := newClient(t)
+	// Port 1 on loopback is almost certainly closed.
+	ref, err := client.ResolveStr("corbaloc::127.0.0.1:1/nothing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	callErr := ref.Invoke("op", nil, nil)
+	var se *orb.SystemException
+	if !errors.As(callErr, &se) || se.Name != "COMM_FAILURE" {
+		t.Fatalf("err = %v", callErr)
+	}
+}
+
+func TestOnewayOverTCP(t *testing.T) {
+	serverORB, _ := startServer(t, "calc", calcServant{})
+	client := newClient(t)
+	ref := client.NewRef(serverORB.NewIOR("IDL:corbalc/test/Calc:1.0", "calc"))
+	if err := ref.InvokeOneway("square", func(e *cdr.Encoder) { e.WriteLong(3) }); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for serverORB.RequestsServed() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("oneway request never served")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func BenchmarkTCPRoundTrip(b *testing.B) {
+	serverORB := orb.NewORB()
+	srv, err := ListenAndActivate(serverORB, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	serverORB.Activate("calc", calcServant{})
+
+	client := orb.NewORB()
+	client.RegisterTransport(&Transport{})
+	defer client.Shutdown()
+	ref := client.NewRef(serverORB.NewIOR("IDL:corbalc/test/Calc:1.0", "calc"))
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := ref.Invoke("square",
+			func(e *cdr.Encoder) { e.WriteLong(7) },
+			func(d *cdr.Decoder) error { _, err := d.ReadLong(); return err })
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTCPConcurrent(b *testing.B) {
+	serverORB := orb.NewORB()
+	srv, err := ListenAndActivate(serverORB, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	serverORB.Activate("calc", calcServant{})
+
+	client := orb.NewORB()
+	client.RegisterTransport(&Transport{})
+	defer client.Shutdown()
+	ref := client.NewRef(serverORB.NewIOR("IDL:corbalc/test/Calc:1.0", "calc"))
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			err := ref.Invoke("square",
+				func(e *cdr.Encoder) { e.WriteLong(7) },
+				func(d *cdr.Decoder) error { _, err := d.ReadLong(); return err })
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// blobServant echoes large payloads, for the fragmentation tests.
+type blobServant struct{}
+
+func (blobServant) RepositoryID() string { return "IDL:corbalc/test/Blob:1.0" }
+
+func (blobServant) Invoke(op string, args *cdr.Decoder, reply *cdr.Encoder) error {
+	switch op {
+	case "echo_blob":
+		b, err := args.ReadOctetSeq()
+		if err != nil {
+			return err
+		}
+		reply.WriteOctetSeq(b)
+		return nil
+	case "make_blob":
+		n, err := args.ReadLong()
+		if err != nil {
+			return err
+		}
+		blob := make([]byte, n)
+		for i := range blob {
+			blob[i] = byte(i)
+		}
+		reply.WriteOctetSeq(blob)
+		return nil
+	}
+	return orb.BadOperation()
+}
+
+func TestFragmentedTransfersOverTCP(t *testing.T) {
+	serverORB := orb.NewORB()
+	srv, err := ListenAndActivate(serverORB, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.MaxFragment = 1024 // force reply fragmentation
+	serverORB.Activate("blob", blobServant{})
+
+	client := orb.NewORB()
+	client.RegisterTransport(&Transport{MaxFragment: 1024, CallTimeout: 10 * time.Second})
+	defer client.Shutdown()
+	ref := client.NewRef(serverORB.NewIOR("IDL:corbalc/test/Blob:1.0", "blob"))
+
+	// Large request body (fragmented on the way out) echoed back
+	// (fragmented on the way home).
+	payload := make([]byte, 100<<10)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	var got []byte
+	err = ref.Invoke("echo_blob",
+		func(e *cdr.Encoder) { e.WriteOctetSeq(payload) },
+		func(d *cdr.Decoder) error { var e error; got, e = d.ReadOctetSeq(); return e })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payload) {
+		t.Fatalf("echo = %d bytes, want %d", len(got), len(payload))
+	}
+	for i := range got {
+		if got[i] != payload[i] {
+			t.Fatalf("corruption at byte %d", i)
+		}
+	}
+
+	// Concurrent large transfers interleave fragments on one connection.
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(n int32) {
+			defer wg.Done()
+			var blob []byte
+			err := ref.Invoke("make_blob",
+				func(e *cdr.Encoder) { e.WriteLong(n) },
+				func(d *cdr.Decoder) error { var e error; blob, e = d.ReadOctetSeq(); return e })
+			if err != nil {
+				errs <- err
+				return
+			}
+			if int32(len(blob)) != n {
+				errs <- fmt.Errorf("blob = %d bytes, want %d", len(blob), n)
+				return
+			}
+			for i := range blob {
+				if blob[i] != byte(i) {
+					errs <- fmt.Errorf("blob %d corrupt at %d", n, i)
+					return
+				}
+			}
+		}(int32(8<<10 + g*4096))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+package node
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"corbalc/internal/cdr"
+	"corbalc/internal/events"
+	"corbalc/internal/ior"
+	"corbalc/internal/orb"
+)
+
+// KeyEvents is the event service's object key.
+const KeyEvents = "node/events"
+
+// EventServiceRepoID is the CORBA interface ID of the event service.
+const EventServiceRepoID = "IDL:corbalc/EventService:1.0"
+
+// EventsIOR returns the node's event service reference.
+func (n *Node) EventsIOR() *ior.IOR { return n.orb.NewIOR(EventServiceRepoID, KeyEvents) }
+
+// eventService makes a node's event hub reachable over CORBA and
+// supports cross-node event links: a bridge subscribes to a local
+// channel and forwards each event to a remote node's event service with
+// a oneway push, which is how assemblies connect an emits port on one
+// node to a consumes port on another (the push event channels of
+// §2.1.2, stretched across the network).
+type eventService struct {
+	n       *Node
+	mu      sync.Mutex
+	bridges map[string]func() // bridge id -> cancel
+	seq     atomic.Uint64
+}
+
+func newEventService(n *Node) *eventService {
+	return &eventService{n: n, bridges: make(map[string]func())}
+}
+
+func (s *eventService) RepositoryID() string { return EventServiceRepoID }
+
+func (s *eventService) Invoke(op string, args *cdr.Decoder, reply *cdr.Encoder) error {
+	switch op {
+	case "push":
+		// (type id, source, data): inject an event into the local hub.
+		typeID, err := args.ReadString()
+		if err != nil {
+			return orb.Marshal()
+		}
+		source, err := args.ReadString()
+		if err != nil {
+			return orb.Marshal()
+		}
+		data, err := args.ReadOctetSeq()
+		if err != nil {
+			return orb.Marshal()
+		}
+		_ = s.n.hub.Channel(typeID).Push(events.Event{Source: source, Data: data})
+		return nil
+
+	case "bridge":
+		// (type id, target event service IOR) -> bridge id. Events of
+		// this kind published here are forwarded to the target node.
+		typeID, err := args.ReadString()
+		if err != nil {
+			return orb.Marshal()
+		}
+		target, err := ior.Unmarshal(args)
+		if err != nil {
+			return orb.Marshal()
+		}
+		id := s.addBridge(typeID, target)
+		reply.WriteString(id)
+		return nil
+
+	case "unbridge":
+		id, err := args.ReadString()
+		if err != nil {
+			return orb.Marshal()
+		}
+		if !s.removeBridge(id) {
+			return &orb.UserException{
+				ID:      "IDL:corbalc/EventService/NoSuchBridge:1.0",
+				Payload: func(e *cdr.Encoder) { e.WriteString(id) },
+			}
+		}
+		return nil
+	}
+	return orb.BadOperation()
+}
+
+func (s *eventService) addBridge(typeID string, target *ior.IOR) string {
+	id := fmt.Sprintf("bridge-%d", s.seq.Add(1))
+	targetRef := s.n.orb.NewRef(target)
+	cancel := s.n.hub.Channel(typeID).Subscribe("bridge/"+id, func(ev events.Event) {
+		_ = targetRef.InvokeOneway("push", func(e *cdr.Encoder) {
+			e.WriteString(ev.TypeID)
+			e.WriteString(ev.Source)
+			e.WriteOctetSeq(ev.Data)
+		})
+	})
+	s.mu.Lock()
+	s.bridges[id] = cancel
+	s.mu.Unlock()
+	return id
+}
+
+func (s *eventService) removeBridge(id string) bool {
+	s.mu.Lock()
+	cancel, ok := s.bridges[id]
+	delete(s.bridges, id)
+	s.mu.Unlock()
+	if ok {
+		cancel()
+	}
+	return ok
+}
+
+func (s *eventService) close() {
+	s.mu.Lock()
+	bridges := s.bridges
+	s.bridges = make(map[string]func())
+	s.mu.Unlock()
+	for _, cancel := range bridges {
+		cancel()
+	}
+}

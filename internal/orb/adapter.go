@@ -1,0 +1,89 @@
+package orb
+
+import (
+	"sync"
+
+	"corbalc/internal/cdr"
+)
+
+// Servant is the object-adapter-side contract: a CORBA object
+// implementation that dynamically dispatches operations. Arguments arrive
+// as a CDR decoder positioned at the request body; results are written to
+// the reply encoder. Returning a *UserException produces a
+// USER_EXCEPTION reply, a *SystemException produces a SYSTEM_EXCEPTION
+// reply, and any other error maps to CORBA::UNKNOWN.
+type Servant interface {
+	// RepositoryID is the IDL interface repository ID implemented by
+	// this servant, used as the type ID of IORs that designate it.
+	RepositoryID() string
+	// Invoke executes one operation.
+	Invoke(op string, args *cdr.Decoder, reply *cdr.Encoder) error
+}
+
+// Adapter is the object adapter: a map from object keys to active
+// servants. It plays the role of a single root POA with explicit
+// activation, which is all the lightweight model needs.
+type Adapter struct {
+	mu       sync.RWMutex
+	servants map[string]Servant
+}
+
+// NewAdapter returns an empty adapter.
+func NewAdapter() *Adapter {
+	return &Adapter{servants: make(map[string]Servant)}
+}
+
+// Activate binds key to servant, replacing any previous binding.
+func (a *Adapter) Activate(key string, s Servant) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.servants[key] = s
+}
+
+// Deactivate removes the binding for key, if any.
+func (a *Adapter) Deactivate(key string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.servants, key)
+}
+
+// Resolve looks up the servant bound to key.
+func (a *Adapter) Resolve(key []byte) (Servant, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	s, ok := a.servants[string(key)]
+	return s, ok
+}
+
+// Len reports the number of active servants.
+func (a *Adapter) Len() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.servants)
+}
+
+// Keys returns a snapshot of the active object keys.
+func (a *Adapter) Keys() []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]string, 0, len(a.servants))
+	for k := range a.servants {
+		out = append(out, k)
+	}
+	return out
+}
+
+// ServantFunc adapts a function (plus repository ID) to the Servant
+// interface, for small single-purpose objects.
+type ServantFunc struct {
+	RepoID string
+	Fn     func(op string, args *cdr.Decoder, reply *cdr.Encoder) error
+}
+
+// RepositoryID implements Servant.
+func (s ServantFunc) RepositoryID() string { return s.RepoID }
+
+// Invoke implements Servant.
+func (s ServantFunc) Invoke(op string, args *cdr.Decoder, reply *cdr.Encoder) error {
+	return s.Fn(op, args, reply)
+}

@@ -1,0 +1,387 @@
+// Package orb implements the lightweight Object Request Broker at the
+// heart of CORBA-LC: an object adapter with dynamically-invoked servants,
+// GIOP request dispatch, client-side object references with pluggable
+// transports, and the CORBA exception model.
+//
+// The ORB is transport-neutral: it consumes and produces giop.Message
+// values. Transports (the real IIOP/TCP transport in internal/iiop, the
+// virtual in-process transport in internal/simnet) register themselves by
+// IOR profile tag and move those messages.
+package orb
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"corbalc/internal/cdr"
+	"corbalc/internal/giop"
+	"corbalc/internal/ior"
+)
+
+// Channel is an established duplex connection to a remote endpoint over
+// which GIOP messages travel. Call blocks until the reply whose request
+// ID matches arrives. Implementations must be safe for concurrent use.
+type Channel interface {
+	Call(req *giop.Message, requestID uint32) (*giop.Message, error)
+	Send(req *giop.Message) error
+	Close() error
+}
+
+// Transport dials endpoints named by an IOR profile it understands.
+type Transport interface {
+	// Tag is the IOR profile tag this transport consumes.
+	Tag() uint32
+	// Endpoint extracts a cache key (e.g. "host:port") from the profile.
+	Endpoint(profile []byte) (string, error)
+	// Dial opens a channel to the endpoint described by the profile.
+	Dial(profile []byte) (Channel, error)
+}
+
+// KeyExtractor is optionally implemented by transports whose profiles
+// embed the object key (vendor profiles without an accompanying IIOP
+// profile). The ORB uses it to address requests sent over that
+// transport.
+type KeyExtractor interface {
+	ObjectKey(profile []byte) ([]byte, error)
+}
+
+// IORDecorator mutates every IOR the ORB mints, letting transports add
+// their own profiles (e.g. the simnet virtual endpoint).
+type IORDecorator func(ref *ior.IOR, objectKey string)
+
+// ORB is one Object Request Broker instance. A process typically runs one
+// ORB per CORBA-LC node.
+type ORB struct {
+	id      string // unique instance identity for collocation shortcuts
+	adapter *Adapter
+	version giop.Version
+	order   cdr.ByteOrder
+
+	mu         sync.RWMutex
+	transports map[uint32]Transport
+	channels   map[string]Channel // endpoint -> live channel
+	decorators []IORDecorator
+	host       string
+	port       uint16
+
+	reqID atomic.Uint32
+
+	// Stats counters, exported for the E1 benchmarks.
+	requestsServed atomic.Uint64
+	requestsSent   atomic.Uint64
+}
+
+var orbSeq atomic.Uint64
+
+// processNonce makes ORB identities unique across processes, so the
+// in-process collocation profile of an IOR minted elsewhere can never
+// match a local ORB by accident.
+var processNonce = func() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to the PID; collisions then require PID reuse AND
+		// matching ORB sequence numbers.
+		return fmt.Sprintf("p%d", os.Getpid())
+	}
+	return hex.EncodeToString(b[:])
+}()
+
+// Option configures an ORB.
+type Option func(*ORB)
+
+// WithGIOPVersion selects the GIOP version for outgoing requests
+// (incoming requests are answered in the version they arrive in).
+func WithGIOPVersion(v giop.Version) Option { return func(o *ORB) { o.version = v } }
+
+// WithByteOrder selects the byte order of outgoing messages.
+func WithByteOrder(bo cdr.ByteOrder) Option { return func(o *ORB) { o.order = bo } }
+
+// NewORB creates an ORB with an empty adapter and no transports.
+func NewORB(opts ...Option) *ORB {
+	o := &ORB{
+		id:         fmt.Sprintf("orb-%s-%d", processNonce, orbSeq.Add(1)),
+		adapter:    NewAdapter(),
+		version:    giop.V12,
+		order:      cdr.LittleEndian,
+		transports: make(map[uint32]Transport),
+		channels:   make(map[string]Channel),
+	}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return o
+}
+
+// ID returns the ORB's process-unique identity.
+func (o *ORB) ID() string { return o.id }
+
+// Adapter returns the ORB's object adapter.
+func (o *ORB) Adapter() *Adapter { return o.adapter }
+
+// RequestsServed reports how many inbound requests this ORB dispatched.
+func (o *ORB) RequestsServed() uint64 { return o.requestsServed.Load() }
+
+// RequestsSent reports how many outbound requests this ORB issued.
+func (o *ORB) RequestsSent() uint64 { return o.requestsSent.Load() }
+
+// RegisterTransport makes a transport available for outbound calls.
+func (o *ORB) RegisterTransport(t Transport) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.transports[t.Tag()] = t
+}
+
+// AddIORDecorator registers a decorator applied to every IOR this ORB
+// mints from now on.
+func (o *ORB) AddIORDecorator(d IORDecorator) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.decorators = append(o.decorators, d)
+}
+
+// SetEndpoint records the advertised IIOP endpoint used when minting
+// IORs; the IIOP server calls it once it is listening.
+func (o *ORB) SetEndpoint(host string, port uint16) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.host, o.port = host, port
+}
+
+// Endpoint returns the advertised host and port ("" and 0 if unset).
+func (o *ORB) Endpoint() (string, uint16) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.host, o.port
+}
+
+// Activate binds a servant under key and returns an IOR designating it.
+// The IOR carries the IIOP profile (if an endpoint is set) plus an
+// in-process profile enabling collocated-call shortcutting.
+func (o *ORB) Activate(key string, s Servant) *ior.IOR {
+	o.adapter.Activate(key, s)
+	return o.NewIOR(s.RepositoryID(), key)
+}
+
+// NewIOR mints an IOR for an object key served by this ORB.
+func (o *ORB) NewIOR(typeID, key string) *ior.IOR {
+	host, port := o.Endpoint()
+	var ref *ior.IOR
+	if host != "" {
+		ref = ior.New(typeID, host, port, []byte(key))
+	} else {
+		ref = &ior.IOR{TypeID: typeID}
+	}
+	ref.AddProfile(ior.TagCorbalcInProcess, []byte(o.id+"\x00"+key))
+	o.mu.RLock()
+	decs := o.decorators
+	o.mu.RUnlock()
+	for _, d := range decs {
+		d(ref, key)
+	}
+	return ref
+}
+
+// nextRequestID returns a fresh outbound request id.
+func (o *ORB) nextRequestID() uint32 { return o.reqID.Add(1) }
+
+// HandleMessage dispatches an inbound GIOP message and returns the reply
+// message, or nil when no reply is due (oneway requests, CancelRequest).
+// Transports call this from their receive loops.
+func (o *ORB) HandleMessage(m *giop.Message) (*giop.Message, error) {
+	switch m.Header.Type {
+	case giop.MsgRequest:
+		return o.handleRequest(m)
+	case giop.MsgLocateRequest:
+		return o.handleLocateRequest(m)
+	case giop.MsgCancelRequest, giop.MsgCloseConnection:
+		return nil, nil
+	case giop.MsgMessageError:
+		return nil, errors.New("orb: peer reported message error")
+	default:
+		body := giop.NewBodyEncoder(m.Header.Order)
+		return &giop.Message{
+			Header: giop.Header{Version: m.Header.Version, Order: m.Header.Order, Type: giop.MsgMessageError},
+			Body:   body.Bytes(),
+		}, nil
+	}
+}
+
+func (o *ORB) handleRequest(m *giop.Message) (*giop.Message, error) {
+	v := m.Header.Version
+	d := m.BodyDecoder()
+	req, err := giop.DecodeRequest(d, v)
+	if err != nil {
+		return nil, fmt.Errorf("orb: bad request header: %w", err)
+	}
+	if err := giop.AlignBodyDecode(d, v); err != nil {
+		return nil, fmt.Errorf("orb: bad request body padding: %w", err)
+	}
+	o.requestsServed.Add(1)
+
+	status := giop.ReplyNoException
+	out := giop.NewBodyEncoder(m.Header.Order)
+	// Results are staged in a base-0 encoder and spliced after the reply
+	// header. The splice preserves CDR alignment because our reply
+	// headers carry no service contexts, so the body always begins at
+	// stream offset 24 — a multiple of 8 — in both GIOP 1.0 and 1.2
+	// (for 1.2, AlignBody re-checks this). TestReplyBodySpliceAlignment
+	// pins the invariant.
+	resultEnc := cdr.NewEncoder(m.Header.Order)
+
+	servant, ok := o.adapter.Resolve(req.ObjectKey)
+	var invokeErr error
+	if !ok {
+		invokeErr = ObjectNotExist()
+	} else {
+		invokeErr = safeInvoke(servant, req.Operation, d, resultEnc)
+	}
+
+	if !req.ResponseExpected {
+		return nil, nil
+	}
+
+	var se *SystemException
+	var ue *UserException
+	switch {
+	case invokeErr == nil:
+	case errors.As(invokeErr, &ue):
+		status = giop.ReplyUserException
+	case errors.As(invokeErr, &se):
+		status = giop.ReplySystemException
+	default:
+		status = giop.ReplySystemException
+		se = Unknown()
+	}
+
+	if err := giop.EncodeReply(out, v, &giop.ReplyHeader{RequestID: req.RequestID, Status: status}); err != nil {
+		return nil, err
+	}
+	switch status {
+	case giop.ReplyNoException:
+		if resultEnc.Len() > 0 {
+			giop.AlignBody(out, v)
+			out.WriteOctets(resultEnc.Bytes())
+		}
+	case giop.ReplyUserException:
+		giop.AlignBody(out, v)
+		out.WriteString(ue.ID)
+		if ue.Payload != nil {
+			ue.Payload(out)
+		}
+	case giop.ReplySystemException:
+		giop.AlignBody(out, v)
+		marshalSystemException(out, se)
+	}
+	return &giop.Message{
+		Header: giop.Header{Version: v, Order: m.Header.Order, Type: giop.MsgReply},
+		Body:   out.Bytes(),
+	}, nil
+}
+
+// safeInvoke shields the dispatch loop from servant panics, converting
+// them to CORBA::UNKNOWN as a real ORB would.
+func safeInvoke(s Servant, op string, args *cdr.Decoder, reply *cdr.Encoder) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("servant panic: %v: %w", r, Unknown())
+		}
+	}()
+	return s.Invoke(op, args, reply)
+}
+
+func (o *ORB) handleLocateRequest(m *giop.Message) (*giop.Message, error) {
+	v := m.Header.Version
+	d := m.BodyDecoder()
+	req, err := giop.DecodeLocateRequest(d, v)
+	if err != nil {
+		return nil, fmt.Errorf("orb: bad locate request: %w", err)
+	}
+	status := giop.LocateUnknownObject
+	if _, ok := o.adapter.Resolve(req.ObjectKey); ok {
+		status = giop.LocateObjectHere
+	}
+	out := giop.NewBodyEncoder(m.Header.Order)
+	giop.EncodeLocateReply(out, &giop.LocateReplyHeader{RequestID: req.RequestID, Status: status})
+	return &giop.Message{
+		Header: giop.Header{Version: v, Order: m.Header.Order, Type: giop.MsgLocateReply},
+		Body:   out.Bytes(),
+	}, nil
+}
+
+// channelFor returns (possibly opening) a channel to the endpoint
+// described by the given profile via the transport registered for tag.
+func (o *ORB) channelFor(tag uint32, profile []byte) (Channel, error) {
+	o.mu.RLock()
+	t, ok := o.transports[tag]
+	o.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("orb: no transport for profile tag %#x", tag)
+	}
+	ep, err := t.Endpoint(profile)
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("%#x/%s", tag, ep)
+
+	o.mu.RLock()
+	ch, ok := o.channels[key]
+	o.mu.RUnlock()
+	if ok {
+		return ch, nil
+	}
+
+	ch, err = t.Dial(profile)
+	if err != nil {
+		return nil, err
+	}
+	o.mu.Lock()
+	if existing, ok := o.channels[key]; ok {
+		o.mu.Unlock()
+		_ = ch.Close()
+		return existing, nil
+	}
+	o.channels[key] = ch
+	o.mu.Unlock()
+	return ch, nil
+}
+
+// dropChannel forgets a cached channel after a failure so the next call
+// re-dials.
+func (o *ORB) dropChannel(tag uint32, profile []byte) {
+	o.mu.RLock()
+	t, ok := o.transports[tag]
+	o.mu.RUnlock()
+	if !ok {
+		return
+	}
+	ep, err := t.Endpoint(profile)
+	if err != nil {
+		return
+	}
+	key := fmt.Sprintf("%#x/%s", tag, ep)
+	o.mu.Lock()
+	ch, ok := o.channels[key]
+	if ok {
+		delete(o.channels, key)
+	}
+	o.mu.Unlock()
+	if ok {
+		_ = ch.Close()
+	}
+}
+
+// Shutdown closes all cached client channels.
+func (o *ORB) Shutdown() {
+	o.mu.Lock()
+	chans := o.channels
+	o.channels = make(map[string]Channel)
+	o.mu.Unlock()
+	for _, ch := range chans {
+		_ = ch.Close()
+	}
+}

@@ -1,0 +1,337 @@
+package orb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"corbalc/internal/cdr"
+	"corbalc/internal/giop"
+	"corbalc/internal/ior"
+)
+
+// ObjectRef is a client-side reference to a (possibly remote) CORBA
+// object: the dynamic-invocation analogue of a generated stub. It is safe
+// for concurrent use.
+type ObjectRef struct {
+	orb *ORB
+	ior *ior.IOR
+}
+
+// NewRef wraps an IOR in an invocable reference bound to this ORB.
+func (o *ORB) NewRef(r *ior.IOR) *ObjectRef {
+	return &ObjectRef{orb: o, ior: r}
+}
+
+// ResolveStr parses a stringified IOR or corbaloc URL and returns a
+// reference.
+func (o *ORB) ResolveStr(s string) (*ObjectRef, error) {
+	r, err := ior.Parse(s)
+	if err != nil {
+		return nil, err
+	}
+	return o.NewRef(r), nil
+}
+
+// IOR returns the reference's underlying IOR.
+func (r *ObjectRef) IOR() *ior.IOR { return r.ior }
+
+// TypeID returns the repository ID the reference claims to implement.
+func (r *ObjectRef) TypeID() string { return r.ior.TypeID }
+
+// Marshaller writes request arguments; Unmarshaller reads reply results.
+type (
+	Marshaller   func(*cdr.Encoder)
+	Unmarshaller func(*cdr.Decoder) error
+)
+
+// Invoke performs a synchronous request: op is the operation name, args
+// (may be nil) marshals the in-parameters, result (may be nil) unmarshals
+// the reply body. User and system exceptions surface as errors (see
+// IsUserException and *SystemException).
+func (r *ObjectRef) Invoke(op string, args Marshaller, result Unmarshaller) error {
+	return r.invoke(op, args, result, true)
+}
+
+// InvokeOneway sends a request without waiting for any reply.
+func (r *ObjectRef) InvokeOneway(op string, args Marshaller) error {
+	return r.invoke(op, args, nil, false)
+}
+
+// Exists probes the reference with a GIOP LocateRequest: it reports
+// whether the target object is currently reachable and active, without
+// invoking any operation on it.
+func (r *ObjectRef) Exists() (bool, error) {
+	if r.ior.IsNil() {
+		return false, nil
+	}
+	o := r.orb
+	reqID := o.nextRequestID()
+
+	var objectKey []byte
+	if k, ok := r.localKey(); ok {
+		_, found := o.adapter.Resolve(k)
+		return found, nil
+	}
+	if p := r.ior.Profile(ior.TagInternetIOP); p != nil {
+		ip, err := ior.DecodeIIOPProfile(p)
+		if err != nil {
+			return false, err
+		}
+		objectKey = ip.ObjectKey
+	}
+
+	e := giop.NewBodyEncoder(o.order)
+	if err := giop.EncodeLocateRequest(e, o.version, &giop.LocateRequestHeader{
+		RequestID: reqID, ObjectKey: objectKey,
+	}); err != nil {
+		return false, err
+	}
+	msg := &giop.Message{
+		Header: giop.Header{Version: o.version, Order: o.order, Type: giop.MsgLocateRequest},
+		Body:   e.Bytes(),
+	}
+	var lastErr error
+	for _, tp := range orderedProfiles(r.ior) {
+		if objectKey == nil {
+			o.mu.RLock()
+			tr, ok := o.transports[tp.Tag]
+			o.mu.RUnlock()
+			if ok {
+				if ke, ok := tr.(KeyExtractor); ok {
+					if k, err := ke.ObjectKey(tp.Data); err == nil {
+						e2 := giop.NewBodyEncoder(o.order)
+						_ = giop.EncodeLocateRequest(e2, o.version, &giop.LocateRequestHeader{
+							RequestID: reqID, ObjectKey: k,
+						})
+						msg.Body = e2.Bytes()
+					}
+				}
+			}
+		}
+		ch, err := o.channelFor(tp.Tag, tp.Data)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		reply, err := ch.Call(msg, reqID)
+		if err != nil {
+			o.dropChannel(tp.Tag, tp.Data)
+			lastErr = err
+			continue
+		}
+		if reply == nil || reply.Header.Type != giop.MsgLocateReply {
+			lastErr = fmt.Errorf("orb: unexpected locate reply %v", reply)
+			continue
+		}
+		lr, err := giop.DecodeLocateReply(reply.BodyDecoder())
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return lr.Status == giop.LocateObjectHere, nil
+	}
+	if lastErr == nil {
+		lastErr = NoImplement()
+	}
+	return false, lastErr
+}
+
+// localKey extracts the object key from the in-process profile if the
+// reference designates an object served by this very ORB.
+func (r *ObjectRef) localKey() ([]byte, bool) {
+	p := r.ior.Profile(ior.TagCorbalcInProcess)
+	if p == nil {
+		return nil, false
+	}
+	i := bytes.IndexByte(p, 0)
+	if i < 0 || string(p[:i]) != r.orb.id {
+		return nil, false
+	}
+	return p[i+1:], true
+}
+
+func (r *ObjectRef) invoke(op string, args Marshaller, result Unmarshaller, twoway bool) error {
+	if r.ior.IsNil() {
+		return ObjectNotExist()
+	}
+	o := r.orb
+	o.requestsSent.Add(1)
+
+	// Build the request message once, independent of transport.
+	reqID := o.nextRequestID()
+	var objectKey []byte
+	local := false
+	if k, ok := r.localKey(); ok {
+		objectKey, local = k, true
+	} else if p := r.ior.Profile(ior.TagInternetIOP); p != nil {
+		ip, err := ior.DecodeIIOPProfile(p)
+		if err != nil {
+			return fmt.Errorf("orb: bad IIOP profile: %w", err)
+		}
+		objectKey = ip.ObjectKey
+	} else {
+		// Fall back to any profile whose transport is registered and can
+		// extract the object key (vendor profiles embed it).
+		found := false
+		for _, tp := range r.ior.Profiles {
+			o.mu.RLock()
+			tr, ok := o.transports[tp.Tag]
+			o.mu.RUnlock()
+			if !ok {
+				continue
+			}
+			found = true
+			if ke, ok := tr.(KeyExtractor); ok {
+				k, err := ke.ObjectKey(tp.Data)
+				if err == nil {
+					objectKey = k
+					break
+				}
+			}
+		}
+		if !found {
+			return NoImplement()
+		}
+	}
+
+	msg, err := o.buildRequest(reqID, objectKey, op, args, twoway)
+	if err != nil {
+		return err
+	}
+
+	if local {
+		reply, err := o.HandleMessage(msg)
+		if err != nil {
+			return err
+		}
+		if !twoway {
+			return nil
+		}
+		return o.decodeReply(reply, reqID, result)
+	}
+
+	// Remote: pick the first profile with a registered transport,
+	// preferring IIOP.
+	var lastErr error
+	for _, tp := range orderedProfiles(r.ior) {
+		ch, err := o.channelFor(tp.Tag, tp.Data)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if !twoway {
+			if err := ch.Send(msg); err != nil {
+				o.dropChannel(tp.Tag, tp.Data)
+				lastErr = err
+				continue
+			}
+			return nil
+		}
+		reply, err := ch.Call(msg, reqID)
+		if err != nil {
+			o.dropChannel(tp.Tag, tp.Data)
+			lastErr = err
+			continue
+		}
+		return o.decodeReply(reply, reqID, result)
+	}
+	if lastErr == nil {
+		return NoImplement()
+	}
+	var se *SystemException
+	if errors.As(lastErr, &se) {
+		return lastErr
+	}
+	return fmt.Errorf("%w: %v", CommFailure(), lastErr)
+}
+
+// orderedProfiles lists the reference's profiles with IIOP first and the
+// in-process profile excluded (it is handled before dialing).
+func orderedProfiles(r *ior.IOR) []ior.TaggedProfile {
+	out := make([]ior.TaggedProfile, 0, len(r.Profiles))
+	for _, p := range r.Profiles {
+		if p.Tag == ior.TagInternetIOP {
+			out = append(out, p)
+		}
+	}
+	for _, p := range r.Profiles {
+		if p.Tag != ior.TagInternetIOP && p.Tag != ior.TagCorbalcInProcess {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (o *ORB) buildRequest(reqID uint32, objectKey []byte, op string, args Marshaller, twoway bool) (*giop.Message, error) {
+	e := giop.NewBodyEncoder(o.order)
+	hdr := &giop.RequestHeader{
+		RequestID:        reqID,
+		ResponseExpected: twoway,
+		ObjectKey:        objectKey,
+		Operation:        op,
+	}
+	if err := giop.EncodeRequest(e, o.version, hdr); err != nil {
+		return nil, err
+	}
+	if args != nil {
+		giop.AlignBody(e, o.version)
+		args(e)
+	}
+	return &giop.Message{
+		Header: giop.Header{Version: o.version, Order: o.order, Type: giop.MsgRequest},
+		Body:   e.Bytes(),
+	}, nil
+}
+
+func (o *ORB) decodeReply(reply *giop.Message, reqID uint32, result Unmarshaller) error {
+	if reply == nil {
+		return fmt.Errorf("%w: empty reply", CommFailure())
+	}
+	if reply.Header.Type != giop.MsgReply {
+		return fmt.Errorf("%w: unexpected %v", CommFailure(), reply.Header.Type)
+	}
+	d := reply.BodyDecoder()
+	h, err := giop.DecodeReply(d, reply.Header.Version)
+	if err != nil {
+		return fmt.Errorf("orb: bad reply header: %w", err)
+	}
+	if h.RequestID != reqID {
+		return fmt.Errorf("%w: reply id %d for request %d", CommFailure(), h.RequestID, reqID)
+	}
+	switch h.Status {
+	case giop.ReplyNoException:
+		if result == nil {
+			return nil
+		}
+		if err := giop.AlignBodyDecode(d, reply.Header.Version); err != nil {
+			return err
+		}
+		if err := result(d); err != nil {
+			return fmt.Errorf("%w: decoding result: %v", Marshal(), err)
+		}
+		return nil
+	case giop.ReplyUserException:
+		if err := giop.AlignBodyDecode(d, reply.Header.Version); err != nil {
+			return err
+		}
+		id, err := d.ReadString()
+		if err != nil {
+			return fmt.Errorf("%w: decoding exception id: %v", Marshal(), err)
+		}
+		return &UserException{ID: id, Body: d}
+	case giop.ReplySystemException:
+		if err := giop.AlignBodyDecode(d, reply.Header.Version); err != nil {
+			return err
+		}
+		se, err := unmarshalSystemException(d)
+		if err != nil {
+			return fmt.Errorf("%w: decoding system exception: %v", Marshal(), err)
+		}
+		return se
+	case giop.ReplyLocationForward:
+		return fmt.Errorf("%w: location forward not supported", NoImplement())
+	default:
+		return fmt.Errorf("%w: reply status %v", CommFailure(), h.Status)
+	}
+}

@@ -1,0 +1,354 @@
+// Package simnet is the virtual network substrate CORBA-LC experiments
+// run on: an in-process GIOP transport connecting many ORBs with
+// configurable per-link latency, jitter, bandwidth, loss and partitions,
+// plus per-endpoint traffic accounting.
+//
+// It substitutes for the campus network of heterogeneous hosts the paper
+// assumes (see DESIGN.md): protocol experiments need hundreds of nodes
+// and reproducible failures, which no physical testbed delivers
+// deterministically. Nodes can equally run over the real IIOP transport
+// (internal/iiop); the two coexist because each is just an orb.Transport.
+package simnet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"corbalc/internal/giop"
+	"corbalc/internal/ior"
+	"corbalc/internal/orb"
+)
+
+// Handler consumes a GIOP message and produces the reply; *orb.ORB
+// satisfies it.
+type Handler interface {
+	HandleMessage(*giop.Message) (*giop.Message, error)
+}
+
+// Link models one directional link's quality.
+type Link struct {
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter).
+	Jitter time.Duration
+	// BandwidthBps limits throughput in bytes/second (0 = infinite).
+	BandwidthBps float64
+	// Loss is the probability in [0,1) that a message vanishes.
+	Loss float64
+}
+
+// Errors surfaced to callers.
+var (
+	ErrUnknownEndpoint = errors.New("simnet: unknown endpoint")
+	ErrEndpointDown    = errors.New("simnet: endpoint down")
+	ErrPartitioned     = errors.New("simnet: endpoints partitioned")
+	ErrMessageLost     = errors.New("simnet: message lost")
+)
+
+// Stats are cumulative per-endpoint traffic counters.
+type Stats struct {
+	MsgsSent, MsgsRecv   uint64
+	BytesSent, BytesRecv uint64
+}
+
+type endpoint struct {
+	name    string
+	handler Handler
+	down    bool
+	stats   Stats
+	// busyUntil models FIFO transmission queueing on the node's uplink.
+	busyUntil time.Time
+}
+
+// Network is one virtual network.
+type Network struct {
+	mu          sync.Mutex
+	endpoints   map[string]*endpoint
+	defaultLink Link
+	links       map[[2]string]Link
+	partitions  map[[2]string]bool
+	rng         *rand.Rand
+	totalMsgs   uint64
+	totalBytes  uint64
+}
+
+// New creates a network whose links default to the given quality.
+func New(defaultLink Link) *Network {
+	return &Network{
+		endpoints:   make(map[string]*endpoint),
+		defaultLink: defaultLink,
+		links:       make(map[[2]string]Link),
+		partitions:  make(map[[2]string]bool),
+		rng:         rand.New(rand.NewSource(42)),
+	}
+}
+
+// Seed re-seeds the loss/jitter randomness for reproducibility.
+func (n *Network) Seed(s int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.rng = rand.New(rand.NewSource(s))
+}
+
+// Attach registers an ORB under an endpoint name, registers the simnet
+// transport on it, and decorates its future IORs with the virtual
+// profile so other endpoints can call it.
+func (n *Network) Attach(name string, o *orb.ORB) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.endpoints[name]; dup {
+		return fmt.Errorf("simnet: endpoint %q already attached", name)
+	}
+	n.endpoints[name] = &endpoint{name: name, handler: o}
+	o.RegisterTransport(&Transport{net: n, local: name})
+	o.AddIORDecorator(func(ref *ior.IOR, key string) {
+		ref.AddProfile(ior.TagCorbalcVirtual, ProfileData(name, key))
+	})
+	return nil
+}
+
+// Detach removes an endpoint entirely.
+func (n *Network) Detach(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.endpoints, name)
+}
+
+// SetDown marks an endpoint crashed (true) or recovered (false); calls
+// to a down endpoint fail after the propagation delay, like a TCP
+// timeout would.
+func (n *Network) SetDown(name string, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.endpoints[name]; ok {
+		ep.down = down
+	}
+}
+
+// SetLink overrides the quality of the directed link a -> b.
+func (n *Network) SetLink(a, b string, l Link) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[[2]string{a, b}] = l
+}
+
+// Partition cuts (or heals) both directions between a and b.
+func (n *Network) Partition(a, b string, cut bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if cut {
+		n.partitions[[2]string{a, b}] = true
+		n.partitions[[2]string{b, a}] = true
+	} else {
+		delete(n.partitions, [2]string{a, b})
+		delete(n.partitions, [2]string{b, a})
+	}
+}
+
+// StatsOf returns an endpoint's traffic counters.
+func (n *Network) StatsOf(name string) Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.endpoints[name]; ok {
+		return ep.stats
+	}
+	return Stats{}
+}
+
+// Totals returns network-wide message and byte counts.
+func (n *Network) Totals() (msgs, bytes uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.totalMsgs, n.totalBytes
+}
+
+// ResetStats zeroes all counters (between experiment phases).
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.totalMsgs, n.totalBytes = 0, 0
+	for _, ep := range n.endpoints {
+		ep.stats = Stats{}
+	}
+}
+
+// Endpoints lists attached endpoint names.
+func (n *Network) Endpoints() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.endpoints))
+	for name := range n.endpoints {
+		out = append(out, name)
+	}
+	return out
+}
+
+// linkFor returns the effective link a -> b.
+func (n *Network) linkFor(a, b string) Link {
+	if l, ok := n.links[[2]string{a, b}]; ok {
+		return l
+	}
+	return n.defaultLink
+}
+
+// plan decides one message's fate under the lock: accounting, loss,
+// partition, and the delay before delivery (latency + jitter + queued
+// transmission time). It never sleeps.
+func (n *Network) plan(from, to string, size int) (delay time.Duration, target Handler, err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	src, ok := n.endpoints[from]
+	if !ok {
+		return 0, nil, fmt.Errorf("%w: %s", ErrUnknownEndpoint, from)
+	}
+	dst, ok := n.endpoints[to]
+	if !ok {
+		return 0, nil, fmt.Errorf("%w: %s", ErrUnknownEndpoint, to)
+	}
+	l := n.linkFor(from, to)
+
+	src.stats.MsgsSent++
+	src.stats.BytesSent += uint64(size)
+	n.totalMsgs++
+	n.totalBytes += uint64(size)
+
+	delay = l.Latency
+	if l.Jitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(l.Jitter)))
+	}
+	if l.BandwidthBps > 0 {
+		// FIFO transmission queueing on the sender's uplink: the message
+		// starts transmitting when the link frees up and occupies it for
+		// size/bandwidth seconds.
+		tx := time.Duration(float64(size) / l.BandwidthBps * float64(time.Second))
+		now := time.Now()
+		start := now
+		if src.busyUntil.After(now) {
+			start = src.busyUntil
+		}
+		src.busyUntil = start.Add(tx)
+		delay += src.busyUntil.Sub(now)
+	}
+
+	if n.partitions[[2]string{from, to}] {
+		return delay, nil, ErrPartitioned
+	}
+	if src.down {
+		return delay, nil, fmt.Errorf("%w: %s", ErrEndpointDown, from)
+	}
+	if dst.down {
+		return delay, nil, fmt.Errorf("%w: %s", ErrEndpointDown, to)
+	}
+	if l.Loss > 0 && n.rng.Float64() < l.Loss {
+		return delay, nil, ErrMessageLost
+	}
+
+	dst.stats.MsgsRecv++
+	dst.stats.BytesRecv += uint64(size)
+	return delay, dst.handler, nil
+}
+
+// send models one directional message: plan, wait, deliver.
+func (n *Network) send(from, to string, m *giop.Message) (*giop.Message, error) {
+	size := giop.HeaderLen + len(m.Body)
+	delay, target, err := n.plan(from, to, size)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return target.HandleMessage(m)
+}
+
+// ProfileData encodes a virtual-endpoint IOR profile: endpoint name and
+// object key separated by NUL.
+func ProfileData(endpoint, key string) []byte {
+	return []byte(endpoint + "\x00" + key)
+}
+
+// parseProfile splits a virtual profile into endpoint and object key.
+func parseProfile(data []byte) (endpointName string, key []byte, err error) {
+	i := bytes.IndexByte(data, 0)
+	if i < 0 {
+		return "", nil, fmt.Errorf("simnet: malformed virtual profile")
+	}
+	return string(data[:i]), data[i+1:], nil
+}
+
+// Transport implements orb.Transport (and orb.KeyExtractor) over a
+// Network, from the perspective of one local endpoint.
+type Transport struct {
+	net   *Network
+	local string
+}
+
+// Tag implements orb.Transport.
+func (t *Transport) Tag() uint32 { return ior.TagCorbalcVirtual }
+
+// Endpoint implements orb.Transport.
+func (t *Transport) Endpoint(profile []byte) (string, error) {
+	name, _, err := parseProfile(profile)
+	return name, err
+}
+
+// ObjectKey implements orb.KeyExtractor.
+func (t *Transport) ObjectKey(profile []byte) ([]byte, error) {
+	_, key, err := parseProfile(profile)
+	return key, err
+}
+
+// Dial implements orb.Transport.
+func (t *Transport) Dial(profile []byte) (orb.Channel, error) {
+	remote, _, err := parseProfile(profile)
+	if err != nil {
+		return nil, err
+	}
+	t.net.mu.Lock()
+	_, ok := t.net.endpoints[remote]
+	t.net.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownEndpoint, remote)
+	}
+	return &channel{net: t.net, from: t.local, to: remote}, nil
+}
+
+type channel struct {
+	net  *Network
+	from string
+	to   string
+}
+
+// Call implements orb.Channel: request travels from->to, reply to->from,
+// both subject to link conditions.
+func (c *channel) Call(req *giop.Message, _ uint32) (*giop.Message, error) {
+	reply, err := c.net.send(c.from, c.to, req)
+	if err != nil {
+		return nil, err
+	}
+	if reply == nil {
+		return nil, nil
+	}
+	size := giop.HeaderLen + len(reply.Body)
+	delay, _, err := c.net.plan(c.to, c.from, size)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return reply, nil
+}
+
+// Send implements orb.Channel (oneway).
+func (c *channel) Send(req *giop.Message) error {
+	_, err := c.net.send(c.from, c.to, req)
+	return err
+}
+
+// Close implements orb.Channel.
+func (c *channel) Close() error { return nil }
