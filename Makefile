@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: check build vet lint test race fmt tidy clean
+
+## check: the full tier-1 gate — what CI runs on every push/PR.
+check: fmt tidy build vet lint race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+## lint: the CORBA-LC invariant suite (lockdiscipline, cdralign,
+## errpropagation, ctxtimeout). -vet folds in the curated stock vet
+## analyzers so one command covers both layers.
+lint:
+	$(GO) run ./cmd/corbalc-lint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 ./...
+
+## fmt: fail (listing offenders) if any file is not gofmt-clean.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+## tidy: fail if go.mod/go.sum would change under `go mod tidy`.
+tidy:
+	$(GO) mod tidy -diff
+
+clean:
+	$(GO) clean ./...

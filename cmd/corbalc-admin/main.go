@@ -279,7 +279,7 @@ func deployAssembly(contact, path, listen string) {
 		fatal(err)
 	}
 	app, err := assembly.Parse(f)
-	f.Close()
+	_ = f.Close()
 	if err != nil {
 		fatal(err)
 	}

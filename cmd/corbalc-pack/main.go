@@ -116,7 +116,7 @@ func build(args []string) {
 		die(err)
 	}
 	sp, err := xmldesc.ParseSoftPkg(spFile)
-	spFile.Close()
+	_ = spFile.Close()
 	if err != nil {
 		die(err)
 	}
@@ -125,7 +125,7 @@ func build(args []string) {
 		die(err)
 	}
 	ct, err := xmldesc.ParseComponentType(ctFile)
-	ctFile.Close()
+	_ = ctFile.Close()
 	if err != nil {
 		die(err)
 	}

@@ -19,7 +19,6 @@
 package main
 
 import (
-	"encoding/binary"
 	"fmt"
 	"log"
 	"time"
@@ -40,11 +39,36 @@ const chunkCost = 20 * time.Millisecond
 // division, gather sums the partial counts.
 type primeCounter struct{ component.Base }
 
+// Job and result blobs are CDR streams (two ulonglongs and one
+// ulonglong respectively), so the example exercises the same transfer
+// syntax as the wire instead of a private encoding.
+
 func rangeJob(lo, hi uint64) []byte {
-	out := make([]byte, 16)
-	binary.LittleEndian.PutUint64(out, lo)
-	binary.LittleEndian.PutUint64(out[8:], hi)
-	return out
+	e := cdr.NewEncoder(cdr.LittleEndian)
+	e.WriteULongLong(lo)
+	e.WriteULongLong(hi)
+	return e.Bytes()
+}
+
+func rangeBounds(job []byte) (lo, hi uint64, err error) {
+	d := cdr.NewDecoder(job, cdr.LittleEndian)
+	if lo, err = d.ReadULongLong(); err != nil {
+		return 0, 0, err
+	}
+	if hi, err = d.ReadULongLong(); err != nil {
+		return 0, 0, err
+	}
+	return lo, hi, nil
+}
+
+func countBlob(count uint64) []byte {
+	e := cdr.NewEncoder(cdr.LittleEndian)
+	e.WriteULongLong(count)
+	return e.Bytes()
+}
+
+func readCount(blob []byte) (uint64, error) {
+	return cdr.NewDecoder(blob, cdr.LittleEndian).ReadULongLong()
 }
 
 func (pc *primeCounter) InvokePort(port, op string, args *cdr.Decoder, reply *cdr.Encoder) error {
@@ -61,8 +85,10 @@ func (pc *primeCounter) InvokePort(port, op string, args *cdr.Decoder, reply *cd
 		if err != nil {
 			return err
 		}
-		lo := binary.LittleEndian.Uint64(job)
-		hi := binary.LittleEndian.Uint64(job[8:])
+		lo, hi, err := rangeBounds(job)
+		if err != nil {
+			return err
+		}
 		span := (hi - lo) / uint64(parts)
 		if span == 0 {
 			span = 1
@@ -85,8 +111,10 @@ func (pc *primeCounter) InvokePort(port, op string, args *cdr.Decoder, reply *cd
 		if err != nil {
 			return err
 		}
-		lo := binary.LittleEndian.Uint64(chunk)
-		hi := binary.LittleEndian.Uint64(chunk[8:])
+		lo, hi, err := rangeBounds(chunk)
+		if err != nil {
+			return err
+		}
 		var count uint64
 		for n := lo; n < hi; n++ {
 			if isPrime(n) {
@@ -94,9 +122,7 @@ func (pc *primeCounter) InvokePort(port, op string, args *cdr.Decoder, reply *cd
 			}
 		}
 		time.Sleep(chunkCost) // simulated remote CPU time
-		out := make([]byte, 8)
-		binary.LittleEndian.PutUint64(out, count)
-		reply.WriteOctetSeq(out)
+		reply.WriteOctetSeq(countBlob(count))
 		return nil
 	case "gather":
 		n, err := args.ReadULong()
@@ -109,11 +135,13 @@ func (pc *primeCounter) InvokePort(port, op string, args *cdr.Decoder, reply *cd
 			if err != nil {
 				return err
 			}
-			total += binary.LittleEndian.Uint64(p)
+			n, err := readCount(p)
+			if err != nil {
+				return err
+			}
+			total += n
 		}
-		out := make([]byte, 8)
-		binary.LittleEndian.PutUint64(out, total)
-		reply.WriteOctetSeq(out)
+		reply.WriteOctetSeq(countBlob(total))
 		return nil
 	}
 	return orb.BadOperation()
@@ -201,7 +229,10 @@ func main() {
 
 	// Full fleet.
 	res, parTime := run(4)
-	count := binary.LittleEndian.Uint64(res.Output)
+	count, err := readCount(res.Output)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("%d workers: %d primes below 100000 in %v (%d chunks)\n",
 		res.Workers, count, parTime, res.Chunks)
 
@@ -217,7 +248,10 @@ func main() {
 		fmt.Println("  !! volunteer vol06 crashed mid-run")
 	}()
 	res2, churnTime := run(4)
-	count2 := binary.LittleEndian.Uint64(res2.Output)
+	count2, err := readCount(res2.Output)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("with churn: %d primes in %v (retries=%d, still correct)\n",
 		count2, churnTime, res2.Retries)
 	if count2 != count {

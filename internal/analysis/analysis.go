@@ -1,0 +1,97 @@
+// Package analysis is a lightweight, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis API surface used by corbalc-lint.
+//
+// The container this repo builds in bakes the Go toolchain but no module
+// cache, so the suite is built entirely on the standard library: packages
+// are parsed with go/parser and type-checked with go/types using the
+// stdlib source importer. The API mirrors x/tools (Analyzer, Pass,
+// Diagnostic) closely enough that the analyzers could be ported to a real
+// multichecker by swapping import paths.
+//
+// Suppression: a finding may be silenced with a directive comment on the
+// flagged line or the line immediately above it:
+//
+//	//lint:ignore <analyzer-name> <reason>
+//
+// The name "all" suppresses every analyzer for that line. Directives with
+// no reason are themselves reported, so suppressions stay accountable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives. It must be a valid Go identifier.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run applies the analyzer to a single package.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	PkgPath   string
+	TypesInfo *types.Info
+
+	// Report delivers a diagnostic. Set by the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is a single finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// FuncOf resolves the *types.Func a call expression invokes, or nil for
+// calls through function-typed variables, conversions, and builtins.
+func FuncOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether call invokes the package-level function
+// pkgPath.name (e.g. "time".Sleep).
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	f := FuncOf(info, call)
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == pkgPath && f.Name() == name && f.Type().(*types.Signature).Recv() == nil
+}
+
+// ReceiverPkg returns the defining package path of a method call's
+// receiver, or "" if call is not a resolvable method call.
+func ReceiverPkg(info *types.Info, call *ast.CallExpr) string {
+	f := FuncOf(info, call)
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	if f.Type().(*types.Signature).Recv() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}

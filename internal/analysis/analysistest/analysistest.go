@@ -1,0 +1,121 @@
+// Package analysistest runs an analyzer over fixture packages under a
+// testdata directory and checks its diagnostics against expectations
+// written in the fixture source, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// An expectation is a trailing comment of the form
+//
+//	// want "regexp"
+//
+// on the line the diagnostic must appear on. Multiple expectations on one
+// line are written // want "re1" "re2". Lines without a want comment must
+// produce no diagnostics.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"corbalc/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// Run loads testdata/src/<pkg> for each named fixture package, applies
+// the analyzer, and reports mismatches through t. testdata is resolved
+// relative to the test's working directory (the analyzer package dir).
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader := analysis.NewLoader()
+	for _, name := range pkgs {
+		dir := filepath.Join("testdata", "src", name)
+		pkg, err := loader.LoadDir(dir, name)
+		if err != nil {
+			t.Errorf("%s: load: %v", dir, err)
+			continue
+		}
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", dir, terr)
+		}
+		diags := analysis.Run([]*analysis.Analyzer{a}, []*analysis.Package{pkg})
+		checkExpectations(t, pkg, diags)
+	}
+}
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func checkExpectations(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	// key: "file:line" -> pending expectations.
+	wants := map[string][]*expectation{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := pos.Filename + ":" + itoa(pos.Line)
+				for _, pat := range splitQuoted(m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", key, pat, err)
+						continue
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := pos.Filename + ":" + itoa(pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", key, d.Analyzer, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.re)
+			}
+		}
+	}
+}
+
+// splitQuoted extracts the quoted strings from a want payload; both
+// double quotes and backquotes delimit patterns, e.g. "a" `b` -> [a, b].
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexAny(s, "\"`")
+		if i < 0 {
+			return out
+		}
+		quote := s[i]
+		s = s[i+1:]
+		j := strings.IndexByte(s, quote)
+		if j < 0 {
+			return out
+		}
+		out = append(out, s[:j])
+		s = s[j+1:]
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

@@ -1,0 +1,138 @@
+// Package cdralign enforces the paper's CDR transfer-syntax requirement
+// that every multi-byte primitive is encoded through the alignment-aware
+// helpers in corbalc/internal/cdr.
+//
+// CDR aligns each primitive on a boundary equal to its size, measured
+// from the start of the enclosing message or encapsulation. Any code
+// that serialises a multi-byte value with encoding/binary or by manual
+// shift-and-mask assembly bypasses the alignment bookkeeping and can
+// silently produce misaligned streams that a conforming peer rejects.
+// The analyzer therefore flags, everywhere outside internal/cdr:
+//
+//   - any use of encoding/binary (binary.Write, binary.BigEndian.…);
+//   - byte(x >> k): manual serialisation of a multi-byte value;
+//   - T(b) << k inside an or-chain: manual deserialisation.
+package cdralign
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"corbalc/internal/analysis"
+)
+
+// Analyzer is the cdralign analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "cdralign",
+	Doc:  "require CDR primitive encode/decode to go through internal/cdr alignment helpers",
+	Run:  run,
+}
+
+// exemptSuffix names the one package allowed to do raw byte
+// serialisation: the CDR codec itself.
+const exemptSuffix = "internal/cdr"
+
+func run(pass *analysis.Pass) error {
+	if strings.HasSuffix(pass.PkgPath, exemptSuffix) {
+		return nil
+	}
+	// One report per source line keeps a four-byte assembly expression
+	// from producing four identical diagnostics.
+	reported := map[string]bool{}
+	reportf := func(pos token.Pos, format string, args ...any) {
+		p := pass.Fset.Position(pos)
+		lineKey := p.Filename + ":" + strconv.Itoa(p.Line)
+		if reported[lineKey] {
+			return
+		}
+		reported[lineKey] = true
+		pass.Reportf(pos, format, args...)
+	}
+
+	analysis.InspectFiles(pass, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			if obj, ok := pass.TypesInfo.Uses[selRoot(e)].(*types.PkgName); ok &&
+				obj.Imported().Path() == "encoding/binary" {
+				reportf(e.Pos(), "use of encoding/binary outside internal/cdr; CDR primitives must go through the cdr.Encoder/Decoder alignment helpers")
+				return false
+			}
+		case *ast.CallExpr:
+			if isByteConversionOfShift(pass.TypesInfo, e) {
+				reportf(e.Pos(), "manual byte serialisation of a multi-byte value; use the cdr.Encoder alignment helpers")
+				return false
+			}
+		case *ast.BinaryExpr:
+			if e.Op == token.SHL && isWideConversionOfByte(pass.TypesInfo, e.X) {
+				reportf(e.Pos(), "manual byte deserialisation of a multi-byte value; use the cdr.Decoder alignment helpers")
+				return false
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// selRoot returns the leftmost identifier of a selector chain
+// (binary.BigEndian.PutUint32 -> binary).
+func selRoot(sel *ast.SelectorExpr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(sel.X).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			sel = x
+		default:
+			return &ast.Ident{} // unresolvable root; Uses lookup will miss
+		}
+	}
+}
+
+// isByteConversionOfShift matches byte(x >> k) / uint8(x >> k).
+func isByteConversionOfShift(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || (b.Kind() != types.Uint8 && b.Kind() != types.Byte) {
+		return false
+	}
+	bin, ok := ast.Unparen(call.Args[0]).(*ast.BinaryExpr)
+	return ok && bin.Op == token.SHR
+}
+
+// isWideConversionOfByte matches T(b) where T is a 2-, 4- or 8-byte
+// integer type and b has byte type — the building block of manual
+// big/little-endian reassembly like uint32(raw[8])<<24 | ….
+func isWideConversionOfByte(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	wide, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch wide.Kind() {
+	case types.Uint16, types.Uint32, types.Uint64, types.Int16, types.Int32, types.Int64:
+	default:
+		return false
+	}
+	argT, ok := info.Types[call.Args[0]]
+	if !ok {
+		return false
+	}
+	ab, ok := argT.Type.Underlying().(*types.Basic)
+	return ok && (ab.Kind() == types.Uint8 || ab.Kind() == types.Byte)
+}

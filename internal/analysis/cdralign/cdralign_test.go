@@ -1,0 +1,12 @@
+package cdralign_test
+
+import (
+	"testing"
+
+	"corbalc/internal/analysis/analysistest"
+	"corbalc/internal/analysis/cdralign"
+)
+
+func TestCDRAlign(t *testing.T) {
+	analysistest.Run(t, cdralign.Analyzer, "a", "internal/cdr")
+}

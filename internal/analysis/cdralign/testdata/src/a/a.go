@@ -1,0 +1,50 @@
+// Package a is the cdralign fixture: raw serialisation that must be
+// flagged outside internal/cdr, plus byte-level code that must not be.
+package a
+
+import (
+	"encoding/binary"
+)
+
+// Bad: encoding/binary bypasses CDR alignment bookkeeping.
+func badBinaryPut(buf []byte, v uint32) {
+	binary.BigEndian.PutUint32(buf, v) // want `use of encoding/binary outside internal/cdr`
+}
+
+// Bad: package-level binary helpers too.
+func badBinaryRead(buf []byte) uint16 {
+	return binary.LittleEndian.Uint16(buf) // want `use of encoding/binary outside internal/cdr`
+}
+
+// Bad: manual big-endian serialisation of a multi-byte primitive.
+func badManualEncode(v uint32) [4]byte {
+	return [4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)} // want `manual byte serialisation`
+}
+
+// Bad: manual reassembly of a multi-byte primitive.
+func badManualDecode(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]) // want `manual byte deserialisation`
+}
+
+// Good: single-octet handling is not multi-byte serialisation.
+func goodOctets(b []byte) byte {
+	x := b[0] ^ 0xff
+	return x &^ 0x0f
+}
+
+// Good: shifting integers for arithmetic (no byte conversion) is fine.
+func goodShift(v uint32) uint32 {
+	return v >> 3 << 1
+}
+
+// Good: widening a byte without shift-assembly (e.g. table lookup).
+func goodWiden(b byte) uint32 {
+	return uint32(b)
+}
+
+// Suppressed: acknowledged raw access (e.g. a checksum over the wire
+// image) stays silent.
+func suppressedChecksum(b []byte) uint16 {
+	//lint:ignore cdralign checksum folds the raw wire image, not a CDR primitive
+	return uint16(b[0])<<8 | uint16(b[1])
+}

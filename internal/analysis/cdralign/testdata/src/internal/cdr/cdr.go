@@ -1,0 +1,13 @@
+// Package cdr stands in for corbalc/internal/cdr: the one package
+// exempt from cdralign, because it is the alignment-aware codec itself.
+package cdr
+
+// PutULong does raw big-endian assembly and must NOT be flagged here.
+func PutULong(buf []byte, v uint32) {
+	buf[0], buf[1], buf[2], buf[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+}
+
+// ULong reassembles and must NOT be flagged here.
+func ULong(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}

@@ -1,0 +1,62 @@
+// Package a is the ctxtimeout fixture.
+package a
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Bad: plain dial blocks forever on a dead peer.
+func badDial(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr) // want `net\.Dial has no deadline`
+}
+
+// Bad: typed dial variants have no deadline either.
+func badDialTCP(raddr *net.TCPAddr) (net.Conn, error) {
+	return net.DialTCP("tcp", nil, raddr) // want `net\.DialTCP has no deadline`
+}
+
+// Bad: a zero Dialer literal is just net.Dial with extra steps.
+func badDialerLit(addr string) (net.Conn, error) {
+	return (&net.Dialer{KeepAlive: time.Second}).Dial("tcp", addr) // want `neither Timeout nor Deadline`
+}
+
+// Bad: http.DefaultClient has no timeout.
+func badHTTPGet(url string) (*http.Response, error) {
+	return http.Get(url) // want `deadline-free http\.DefaultClient`
+}
+
+// Good: explicit dial timeout.
+func goodDialTimeout(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, 5*time.Second)
+}
+
+// Good: Dialer literal with a bound.
+func goodBoundedDialer(addr string) (net.Conn, error) {
+	return (&net.Dialer{Timeout: 5 * time.Second}).Dial("tcp", addr)
+}
+
+// Good: context deadline travels with DialContext.
+func goodDialContext(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+// Good: a Dialer variable is assumed configured by its owner.
+func goodDialerVar(d *net.Dialer, addr string) (net.Conn, error) {
+	return d.Dial("tcp", addr)
+}
+
+// Good: a Client with Timeout.
+func goodHTTPClient(url string) (*http.Response, error) {
+	c := &http.Client{Timeout: 10 * time.Second}
+	return c.Get(url)
+}
+
+// Suppressed: an acknowledged unbounded dial stays silent.
+func suppressedDial(addr string) (net.Conn, error) {
+	//lint:ignore ctxtimeout local loopback probe in tests, bounded by the harness
+	return net.Dial("tcp", addr)
+}

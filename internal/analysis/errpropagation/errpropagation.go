@@ -1,0 +1,84 @@
+// Package errpropagation flags call statements that silently discard an
+// error result.
+//
+// On the GIOP/IIOP hot path an ignored short write leaves the peer
+// mid-message: the next header read desynchronises and the connection
+// is poisoned, which the paper's node-failure model treats as a crash of
+// the whole peer. The analyzer requires every dropped error to be
+// explicit: handle it, return it, or assign it to _ so the discard is
+// visible in review.
+//
+// A call statement is flagged when the callee's last result is an
+// error and the statement ignores all results. fmt print helpers and
+// the never-failing bytes.Buffer / strings.Builder writers are exempt.
+// Deferred and go-routine calls are not flagged (a `defer f.Close()` is
+// conventional shutdown shorthand).
+package errpropagation
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"corbalc/internal/analysis"
+)
+
+// Analyzer is the errpropagation analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "errpropagation",
+	Doc:  "flag call statements that silently drop an error result",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	errType := types.Universe.Lookup("error").Type()
+	analysis.InspectFiles(pass, func(n ast.Node) bool {
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := stmt.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[call]
+		if !ok || !returnsError(tv.Type, errType) || exempt(pass.TypesInfo, call) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "error result of %s() is silently dropped; handle it or assign it to _",
+			types.ExprString(call.Fun))
+		return true
+	})
+	return nil
+}
+
+// returnsError reports whether a call result type ends in error.
+func returnsError(t types.Type, errType types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		t = tup.At(tup.Len() - 1).Type()
+	}
+	return types.Identical(t, errType)
+}
+
+// exempt reports callees whose error is conventionally ignorable:
+// fmt print helpers and in-memory writers that document err == nil.
+func exempt(info *types.Info, call *ast.CallExpr) bool {
+	f := analysis.FuncOf(info, call)
+	if f == nil || f.Pkg() == nil {
+		return false
+	}
+	pkg, name := f.Pkg().Path(), f.Name()
+	switch {
+	case pkg == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")):
+		return true
+	case (pkg == "bytes" || pkg == "strings") && f.Type().(*types.Signature).Recv() != nil:
+		return true
+	}
+	return false
+}

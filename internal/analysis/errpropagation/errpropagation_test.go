@@ -1,0 +1,12 @@
+package errpropagation_test
+
+import (
+	"testing"
+
+	"corbalc/internal/analysis/analysistest"
+	"corbalc/internal/analysis/errpropagation"
+)
+
+func TestErrPropagation(t *testing.T) {
+	analysistest.Run(t, errpropagation.Analyzer, "a")
+}

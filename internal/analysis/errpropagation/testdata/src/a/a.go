@@ -1,0 +1,69 @@
+// Package a is the errpropagation fixture.
+package a
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+)
+
+type stream struct{ w io.Writer }
+
+func (s *stream) send(b []byte) error {
+	_, err := s.w.Write(b)
+	return err
+}
+
+func (s *stream) close() error { return nil }
+
+// Bad: a dropped send error desynchronises the stream.
+func badDroppedSend(s *stream, b []byte) {
+	s.send(b) // want `error result of s\.send\(\) is silently dropped`
+}
+
+// Bad: package-level functions too.
+func badDroppedRemove(path string) {
+	os.Remove(path) // want `error result of os\.Remove\(\) is silently dropped`
+}
+
+// Bad: calls through function values are still errors on the floor.
+func badFuncValue(f func() error) {
+	f() // want `error result of f\(\) is silently dropped`
+}
+
+// Good: explicit discard is visible in review.
+func goodExplicitDiscard(s *stream, b []byte) {
+	_ = s.send(b)
+}
+
+// Good: handled.
+func goodHandled(s *stream, b []byte) error {
+	if err := s.send(b); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Good: fmt print helpers and in-memory writers are exempt.
+func goodExempt(buf *bytes.Buffer) {
+	fmt.Println("status")
+	fmt.Fprintf(os.Stderr, "warn\n")
+	buf.WriteString("x")
+}
+
+// Good: deferred close is conventional shutdown shorthand.
+func goodDeferClose(s *stream) {
+	defer s.close()
+}
+
+// Good: non-error results are not this analyzer's business.
+func goodNonError(buf *bytes.Buffer) {
+	buf.Len()
+}
+
+// Suppressed: an acknowledged drop stays silent.
+func suppressedDrop(s *stream, b []byte) {
+	//lint:ignore errpropagation best-effort telemetry write, loss is acceptable
+	s.send(b)
+}

@@ -1,0 +1,12 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"corbalc/internal/analysis/analysistest"
+	"corbalc/internal/analysis/lockdiscipline"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, lockdiscipline.Analyzer, "a")
+}

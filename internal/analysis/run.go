@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Run applies every analyzer to every package, filters findings through
+// //lint:ignore directives, and returns the surviving diagnostics in
+// file/line order. Malformed directives (no analyzer name, or no reason)
+// are themselves reported under the pseudo-analyzer "directive".
+func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores, bad := collectDirectives(pkg)
+		diags = append(diags, bad...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				PkgPath:   pkg.PkgPath,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d Diagnostic) {
+				if d.Analyzer == "" {
+					d.Analyzer = a.Name
+				}
+				pos := pkg.Fset.Position(d.Pos)
+				if ignores.matches(pos.Filename, pos.Line, d.Analyzer) {
+					return
+				}
+				diags = append(diags, d)
+			}
+			if err := a.Run(pass); err != nil {
+				diags = append(diags, Diagnostic{
+					Analyzer: a.Name,
+					Message:  fmt.Sprintf("internal error: %v", err),
+				})
+			}
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := i, j
+		return comparePos(pkgsPosition(pkgs, diags[pi].Pos), pkgsPosition(pkgs, diags[pj].Pos)) < 0
+	})
+	return diags
+}
+
+func pkgsPosition(pkgs []*Package, pos token.Pos) token.Position {
+	if len(pkgs) == 0 {
+		return token.Position{}
+	}
+	return pkgs[0].Fset.Position(pos)
+}
+
+func comparePos(a, b token.Position) int {
+	if a.Filename != b.Filename {
+		return strings.Compare(a.Filename, b.Filename)
+	}
+	return a.Offset - b.Offset
+}
+
+// ignoreSet records //lint:ignore directives as (file, line) -> analyzer
+// names. A directive suppresses findings on its own line and on the line
+// directly below it, matching the usual staticcheck placement.
+type ignoreSet map[string]map[int][]string
+
+func (s ignoreSet) matches(file string, line int, analyzer string) bool {
+	lines := s[file]
+	for _, l := range []int{line, line - 1} {
+		for _, name := range lines[l] {
+			if name == analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (s ignoreSet) add(file string, line int, analyzer string) {
+	if s[file] == nil {
+		s[file] = map[int][]string{}
+	}
+	s[file][line] = append(s[file][line], analyzer)
+}
+
+// collectDirectives scans a package's comments for lint:ignore
+// directives, returning the suppression set and diagnostics for
+// malformed directives.
+func collectDirectives(pkg *Package) (ignoreSet, []Diagnostic) {
+	set := ignoreSet{}
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore"))
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "directive",
+						Message:  "malformed lint:ignore directive: want //lint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				set.add(pos.Filename, pos.Line, fields[0])
+			}
+		}
+	}
+	return set, bad
+}
+
+// InspectFiles walks every file in the pass with fn, in source order.
+func InspectFiles(pass *Pass, fn func(ast.Node) bool) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, fn)
+	}
+}

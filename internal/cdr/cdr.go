@@ -128,6 +128,28 @@ func (e *Encoder) WriteULong(v uint32) {
 // WriteLong appends a signed long (32 bits) aligned on 4.
 func (e *Encoder) WriteLong(v int32) { e.WriteULong(uint32(v)) }
 
+// PutULongAt stores a 32-bit value at a fixed offset of an
+// already-framed buffer in the given byte order. It exists for message
+// headers (GIOP patches the size field at offset 8 after the body is
+// encoded) so that no other package needs to assemble bytes by hand;
+// alignment is the caller's contract since the offset is fixed by the
+// protocol.
+func PutULongAt(buf []byte, off int, order ByteOrder, v uint32) {
+	if order == BigEndian {
+		buf[off], buf[off+1], buf[off+2], buf[off+3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+	} else {
+		buf[off], buf[off+1], buf[off+2], buf[off+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	}
+}
+
+// ULongAt loads the 32-bit value PutULongAt stored at a fixed offset.
+func ULongAt(buf []byte, off int, order ByteOrder) uint32 {
+	if order == BigEndian {
+		return uint32(buf[off])<<24 | uint32(buf[off+1])<<16 | uint32(buf[off+2])<<8 | uint32(buf[off+3])
+	}
+	return uint32(buf[off+3])<<24 | uint32(buf[off+2])<<16 | uint32(buf[off+1])<<8 | uint32(buf[off])
+}
+
 // WriteULongLong appends an unsigned long long (64 bits) aligned on 8.
 func (e *Encoder) WriteULongLong(v uint64) {
 	e.Align(8)

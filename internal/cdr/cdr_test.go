@@ -339,3 +339,27 @@ func BenchmarkDecodeString(b *testing.B) {
 		}
 	}
 }
+
+func TestPutULongAtRoundTrip(t *testing.T) {
+	for _, order := range []ByteOrder{BigEndian, LittleEndian} {
+		buf := make([]byte, 12)
+		PutULongAt(buf, 8, order, 0xCAFEBABE)
+		if got := ULongAt(buf, 8, order); got != 0xCAFEBABE {
+			t.Fatalf("order %v: round trip got %#x", order, got)
+		}
+		for i, b := range buf[:8] {
+			if b != 0 {
+				t.Fatalf("order %v: byte %d outside the target word written: %#x", order, i, b)
+			}
+		}
+	}
+	buf := make([]byte, 4)
+	PutULongAt(buf, 0, BigEndian, 0x01020304)
+	if buf[0] != 1 || buf[1] != 2 || buf[2] != 3 || buf[3] != 4 {
+		t.Fatalf("big-endian layout: % x", buf)
+	}
+	PutULongAt(buf, 0, LittleEndian, 0x01020304)
+	if buf[0] != 4 || buf[1] != 3 || buf[2] != 2 || buf[3] != 1 {
+		t.Fatalf("little-endian layout: % x", buf)
+	}
+}

@@ -393,19 +393,24 @@ func (a *Agent) loop() {
 	}
 }
 
+// tickSnapshot captures the directory state one tick needs; ok is false
+// until the agent has joined.
+func (a *Agent) tickSnapshot() (group int, cands, rootCands []string, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.joined {
+		return 0, nil, nil, false
+	}
+	group = a.dir.GroupOf(a.name)
+	cands = a.dir.Candidates(group, a.cfg.Replicas)
+	rootCands = a.dir.RootCandidates(a.cfg.Replicas)
+	return group, cands, rootCands, true
+}
+
 // tick performs this node's periodic duties.
 func (a *Agent) tick() {
-	a.mu.Lock()
-	if !a.joined {
-		a.mu.Unlock()
-		return
-	}
-	dir := a.dir
-	group := dir.GroupOf(a.name)
-	cands := dir.Candidates(group, a.cfg.Replicas)
-	rootCands := dir.RootCandidates(a.cfg.Replicas)
-	a.mu.Unlock()
-	if group < 0 {
+	group, cands, rootCands, ok := a.tickSnapshot()
+	if !ok || group < 0 {
 		return
 	}
 
@@ -574,15 +579,23 @@ func (a *Agent) sendUpdate(cands []string, report *node.Report, offers []*node.O
 	}
 }
 
+// memberNames snapshots the directory membership; ok is false until the
+// agent has joined.
+func (a *Agent) memberNames() (names []string, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.joined {
+		return nil, false
+	}
+	return a.dir.Names(), true
+}
+
 // floodReport sends this node's report to every node (Strong mode).
 func (a *Agent) floodReport() {
-	a.mu.Lock()
-	if !a.joined {
-		a.mu.Unlock()
+	names, ok := a.memberNames()
+	if !ok {
 		return
 	}
-	names := a.dir.Names()
-	a.mu.Unlock()
 	report := a.n.Report()
 	offers := a.n.AllOffers()
 	payload := func(e *cdr.Encoder) {

@@ -307,21 +307,38 @@ func (a *Agent) rootQuery(portID, verReq string, skipGroup int) []*node.Offer {
 	return out
 }
 
+// groupSnapshot captures this node's group index and its MRM replica
+// candidates, or ErrNotJoined.
+func (a *Agent) groupSnapshot() (group int, cands []string, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.joined {
+		return 0, nil, ErrNotJoined
+	}
+	group = a.dir.GroupOf(a.name)
+	return group, a.dir.Candidates(group, a.cfg.Replicas), nil
+}
+
+// dirClone snapshots the whole directory, or ErrNotJoined.
+func (a *Agent) dirClone() (*Directory, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.joined {
+		return nil, ErrNotJoined
+	}
+	return a.dir.Clone(), nil
+}
+
 // Query resolves a component query through the hierarchy: own group's
 // MRM first ("this reduces network load and exploits locality"), then
 // the root, which fans out only to groups whose summaries export the
 // port. In Strong mode every node has perfect knowledge, so the answer
 // is local.
 func (a *Agent) Query(portID, verReq string) ([]*node.Offer, error) {
-	a.mu.Lock()
-	if !a.joined {
-		a.mu.Unlock()
-		return nil, ErrNotJoined
+	group, cands, err := a.groupSnapshot()
+	if err != nil {
+		return nil, err
 	}
-	dir := a.dir
-	group := dir.GroupOf(a.name)
-	cands := dir.Candidates(group, a.cfg.Replicas)
-	a.mu.Unlock()
 
 	if a.cfg.Mode == Strong {
 		offers := a.viewQuery(portID, verReq)
@@ -363,7 +380,7 @@ func (a *Agent) Query(portID, verReq string) ([]*node.Offer, error) {
 	// Level 1: the root fans out to exporting groups.
 	var offers []*node.Offer
 	a.queriesSent.Add(1)
-	err := a.callRoot("root_query",
+	err = a.callRoot("root_query",
 		func(e *cdr.Encoder) {
 			e.WriteString(portID)
 			e.WriteString(verReq)
@@ -387,15 +404,10 @@ func (a *Agent) Query(portID, verReq string) ([]*node.Offer, error) {
 // other exporting group via the root — for aggregated/data-parallel
 // computations that want *all* providers, not the locally best one.
 func (a *Agent) QueryAll(portID, verReq string) ([]*node.Offer, error) {
-	a.mu.Lock()
-	if !a.joined {
-		a.mu.Unlock()
-		return nil, ErrNotJoined
+	group, cands, err := a.groupSnapshot()
+	if err != nil {
+		return nil, err
 	}
-	dir := a.dir
-	group := dir.GroupOf(a.name)
-	cands := dir.Candidates(group, a.cfg.Replicas)
-	a.mu.Unlock()
 
 	if a.cfg.Mode == Strong {
 		offers := a.viewQuery(portID, verReq)
@@ -430,7 +442,7 @@ func (a *Agent) QueryAll(portID, verReq string) ([]*node.Offer, error) {
 	}
 	var rootOffers []*node.Offer
 	a.queriesSent.Add(1)
-	err := a.callRoot("root_query",
+	err = a.callRoot("root_query",
 		func(e *cdr.Encoder) {
 			e.WriteString(portID)
 			e.WriteString(verReq)
@@ -472,13 +484,10 @@ func (a *Agent) localOffers(portID, verReq string) []*node.Offer {
 // QueryFlat is the non-hierarchical baseline: ask every node's Component
 // Registry directly (E4 compares its message count against Query's).
 func (a *Agent) QueryFlat(portID, verReq string) ([]*node.Offer, error) {
-	a.mu.Lock()
-	if !a.joined {
-		a.mu.Unlock()
-		return nil, ErrNotJoined
+	dir, err := a.dirClone()
+	if err != nil {
+		return nil, err
 	}
-	dir := a.dir.Clone()
-	a.mu.Unlock()
 	var out []*node.Offer
 	for name, nd := range dir.Nodes {
 		if name == a.name {

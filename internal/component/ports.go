@@ -103,32 +103,48 @@ func (ps *PortSet) Add(p xmldesc.Port) error {
 	if p.Name == "" {
 		return fmt.Errorf("component: unnamed port")
 	}
+	if err := ps.add(p); err != nil {
+		return err
+	}
+	ps.notify(Change{Kind: PortAdded, Port: p})
+	return nil
+}
+
+// add inserts the port under the lock; notification happens outside it.
+func (ps *PortSet) add(p xmldesc.Port) error {
 	ps.mu.Lock()
+	defer ps.mu.Unlock()
 	if _, dup := ps.ports[p.Name]; dup {
-		ps.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrDuplicatePort, p.Name)
 	}
 	ps.ports[p.Name] = &PortState{Desc: p}
 	ps.order = append(ps.order, p.Name)
-	ps.mu.Unlock()
-	ps.notify(Change{Kind: PortAdded, Port: p})
 	return nil
 }
 
 // Remove retracts a dynamically added port (declared ports are the
 // component's contractual minimum and cannot be removed).
 func (ps *PortSet) Remove(name string) error {
+	desc, err := ps.remove(name)
+	if err != nil {
+		return err
+	}
+	ps.notify(Change{Kind: PortRemoved, Port: desc})
+	return nil
+}
+
+// remove deletes the port under the lock and returns its descriptor for
+// the change notification.
+func (ps *PortSet) remove(name string) (xmldesc.Port, error) {
 	ps.mu.Lock()
+	defer ps.mu.Unlock()
 	st, ok := ps.ports[name]
 	if !ok {
-		ps.mu.Unlock()
-		return fmt.Errorf("%w: %s", ErrNoSuchPort, name)
+		return xmldesc.Port{}, fmt.Errorf("%w: %s", ErrNoSuchPort, name)
 	}
 	if st.Declared {
-		ps.mu.Unlock()
-		return fmt.Errorf("%w: %s", ErrPortDeclared, name)
+		return xmldesc.Port{}, fmt.Errorf("%w: %s", ErrPortDeclared, name)
 	}
-	desc := st.Desc
 	delete(ps.ports, name)
 	for i, n := range ps.order {
 		if n == name {
@@ -136,45 +152,58 @@ func (ps *PortSet) Remove(name string) error {
 			break
 		}
 	}
-	ps.mu.Unlock()
-	ps.notify(Change{Kind: PortRemoved, Port: desc})
-	return nil
+	return st.Desc, nil
 }
 
 // Connect binds a uses/consumes port to a provider reference.
 func (ps *PortSet) Connect(name string, target *ior.IOR) error {
-	ps.mu.Lock()
-	st, ok := ps.ports[name]
-	if !ok {
-		ps.mu.Unlock()
-		return fmt.Errorf("%w: %s", ErrNoSuchPort, name)
+	desc, err := ps.connect(name, target)
+	if err != nil {
+		return err
 	}
-	if st.Desc.Kind != xmldesc.PortUses && st.Desc.Kind != xmldesc.PortConsumes {
-		ps.mu.Unlock()
-		return fmt.Errorf("component: port %s is %s; only uses/consumes ports connect", name, st.Desc.Kind)
-	}
-	st.Connected = true
-	st.Target = target
-	desc := st.Desc
-	ps.mu.Unlock()
 	ps.notify(Change{Kind: PortConnected, Port: desc})
 	return nil
 }
 
-// Disconnect unbinds a port.
-func (ps *PortSet) Disconnect(name string) error {
+// connect binds the port under the lock and returns its descriptor for
+// the change notification.
+func (ps *PortSet) connect(name string, target *ior.IOR) (xmldesc.Port, error) {
 	ps.mu.Lock()
+	defer ps.mu.Unlock()
 	st, ok := ps.ports[name]
 	if !ok {
-		ps.mu.Unlock()
-		return fmt.Errorf("%w: %s", ErrNoSuchPort, name)
+		return xmldesc.Port{}, fmt.Errorf("%w: %s", ErrNoSuchPort, name)
+	}
+	if st.Desc.Kind != xmldesc.PortUses && st.Desc.Kind != xmldesc.PortConsumes {
+		return xmldesc.Port{}, fmt.Errorf("component: port %s is %s; only uses/consumes ports connect", name, st.Desc.Kind)
+	}
+	st.Connected = true
+	st.Target = target
+	return st.Desc, nil
+}
+
+// Disconnect unbinds a port.
+func (ps *PortSet) Disconnect(name string) error {
+	desc, err := ps.disconnect(name)
+	if err != nil {
+		return err
+	}
+	ps.notify(Change{Kind: PortDisconnected, Port: desc})
+	return nil
+}
+
+// disconnect unbinds the port under the lock and returns its descriptor
+// for the change notification.
+func (ps *PortSet) disconnect(name string) (xmldesc.Port, error) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	st, ok := ps.ports[name]
+	if !ok {
+		return xmldesc.Port{}, fmt.Errorf("%w: %s", ErrNoSuchPort, name)
 	}
 	st.Connected = false
 	st.Target = nil
-	desc := st.Desc
-	ps.mu.Unlock()
-	ps.notify(Change{Kind: PortDisconnected, Port: desc})
-	return nil
+	return st.Desc, nil
 }
 
 // Get returns the state of one port.

@@ -144,7 +144,7 @@ func (s *Spec) BuildPackage() (*cpkg.Package, error) {
 				payload[i] = byte(i % 16)
 			}
 		} else {
-			rng.Read(payload)
+			_, _ = rng.Read(payload) // math/rand Read cannot fail
 		}
 		binaries[file] = payload
 	}

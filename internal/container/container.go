@@ -118,25 +118,13 @@ const FactoryRepoID = "IDL:corbalc/ComponentFactory:1.0"
 func (c *Container) Create(name string) (*ManagedInstance, error) {
 	ct := c.comp.Type()
 
-	c.mu.Lock()
-	if ct.Factory.Lifecycle == "service" && c.shared != nil {
-		mi := c.shared
-		c.mu.Unlock()
-		return mi, nil
+	name, existing, err := c.reserveName(name)
+	if err != nil {
+		return nil, err
 	}
-	if name == "" {
-		c.seq++
-		name = fmt.Sprintf("%s-%d", c.comp.Name(), c.seq)
+	if existing != nil {
+		return existing, nil
 	}
-	if _, dup := c.instances[name]; dup {
-		c.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s", ErrDuplicate, name)
-	}
-	if max := ct.Factory.MaxInstances; max > 0 && len(c.instances) >= max {
-		c.mu.Unlock()
-		return nil, fmt.Errorf("%w (%d)", ErrMaxInstances, max)
-	}
-	c.mu.Unlock()
 
 	release, err := c.host.Admit(ct.QoS)
 	if err != nil {
@@ -165,18 +153,50 @@ func (c *Container) Create(name string) (*ManagedInstance, error) {
 		return nil, err
 	}
 
-	c.mu.Lock()
-	if _, dup := c.instances[name]; dup {
-		c.mu.Unlock()
+	if err := c.adoptInstance(name, mi, ct.Factory.Lifecycle == "service"); err != nil {
 		mi.teardown()
-		return nil, fmt.Errorf("%w: %s", ErrDuplicate, name)
+		return nil, err
+	}
+	return mi, nil
+}
+
+// reserveName enforces the factory policy under the lock: it returns the
+// shared service instance when one already exists, or the (possibly
+// auto-generated) name the new instance will be created under.
+func (c *Container) reserveName(name string) (string, *ManagedInstance, error) {
+	ct := c.comp.Type()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ct.Factory.Lifecycle == "service" && c.shared != nil {
+		return "", c.shared, nil
+	}
+	if name == "" {
+		c.seq++
+		name = fmt.Sprintf("%s-%d", c.comp.Name(), c.seq)
+	}
+	if _, dup := c.instances[name]; dup {
+		return "", nil, fmt.Errorf("%w: %s", ErrDuplicate, name)
+	}
+	if max := ct.Factory.MaxInstances; max > 0 && len(c.instances) >= max {
+		return "", nil, fmt.Errorf("%w (%d)", ErrMaxInstances, max)
+	}
+	return name, nil, nil
+}
+
+// adoptInstance publishes the activated instance unless a concurrent
+// Create took the name while the lock was released for admission and
+// activation.
+func (c *Container) adoptInstance(name string, mi *ManagedInstance, service bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.instances[name]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicate, name)
 	}
 	c.instances[name] = mi
-	if ct.Factory.Lifecycle == "service" && c.shared == nil {
+	if service && c.shared == nil {
 		c.shared = mi
 	}
-	c.mu.Unlock()
-	return mi, nil
+	return nil
 }
 
 // Instance returns a live instance by name.

@@ -96,19 +96,28 @@ func (c *Channel) Stats() (published, delivered, dropped uint64) {
 	return c.published.Load(), c.delivered.Load(), c.dropped.Load()
 }
 
-// Subscribe registers a consumer and returns a cancel function.
-func (c *Channel) Subscribe(name string, fn Consumer) (cancel func()) {
-	s := &subscriber{name: name, fn: fn, buf: make([]Event, c.depth)}
-	s.cond = sync.NewCond(&s.mu)
+// addSubscriber registers s, returning its id, or false when the
+// channel is already closed.
+func (c *Channel) addSubscriber(s *subscriber) (int, bool) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.closed {
-		c.mu.Unlock()
-		return func() {}
+		return 0, false
 	}
 	id := c.nextID
 	c.nextID++
 	c.subs[id] = s
-	c.mu.Unlock()
+	return id, true
+}
+
+// Subscribe registers a consumer and returns a cancel function.
+func (c *Channel) Subscribe(name string, fn Consumer) (cancel func()) {
+	s := &subscriber{name: name, fn: fn, buf: make([]Event, c.depth)}
+	s.cond = sync.NewCond(&s.mu)
+	id, ok := c.addSubscriber(s)
+	if !ok {
+		return func() {}
+	}
 
 	go c.deliverLoop(s)
 
@@ -130,19 +139,27 @@ func (c *Channel) SubscriberCount() int {
 	return len(c.subs)
 }
 
-// Push publishes an event to every current subscriber. The event's Seq
-// and TypeID fields are set by the channel.
-func (c *Channel) Push(ev Event) error {
+// snapshotSubs returns the current subscriber set, or ErrClosed.
+func (c *Channel) snapshotSubs() ([]*subscriber, error) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.closed {
-		c.mu.Unlock()
-		return ErrClosed
+		return nil, ErrClosed
 	}
 	subs := make([]*subscriber, 0, len(c.subs))
 	for _, s := range c.subs {
 		subs = append(subs, s)
 	}
-	c.mu.Unlock()
+	return subs, nil
+}
+
+// Push publishes an event to every current subscriber. The event's Seq
+// and TypeID fields are set by the channel.
+func (c *Channel) Push(ev Event) error {
+	subs, err := c.snapshotSubs()
+	if err != nil {
+		return err
+	}
 
 	ev.TypeID = c.typeID
 	ev.Seq = c.seq.Add(1)
@@ -157,19 +174,24 @@ func (c *Channel) Push(ev Event) error {
 	return nil
 }
 
-// Close tears the channel down; subscribers' delivery loops drain and
-// exit.
-func (c *Channel) Close() {
+// detachAll marks the channel closed and hands back the subscribers to
+// shut down; nil when the channel was already closed.
+func (c *Channel) detachAll() map[int]*subscriber {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.closed {
-		c.mu.Unlock()
-		return
+		return nil
 	}
 	c.closed = true
 	subs := c.subs
 	c.subs = make(map[int]*subscriber)
-	c.mu.Unlock()
-	for _, s := range subs {
+	return subs
+}
+
+// Close tears the channel down; subscribers' delivery loops drain and
+// exit.
+func (c *Channel) Close() {
+	for _, s := range c.detachAll() {
 		s.close()
 	}
 }
@@ -201,21 +223,30 @@ func (s *subscriber) close() {
 	s.mu.Unlock()
 }
 
+// next blocks until an event is buffered (returned even after close, so
+// the queue drains) or the subscriber closes empty.
+func (s *subscriber) next() (Event, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.count == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if s.count == 0 {
+		return Event{}, false
+	}
+	ev := s.buf[s.start]
+	s.start = (s.start + 1) % len(s.buf)
+	s.count--
+	s.cond.Broadcast()
+	return ev, true
+}
+
 func (c *Channel) deliverLoop(s *subscriber) {
 	for {
-		s.mu.Lock()
-		for s.count == 0 && !s.closed {
-			s.cond.Wait()
-		}
-		if s.count == 0 && s.closed {
-			s.mu.Unlock()
+		ev, ok := s.next()
+		if !ok {
 			return
 		}
-		ev := s.buf[s.start]
-		s.start = (s.start + 1) % len(s.buf)
-		s.count--
-		s.cond.Broadcast()
-		s.mu.Unlock()
 		s.fn(ev)
 	}
 }

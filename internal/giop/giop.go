@@ -145,12 +145,7 @@ func EncodeHeader(h Header, size int) [HeaderLen]byte {
 	}
 	out[6] = flags
 	out[7] = byte(h.Type)
-	u := uint32(size)
-	if h.Order == cdr.BigEndian {
-		out[8], out[9], out[10], out[11] = byte(u>>24), byte(u>>16), byte(u>>8), byte(u)
-	} else {
-		out[8], out[9], out[10], out[11] = byte(u), byte(u>>8), byte(u>>16), byte(u>>24)
-	}
+	cdr.PutULongAt(out[:], 8, h.Order, uint32(size))
 	return out
 }
 
@@ -170,11 +165,7 @@ func DecodeHeader(raw []byte) (Header, error) {
 	h.Order = cdr.ByteOrder(raw[6] & 1)
 	h.Fragment = raw[6]&2 != 0
 	h.Type = MsgType(raw[7])
-	if h.Order == cdr.BigEndian {
-		h.Size = uint32(raw[8])<<24 | uint32(raw[9])<<16 | uint32(raw[10])<<8 | uint32(raw[11])
-	} else {
-		h.Size = uint32(raw[11])<<24 | uint32(raw[10])<<16 | uint32(raw[9])<<8 | uint32(raw[8])
-	}
+	h.Size = cdr.ULongAt(raw, 8, h.Order)
 	if h.Size > MaxMessageSize {
 		return h, ErrMessageSize
 	}

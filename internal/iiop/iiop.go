@@ -93,6 +93,18 @@ func ListenAndActivate(o *orb.ORB, addr string) (*Server, error) {
 	return s, nil
 }
 
+// track registers a live connection, or reports that the server is
+// closed and the connection should be dropped.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
 func (s *Server) acceptLoop(ln net.Listener) {
 	defer s.wg.Done()
 	for {
@@ -100,14 +112,10 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
+		if !s.track(conn) {
 			_ = conn.Close()
 			return
 		}
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
@@ -162,20 +170,28 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// Close stops accepting and closes every live connection.
-func (s *Server) Close() error {
+// shutdown marks the server closed and hands back the listener and live
+// connections to tear down; ok is false when already closed.
+func (s *Server) shutdown() (ln net.Listener, conns []net.Conn, ok bool) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
-		s.mu.Unlock()
-		return nil
+		return nil, nil, false
 	}
 	s.closed = true
-	ln := s.ln
-	conns := make([]net.Conn, 0, len(s.conns))
+	conns = make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
 		conns = append(conns, c)
 	}
-	s.mu.Unlock()
+	return s.ln, conns, true
+}
+
+// Close stops accepting and closes every live connection.
+func (s *Server) Close() error {
+	ln, conns, ok := s.shutdown()
+	if !ok {
+		return nil
+	}
 	var err error
 	if ln != nil {
 		err = ln.Close()
@@ -335,17 +351,24 @@ func (c *clientConn) fail(err error) {
 	_ = c.conn.Close()
 }
 
+// register enrolls a reply channel for requestID, failing fast when the
+// connection is already dead.
+func (c *clientConn) register(requestID uint32, ch chan *giop.Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	c.pending[requestID] = ch
+	return nil
+}
+
 // Call implements orb.Channel.
 func (c *clientConn) Call(req *giop.Message, requestID uint32) (*giop.Message, error) {
 	ch := make(chan *giop.Message, 1)
-	c.mu.Lock()
-	if c.err != nil {
-		err := c.err
-		c.mu.Unlock()
+	if err := c.register(requestID, ch); err != nil {
 		return nil, err
 	}
-	c.pending[requestID] = ch
-	c.mu.Unlock()
 
 	if err := c.write(req); err != nil {
 		c.mu.Lock()
@@ -389,15 +412,21 @@ func (c *clientConn) write(m *giop.Message) error {
 	return writeMaybeFragmented(c.conn, m.Header, m.Body, c.maxFragment)
 }
 
-// Close implements orb.Channel.
-func (c *clientConn) Close() error {
+// markClosed flips the closed flag, reporting whether this caller won.
+func (c *clientConn) markClosed() bool {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.closed {
-		c.mu.Unlock()
-		return nil
+		return false
 	}
 	c.closed = true
-	c.mu.Unlock()
-	c.fail(errConnClosed)
+	return true
+}
+
+// Close implements orb.Channel.
+func (c *clientConn) Close() error {
+	if c.markClosed() {
+		c.fail(errConnClosed)
+	}
 	return nil
 }

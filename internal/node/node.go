@@ -273,15 +273,33 @@ func (n *Node) Uninstall(id component.ID) error {
 	return nil
 }
 
+// cachedContainer returns the already-created container for id, if any.
+func (n *Node) cachedContainer(id component.ID) (*container.Container, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ct, ok := n.containers[id]
+	return ct, ok
+}
+
+// adoptContainer records ct for id unless a concurrent caller won the
+// race; the winning container is returned along with whether ct was the
+// one adopted.
+func (n *Node) adoptContainer(id component.ID, ct *container.Container) (*container.Container, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if existing, ok := n.containers[id]; ok {
+		return existing, false
+	}
+	n.containers[id] = ct
+	return ct, true
+}
+
 // ContainerFor returns (creating on demand) the container hosting a
 // component's instances on this node.
 func (n *Node) ContainerFor(id component.ID) (*container.Container, error) {
-	n.mu.Lock()
-	if ct, ok := n.containers[id]; ok {
-		n.mu.Unlock()
+	if ct, ok := n.cachedContainer(id); ok {
 		return ct, nil
 	}
-	n.mu.Unlock()
 	c, ok := n.repo.Get(id)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotInstalled, id)
@@ -290,15 +308,11 @@ func (n *Node) ContainerFor(id component.ID) (*container.Container, error) {
 	if err != nil {
 		return nil, err
 	}
-	n.mu.Lock()
-	if existing, ok := n.containers[id]; ok {
-		n.mu.Unlock()
+	winner, adopted := n.adoptContainer(id, ct)
+	if !adopted {
 		ct.Close()
-		return existing, nil
 	}
-	n.containers[id] = ct
-	n.mu.Unlock()
-	return ct, nil
+	return winner, nil
 }
 
 // Instantiate creates (and dependency-resolves) an instance of an

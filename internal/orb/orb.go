@@ -339,15 +339,24 @@ func (o *ORB) channelFor(tag uint32, profile []byte) (Channel, error) {
 	if err != nil {
 		return nil, err
 	}
-	o.mu.Lock()
-	if existing, ok := o.channels[key]; ok {
-		o.mu.Unlock()
+	winner, adopted := o.adoptChannel(key, ch)
+	if !adopted {
 		_ = ch.Close()
-		return existing, nil
+	}
+	return winner, nil
+}
+
+// adoptChannel caches ch under key unless a concurrent dial won the
+// race; the cached winner is returned along with whether ch was the one
+// adopted.
+func (o *ORB) adoptChannel(key string, ch Channel) (Channel, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if existing, ok := o.channels[key]; ok {
+		return existing, false
 	}
 	o.channels[key] = ch
-	o.mu.Unlock()
-	return ch, nil
+	return ch, true
 }
 
 // dropChannel forgets a cached channel after a failure so the next call
