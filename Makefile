@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race fmt tidy clean
+.PHONY: check build vet lint test race bench fmt tidy clean
 
 ## check: the full tier-1 gate — what CI runs on every push/PR.
 check: fmt tidy build vet lint race
@@ -22,6 +22,11 @@ test:
 
 race:
 	$(GO) test -race -count=1 ./...
+
+## bench: compile and run every benchmark once (-benchtime=1x) so CI
+## catches bench-only bit-rot without paying for real measurement runs.
+bench:
+	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
 
 ## fmt: fail (listing offenders) if any file is not gofmt-clean.
 fmt:

@@ -24,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -306,7 +307,7 @@ func deployAssembly(contact, path, listen string) {
 	deadline := time.Now().Add(15 * time.Second)
 	for _, decl := range app.Instances {
 		for {
-			offers, err := peer.Agent.Query(node.ComponentKey(decl.Component), orDefaultStr(decl.Version, "*"))
+			offers, err := peer.Agent.Query(context.Background(), node.ComponentKey(decl.Component), orDefaultStr(decl.Version, "*"))
 			if err == nil && len(offers) > 0 {
 				break
 			}
@@ -317,7 +318,7 @@ func deployAssembly(contact, path, listen string) {
 		}
 	}
 
-	dep, err := assembly.Deploy(peer.Engine, peer.Node.ORB(), app)
+	dep, err := assembly.Deploy(context.Background(), peer.Engine, peer.Node.ORB(), app)
 	if err != nil {
 		fatal(err)
 	}

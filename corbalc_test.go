@@ -1,6 +1,7 @@
 package corbalc_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -39,7 +40,7 @@ func hello(t *testing.T, p *corbalc.Peer, who string) string {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		ref, err := p.Engine.Resolve(xmldesc.Port{
+		ref, err := p.Engine.Resolve(context.Background(), xmldesc.Port{
 			Kind: xmldesc.PortUses, Name: "g", RepoID: "IDL:facade/Greeter:1.0",
 		})
 		if err == nil {
@@ -229,7 +230,7 @@ func TestFigure1NodeWiring(t *testing.T) {
 	if before.Capability != node.CapServer || before.CPUCores != 16 {
 		t.Fatalf("static info = %+v", before)
 	}
-	if _, err := p.Node.Instantiate(comp.ID(), "g1"); err != nil {
+	if _, err := p.Node.Instantiate(context.Background(), comp.ID(), "g1"); err != nil {
 		t.Fatal(err)
 	}
 	after := readReport()

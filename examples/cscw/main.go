@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -265,7 +266,7 @@ func main() {
 	waitVisible(pda, "component:whiteboard")
 	waitVisible(ws, "component:display")
 
-	dep, err := assembly.Deploy(ws.Engine, ws.Node.ORB(), app)
+	dep, err := assembly.Deploy(context.Background(), ws.Engine, ws.Node.ORB(), app)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -285,7 +286,7 @@ func main() {
 	fmt.Println("pda added 8 strokes through the remote Board port")
 	time.Sleep(300 * time.Millisecond) // let events cross the bridge
 
-	screen, err := ws.Engine.ProvidePort(dep.Placements["screen"], "graphics")
+	screen, err := ws.Engine.ProvidePort(context.Background(), dep.Placements["screen"], "graphics")
 	must(err)
 	fmt.Println("\nworkstation display (gui-strokes 1.x draws '*'):")
 	fmt.Print(render(ws, screen))
@@ -294,7 +295,7 @@ func main() {
 	// part 2.x — same model, enhanced rendering, no other change.
 	dep.Teardown()
 	app.Instances[1].Version = "2.*"
-	dep2, err := assembly.Deploy(ws.Engine, ws.Node.ORB(), app)
+	dep2, err := assembly.Deploy(context.Background(), ws.Engine, ws.Node.ORB(), app)
 	must(err)
 	defer dep2.Teardown()
 	boardRef = resolve(pda, "IDL:cscw/Board:1.0")
@@ -305,7 +306,7 @@ func main() {
 		}, nil))
 	}
 	time.Sleep(300 * time.Millisecond)
-	screen2, err := ws.Engine.ProvidePort(dep2.Placements["screen"], "graphics")
+	screen2, err := ws.Engine.ProvidePort(context.Background(), dep2.Placements["screen"], "graphics")
 	must(err)
 	fmt.Println("\nafter replacing the GUI part with version 2.x (digits):")
 	fmt.Print(render(ws, screen2))
@@ -321,7 +322,7 @@ func install(p *corbalc.Peer, s *component.Spec) {
 func waitVisible(p *corbalc.Peer, key string) {
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		if offers, err := p.Agent.Query(key, "*"); err == nil && len(offers) > 0 {
+		if offers, err := p.Agent.Query(context.Background(), key, "*"); err == nil && len(offers) > 0 {
 			return
 		}
 		time.Sleep(20 * time.Millisecond)
@@ -332,7 +333,7 @@ func waitVisible(p *corbalc.Peer, key string) {
 func resolve(p *corbalc.Peer, repoID string) *orb.ObjectRef {
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		ref, err := p.Engine.Resolve(xmldesc.Port{Kind: xmldesc.PortUses, Name: "u", RepoID: repoID})
+		ref, err := p.Engine.Resolve(context.Background(), xmldesc.Port{Kind: xmldesc.PortUses, Name: "u", RepoID: repoID})
 		if err == nil {
 			return p.Node.ORB().NewRef(ref)
 		}

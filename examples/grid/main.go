@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -206,7 +207,7 @@ func main() {
 	// Wait until the registry sees every volunteer's offer.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		offers, err := master.Agent.QueryAll(aggregate.AggregableRepoID, "*")
+		offers, err := master.Agent.QueryAll(context.Background(), aggregate.AggregableRepoID, "*")
 		if err == nil && len(offers) == volunteers {
 			break
 		}
@@ -220,7 +221,7 @@ func main() {
 	run := func(parts int) (*aggregate.Result, time.Duration) {
 		r := &aggregate.Runner{ORB: master.Node.ORB(), Query: master.Agent, PartsPerWorker: parts}
 		t0 := time.Now()
-		res, err := r.Run("primecount", "*", job)
+		res, err := r.Run(context.Background(), "primecount", "*", job)
 		if err != nil {
 			log.Fatal(err)
 		}

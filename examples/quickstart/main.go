@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -93,7 +94,7 @@ func main() {
 	// binds to a (shared) instance there.
 	var ref *orb.ObjectRef
 	for deadline := time.Now().Add(5 * time.Second); ; {
-		ior, err := beta.Engine.Resolve(xmldesc.Port{
+		ior, err := beta.Engine.Resolve(context.Background(), xmldesc.Port{
 			Kind: xmldesc.PortUses, Name: "g", RepoID: "IDL:quickstart/Greeter:1.0",
 		})
 		if err == nil {

@@ -1,6 +1,7 @@
 package corbalc_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -41,7 +42,7 @@ func TestServiceIDLConformance(t *testing.T) {
 	if _, err := p.Node.InstallComponent(comp); err != nil {
 		t.Fatal(err)
 	}
-	mi, err := p.Node.Instantiate(comp.ID(), "i1")
+	mi, err := p.Node.Instantiate(context.Background(), comp.ID(), "i1")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,6 +18,7 @@
 package aggregate
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -42,7 +43,7 @@ var (
 // Querier is the distributed-registry face the runner needs;
 // cohesion.Agent's QueryAll satisfies it.
 type Querier interface {
-	QueryAll(portRepoID, versionReq string) ([]*node.Offer, error)
+	QueryAll(ctx context.Context, portRepoID, versionReq string) ([]*node.Offer, error)
 }
 
 // Runner farms one aggregation job over the network.
@@ -67,9 +68,10 @@ type Result struct {
 }
 
 // Run splits job across every provider of the component (by name,
-// honouring verReq), processes the chunks in parallel, and gathers.
-func (r *Runner) Run(componentName, verReq string, job []byte) (*Result, error) {
-	offers, err := r.Query.QueryAll(AggregableRepoID, verReq)
+// honouring verReq), processes the chunks in parallel, and gathers. The
+// context bounds the whole job: discovery, split, farming and gather.
+func (r *Runner) Run(ctx context.Context, componentName, verReq string, job []byte) (*Result, error) {
+	offers, err := r.Query.QueryAll(ctx, AggregableRepoID, verReq)
 	if err != nil {
 		return nil, err
 	}
@@ -89,7 +91,7 @@ func (r *Runner) Run(componentName, verReq string, job []byte) (*Result, error) 
 
 	refs := make([]*orb.ObjectRef, 0, len(workers))
 	for _, of := range workers {
-		ref, err := r.obtain(of)
+		ref, err := r.obtain(ctx, of)
 		if err == nil {
 			refs = append(refs, ref)
 		}
@@ -106,7 +108,7 @@ func (r *Runner) Run(componentName, verReq string, job []byte) (*Result, error) 
 
 	// 1. Split on the first reachable instance: the component owns the
 	// decomposition logic.
-	chunks, err := r.split(refs[0], job, parts)
+	chunks, err := r.split(ctx, refs[0], job, parts)
 	if err != nil {
 		return nil, fmt.Errorf("aggregate: split: %w", err)
 	}
@@ -115,13 +117,13 @@ func (r *Runner) Run(componentName, verReq string, job []byte) (*Result, error) 
 	}
 
 	// 2. Farm the chunks with retry-on-failure.
-	partials, retries, err := r.farm(refs, chunks)
+	partials, retries, err := r.farm(ctx, refs, chunks)
 	if err != nil {
 		return nil, err
 	}
 
 	// 3. Gather on any instance.
-	out, err := r.gather(refs, partials)
+	out, err := r.gather(ctx, refs, partials)
 	if err != nil {
 		return nil, fmt.Errorf("aggregate: gather: %w", err)
 	}
@@ -129,10 +131,10 @@ func (r *Runner) Run(componentName, verReq string, job []byte) (*Result, error) 
 }
 
 // obtain binds to a provider's aggregable port.
-func (r *Runner) obtain(of *node.Offer) (*orb.ObjectRef, error) {
+func (r *Runner) obtain(ctx context.Context, of *node.Offer) (*orb.ObjectRef, error) {
 	acc := r.ORB.NewRef(of.Acceptor)
 	var port *ior.IOR
-	err := acc.Invoke("obtain",
+	err := acc.InvokeContext(ctx, "obtain",
 		func(e *cdr.Encoder) {
 			e.WriteString(of.ComponentID)
 			e.WriteString(AggregableRepoID)
@@ -148,9 +150,9 @@ func (r *Runner) obtain(of *node.Offer) (*orb.ObjectRef, error) {
 	return r.ORB.NewRef(port), nil
 }
 
-func (r *Runner) split(ref *orb.ObjectRef, job []byte, parts int) ([][]byte, error) {
+func (r *Runner) split(ctx context.Context, ref *orb.ObjectRef, job []byte, parts int) ([][]byte, error) {
 	var chunks [][]byte
-	err := ref.Invoke("split",
+	err := ref.InvokeContext(ctx, "split",
 		func(e *cdr.Encoder) {
 			e.WriteOctetSeq(job)
 			e.WriteLong(int32(parts))
@@ -174,7 +176,7 @@ func (r *Runner) split(ref *orb.ObjectRef, job []byte, parts int) ([][]byte, err
 
 // farm runs the chunks across the worker refs; a failed call resubmits
 // the chunk to another worker (volunteer churn, §3.2).
-func (r *Runner) farm(refs []*orb.ObjectRef, chunks [][]byte) ([][]byte, int, error) {
+func (r *Runner) farm(ctx context.Context, refs []*orb.ObjectRef, chunks [][]byte) ([][]byte, int, error) {
 	maxRetries := r.MaxRetries
 	if maxRetries <= 0 {
 		maxRetries = 3
@@ -198,7 +200,7 @@ func (r *Runner) farm(refs []*orb.ObjectRef, chunks [][]byte) ([][]byte, int, er
 		go func(ref *orb.ObjectRef) {
 			for tk := range work {
 				var partial []byte
-				err := ref.Invoke("process",
+				err := ref.InvokeContext(ctx, "process",
 					func(e *cdr.Encoder) { e.WriteOctetSeq(chunks[tk.idx]) },
 					func(d *cdr.Decoder) error {
 						var e error
@@ -217,7 +219,13 @@ func (r *Runner) farm(refs []*orb.ObjectRef, chunks [][]byte) ([][]byte, int, er
 	done := 0
 	retries := 0
 	for done < len(chunks) {
-		res := <-results
+		var res result
+		select {
+		case res = <-results:
+		case <-ctx.Done():
+			close(work)
+			return nil, retries, ctx.Err()
+		}
 		if res.err != nil {
 			if res.tries+1 > maxRetries {
 				close(work)
@@ -236,11 +244,11 @@ func (r *Runner) farm(refs []*orb.ObjectRef, chunks [][]byte) ([][]byte, int, er
 }
 
 // gather tries each worker in turn until one performs the reduction.
-func (r *Runner) gather(refs []*orb.ObjectRef, partials [][]byte) ([]byte, error) {
+func (r *Runner) gather(ctx context.Context, refs []*orb.ObjectRef, partials [][]byte) ([]byte, error) {
 	var lastErr error
 	for _, ref := range refs {
 		var out []byte
-		err := ref.Invoke("gather",
+		err := ref.InvokeContext(ctx, "gather",
 			func(e *cdr.Encoder) {
 				e.WriteULong(uint32(len(partials)))
 				for _, p := range partials {

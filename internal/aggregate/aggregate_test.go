@@ -1,6 +1,7 @@
 package aggregate_test
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"testing"
@@ -135,7 +136,7 @@ func aggCluster(t *testing.T, n int, delay time.Duration) *corbalc.Cluster {
 	// Wait for all offers.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		offers, err := c.Peers[0].Agent.QueryAll(aggregate.AggregableRepoID, "*")
+		offers, err := c.Peers[0].Agent.QueryAll(context.Background(), aggregate.AggregableRepoID, "*")
 		if err == nil && len(offers) == n-1 {
 			return c
 		}
@@ -158,7 +159,7 @@ func sumSq(n uint64) uint64 {
 func TestAggregateRun(t *testing.T) {
 	c := aggCluster(t, 5, 0) // 4 workers
 	r := &aggregate.Runner{ORB: c.Peers[0].Node.ORB(), Query: c.Peers[0].Agent}
-	res, err := r.Run("sumsquares", "*", putRange(0, 10_000))
+	res, err := r.Run(context.Background(), "sumsquares", "*", putRange(0, 10_000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestAggregateSurvivesMidRunChurn(t *testing.T) {
 		time.Sleep(30 * time.Millisecond)
 		c.Net.SetDown("w4", true)
 	}()
-	res, err := r.Run("sumsquares", "*", putRange(0, 5_000))
+	res, err := r.Run(context.Background(), "sumsquares", "*", putRange(0, 5_000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestAggregateWorkerDownBeforeRun(t *testing.T) {
 	c := aggCluster(t, 4, 0)
 	c.Net.SetDown("w3", true)
 	r := &aggregate.Runner{ORB: c.Peers[0].Node.ORB(), Query: c.Peers[0].Agent}
-	res, err := r.Run("sumsquares", "*", putRange(0, 3_000))
+	res, err := r.Run(context.Background(), "sumsquares", "*", putRange(0, 3_000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,11 +220,11 @@ func TestAggregateWorkerDownBeforeRun(t *testing.T) {
 func TestAggregateErrors(t *testing.T) {
 	c := aggCluster(t, 2, 0)
 	r := &aggregate.Runner{ORB: c.Peers[0].Node.ORB(), Query: c.Peers[0].Agent}
-	if _, err := r.Run("nonexistent", "*", putRange(0, 10)); !errors.Is(err, aggregate.ErrNoWorkers) {
+	if _, err := r.Run(context.Background(), "nonexistent", "*", putRange(0, 10)); !errors.Is(err, aggregate.ErrNoWorkers) {
 		t.Fatalf("err = %v", err)
 	}
 	// Version filter that matches nothing.
-	if _, err := r.Run("sumsquares", ">=9.0", putRange(0, 10)); !errors.Is(err, aggregate.ErrNoWorkers) {
+	if _, err := r.Run(context.Background(), "sumsquares", ">=9.0", putRange(0, 10)); !errors.Is(err, aggregate.ErrNoWorkers) {
 		t.Fatalf("version err = %v", err)
 	}
 }

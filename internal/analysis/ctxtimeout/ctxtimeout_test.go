@@ -8,5 +8,7 @@ import (
 )
 
 func TestCtxTimeout(t *testing.T) {
-	analysistest.Run(t, ctxtimeout.Analyzer, "a")
+	// "internal/b" simulates a corbalc/internal caller (wrapper calls
+	// flagged); "pub" simulates the public facade (wrappers allowed).
+	analysistest.Run(t, ctxtimeout.Analyzer, "a", "pub", "internal/b")
 }

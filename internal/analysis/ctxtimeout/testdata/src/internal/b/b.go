@@ -1,0 +1,75 @@
+// Package b stands in for a corbalc/internal package: here the
+// context-less invocation wrappers are off-limits, because internal
+// callers sit on the invocation path and must propagate the caller's
+// deadline and cancellation end-to-end.
+package b
+
+import (
+	"context"
+
+	"corbalc/internal/cdr"
+	"corbalc/internal/dii"
+	"corbalc/internal/orb"
+)
+
+// Bad: a context-less two-way call cannot carry a deadline.
+func badInvoke(ref *orb.ObjectRef) error {
+	return ref.Invoke("ping", nil, nil) // want `use InvokeContext`
+}
+
+// Bad: oneways still ride the connection and must be cancellable.
+func badOneway(ref *orb.ObjectRef) error {
+	return ref.InvokeOneway("push", nil) // want `use InvokeOnewayContext`
+}
+
+// Bad: liveness pings are exactly the calls that hang on dead peers.
+func badExists(ref *orb.ObjectRef) (bool, error) {
+	return ref.Exists() // want `use ExistsContext`
+}
+
+// Bad: the DII wrappers are wrappers too.
+func badDIICall(o *dii.Object) (*dii.Result, error) {
+	return o.Call("op") // want `use CallContext`
+}
+
+// Bad: attribute access is a remote call.
+func badDIIGet(o *dii.Object) (any, error) {
+	return o.Get("size") // want `use GetContext`
+}
+
+// Bad: so is attribute mutation.
+func badDIISet(o *dii.Object) error {
+	return o.Set("size", int32(1)) // want `use SetContext`
+}
+
+// Good: the context-aware forms are the internal surface.
+func goodContextForms(ctx context.Context, ref *orb.ObjectRef, o *dii.Object) error {
+	if err := ref.InvokeContext(ctx, "ping", nil, nil); err != nil {
+		return err
+	}
+	if err := ref.InvokeOnewayContext(ctx, "push", nil); err != nil {
+		return err
+	}
+	if _, err := ref.ExistsContext(ctx); err != nil {
+		return err
+	}
+	if _, err := o.CallContext(ctx, "op"); err != nil {
+		return err
+	}
+	if _, err := o.GetContext(ctx, "size"); err != nil {
+		return err
+	}
+	return o.SetContext(ctx, "size", int32(2))
+}
+
+// Good: Servant.Invoke is the server-side dispatch interface, not the
+// client wrapper — same method name, different receiver.
+func goodServantDispatch(s orb.Servant, args *cdr.Decoder, reply *cdr.Encoder) error {
+	return s.Invoke("ping", args, reply)
+}
+
+// Suppressed: an acknowledged context-less call stays silent.
+func suppressedInvoke(ref *orb.ObjectRef) error {
+	//lint:ignore ctxtimeout fire-and-forget shutdown notification, peer may already be gone
+	return ref.Invoke("bye", nil, nil)
+}

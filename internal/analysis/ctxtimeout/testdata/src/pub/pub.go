@@ -1,0 +1,33 @@
+// Package pub stands in for non-internal code — the corbalc facade,
+// cmd/ and examples/ — where the context-less wrappers are the
+// supported convenience surface and must NOT be flagged.
+package pub
+
+import (
+	"corbalc/internal/dii"
+	"corbalc/internal/orb"
+)
+
+// Good here: public-facing code may use the wrappers.
+func fineInvoke(ref *orb.ObjectRef) error {
+	return ref.Invoke("ping", nil, nil)
+}
+
+// Good here: likewise the oneway and liveness wrappers.
+func fineOnewayExists(ref *orb.ObjectRef) (bool, error) {
+	if err := ref.InvokeOneway("push", nil); err != nil {
+		return false, err
+	}
+	return ref.Exists()
+}
+
+// Good here: and the DII convenience forms.
+func fineDII(o *dii.Object) error {
+	if _, err := o.Call("op"); err != nil {
+		return err
+	}
+	if _, err := o.Get("size"); err != nil {
+		return err
+	}
+	return o.Set("size", int32(1))
+}

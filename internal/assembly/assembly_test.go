@@ -2,6 +2,7 @@ package assembly_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"sync/atomic"
@@ -181,8 +182,8 @@ func appCluster(t *testing.T) *corbalc.Cluster {
 	// Wait until host0 can see both components.
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		p, _ := c.Peers[0].Agent.Query("component:producer", "*")
-		q, _ := c.Peers[0].Agent.Query("component:consumer", "*")
+		p, _ := c.Peers[0].Agent.Query(context.Background(), "component:producer", "*")
+		q, _ := c.Peers[0].Agent.Query(context.Background(), "component:consumer", "*")
 		if len(p) > 0 && len(q) > 0 {
 			return c
 		}
@@ -198,7 +199,7 @@ func TestDeployAcrossNodes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dep, err := assembly.Deploy(c.Peers[0].Engine, c.Peers[0].Node.ORB(), a)
+	dep, err := assembly.Deploy(context.Background(), c.Peers[0].Engine, c.Peers[0].Node.ORB(), a)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +216,7 @@ func TestDeployAcrossNodes(t *testing.T) {
 	// Drive the app from host0: send strokes through the producer's ctl
 	// port; they must reach the consumer on the other node through the
 	// bridged event channel.
-	ctl, err := c.Peers[0].Engine.ProvidePort(dep.Placements["prod"], "ctl")
+	ctl, err := c.Peers[0].Engine.ProvidePort(context.Background(), dep.Placements["prod"], "ctl")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +251,7 @@ func TestTeardownDestroysInstances(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dep, err := assembly.Deploy(c.Peers[0].Engine, c.Peers[0].Node.ORB(), a)
+	dep, err := assembly.Deploy(context.Background(), c.Peers[0].Engine, c.Peers[0].Node.ORB(), a)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +277,7 @@ func TestDeployFailsForMissingComponent(t *testing.T) {
 			{Name: "x", Component: "nonexistent"},
 		},
 	}
-	if _, err := assembly.Deploy(c.Peers[0].Engine, c.Peers[0].Node.ORB(), a); err == nil {
+	if _, err := assembly.Deploy(context.Background(), c.Peers[0].Engine, c.Peers[0].Node.ORB(), a); err == nil {
 		t.Fatal("deploy of missing component succeeded")
 	}
 }
@@ -289,11 +290,11 @@ func TestDeployVersionRequirement(t *testing.T) {
 			{Name: "p", Component: "producer", Version: ">=2.0"},
 		},
 	}
-	if _, err := assembly.Deploy(c.Peers[0].Engine, c.Peers[0].Node.ORB(), a); err == nil {
+	if _, err := assembly.Deploy(context.Background(), c.Peers[0].Engine, c.Peers[0].Node.ORB(), a); err == nil {
 		t.Fatal("version >=2.0 matched a 1.2.0 component")
 	}
 	a.Instances[0].Version = "1.*"
-	dep, err := assembly.Deploy(c.Peers[0].Engine, c.Peers[0].Node.ORB(), a)
+	dep, err := assembly.Deploy(context.Background(), c.Peers[0].Engine, c.Peers[0].Node.ORB(), a)
 	if err != nil {
 		t.Fatal(err)
 	}

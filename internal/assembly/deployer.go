@@ -1,6 +1,7 @@
 package assembly
 
 import (
+	"context"
 	"fmt"
 
 	"corbalc/internal/cdr"
@@ -29,7 +30,7 @@ type bridgeRec struct {
 // time: each instance is placed on the currently best node, connections
 // are wired through the instances' reflective interfaces, and event
 // links become channel bridges between the hosting nodes.
-func Deploy(e *deploy.Engine, o *orb.ORB, a *Assembly) (*Deployed, error) {
+func Deploy(ctx context.Context, e *deploy.Engine, o *orb.ORB, a *Assembly) (*Deployed, error) {
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
@@ -40,7 +41,7 @@ func Deploy(e *deploy.Engine, o *orb.ORB, a *Assembly) (*Deployed, error) {
 	}
 	// Phase 1: placement.
 	for _, decl := range a.Instances {
-		pl, err := e.Place(decl.Component, decl.Version, a.Name+"."+decl.Name)
+		pl, err := e.Place(ctx, decl.Component, decl.Version, a.Name+"."+decl.Name)
 		if err != nil {
 			dep.Teardown()
 			return nil, fmt.Errorf("assembly %s: placing %s: %w", a.Name, decl.Name, err)
@@ -50,12 +51,12 @@ func Deploy(e *deploy.Engine, o *orb.ORB, a *Assembly) (*Deployed, error) {
 	// Phase 2: port connections (uses -> provides).
 	for _, c := range a.Connections {
 		from, to := dep.Placements[c.From], dep.Placements[c.To]
-		target, err := e.ProvidePort(to, c.ToPort)
+		target, err := e.ProvidePort(ctx, to, c.ToPort)
 		if err != nil {
 			dep.Teardown()
 			return nil, fmt.Errorf("assembly %s: port %s.%s: %w", a.Name, c.To, c.ToPort, err)
 		}
-		if err := e.Connect(from, c.FromPort, target); err != nil {
+		if err := e.Connect(ctx, from, c.FromPort, target); err != nil {
 			dep.Teardown()
 			return nil, fmt.Errorf("assembly %s: connecting %s.%s: %w", a.Name, c.From, c.FromPort, err)
 		}
@@ -68,12 +69,12 @@ func Deploy(e *deploy.Engine, o *orb.ORB, a *Assembly) (*Deployed, error) {
 		if from.Node == to.Node {
 			continue
 		}
-		typeID, err := dep.portRepoID(from, l.FromPort)
+		typeID, err := dep.portRepoID(ctx, from, l.FromPort)
 		if err != nil {
 			dep.Teardown()
 			return nil, fmt.Errorf("assembly %s: event link %s.%s: %w", a.Name, l.From, l.FromPort, err)
 		}
-		if err := dep.bridge(from, to, typeID); err != nil {
+		if err := dep.bridge(ctx, from, to, typeID); err != nil {
 			dep.Teardown()
 			return nil, fmt.Errorf("assembly %s: bridging %s -> %s: %w", a.Name, from.Node, to.Node, err)
 		}
@@ -82,10 +83,10 @@ func Deploy(e *deploy.Engine, o *orb.ORB, a *Assembly) (*Deployed, error) {
 }
 
 // portRepoID asks an instance's reflective interface for a port's type.
-func (dep *Deployed) portRepoID(pl *deploy.Placement, port string) (string, error) {
+func (dep *Deployed) portRepoID(ctx context.Context, pl *deploy.Placement, port string) (string, error) {
 	equiv := dep.o.NewRef(pl.Equivalent)
 	var repoID string
-	err := equiv.Invoke("ports", nil, func(d *cdr.Decoder) error {
+	err := equiv.InvokeContext(ctx, "ports", nil, func(d *cdr.Decoder) error {
 		n, err := d.ReadULong()
 		if err != nil {
 			return err
@@ -124,10 +125,10 @@ func (dep *Deployed) portRepoID(pl *deploy.Placement, port string) (string, erro
 }
 
 // eventServiceOf fetches a node's event service ref through its acceptor.
-func (dep *Deployed) eventServiceOf(pl *deploy.Placement) (*ior.IOR, error) {
+func (dep *Deployed) eventServiceOf(ctx context.Context, pl *deploy.Placement) (*ior.IOR, error) {
 	acc := dep.o.NewRef(pl.Acceptor)
 	var ref *ior.IOR
-	err := acc.Invoke("event_service", nil, func(d *cdr.Decoder) error {
+	err := acc.InvokeContext(ctx, "event_service", nil, func(d *cdr.Decoder) error {
 		var err error
 		ref, err = ior.Unmarshal(d)
 		return err
@@ -137,18 +138,18 @@ func (dep *Deployed) eventServiceOf(pl *deploy.Placement) (*ior.IOR, error) {
 
 // bridge links the emitter node's channel for typeID to the consumer's
 // node.
-func (dep *Deployed) bridge(from, to *deploy.Placement, typeID string) error {
-	src, err := dep.eventServiceOf(from)
+func (dep *Deployed) bridge(ctx context.Context, from, to *deploy.Placement, typeID string) error {
+	src, err := dep.eventServiceOf(ctx, from)
 	if err != nil {
 		return err
 	}
-	dst, err := dep.eventServiceOf(to)
+	dst, err := dep.eventServiceOf(ctx, to)
 	if err != nil {
 		return err
 	}
 	srcRef := dep.o.NewRef(src)
 	var id string
-	err = srcRef.Invoke("bridge",
+	err = srcRef.InvokeContext(ctx, "bridge",
 		func(e *cdr.Encoder) {
 			e.WriteString(typeID)
 			dst.Marshal(e)
@@ -166,17 +167,22 @@ func (dep *Deployed) bridge(from, to *deploy.Placement, typeID string) error {
 }
 
 // Teardown removes bridges and destroys the application's instances
-// (best effort: unreachable nodes are skipped).
-func (dep *Deployed) Teardown() {
+// (best effort: unreachable nodes are skipped). It accepts no context so
+// deferred cleanup still runs after the deploy context is cancelled; use
+// TeardownContext to bound it.
+func (dep *Deployed) Teardown() { dep.TeardownContext(context.Background()) }
+
+// TeardownContext is Teardown bounded by ctx.
+func (dep *Deployed) TeardownContext(ctx context.Context) {
 	for _, b := range dep.bridges {
 		ref := dep.o.NewRef(b.events)
-		_ = ref.Invoke("unbridge", func(e *cdr.Encoder) { e.WriteString(b.id) }, nil)
+		_ = ref.InvokeContext(ctx, "unbridge", func(e *cdr.Encoder) { e.WriteString(b.id) }, nil)
 	}
 	dep.bridges = nil
 	for declName, pl := range dep.Placements {
 		reg := dep.o.NewRef(pl.Registry)
 		var factory *ior.IOR
-		err := reg.Invoke("factory",
+		err := reg.InvokeContext(ctx, "factory",
 			func(e *cdr.Encoder) { e.WriteString(pl.ComponentID) },
 			func(d *cdr.Decoder) error {
 				var err error
@@ -187,7 +193,7 @@ func (dep *Deployed) Teardown() {
 			continue
 		}
 		fref := dep.o.NewRef(factory)
-		_ = fref.Invoke("destroy",
+		_ = fref.InvokeContext(ctx, "destroy",
 			func(e *cdr.Encoder) { e.WriteString(dep.Assembly.Name + "." + declName) }, nil)
 	}
 }

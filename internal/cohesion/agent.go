@@ -1,6 +1,7 @@
 package cohesion
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -147,6 +148,12 @@ type Agent struct {
 	prevSentAt time.Time
 	forceSend  bool
 
+	// ctx is the agent's lifetime context: every RPC the protocol makes
+	// derives from it (with a per-call timeout), so Stop cancels all
+	// in-flight calls.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	stop  chan struct{}
 	wg    sync.WaitGroup
 	ticks uint64 // tick counter driving periodic anti-entropy
@@ -181,6 +188,7 @@ func NewAgent(cfg Config) *Agent {
 		stop:      make(chan struct{}),
 		pushDir:   make(chan *Directory, 1),
 	}
+	a.ctx, a.cancel = context.WithCancel(context.Background())
 	a.name = cfg.Node.Name()
 	a.o.Activate(KeyCohesion, &agentServant{a: a})
 	if cfg.Mode == Strong {
@@ -278,7 +286,9 @@ func (a *Agent) Join(contact *ior.IOR) error {
 	ref := a.o.NewRef(contact)
 	var dir *Directory
 	desc := a.Desc()
-	err := ref.Invoke("join",
+	ctx, cancel := a.rpcCtx()
+	defer cancel()
+	err := ref.InvokeContext(ctx, "join",
 		func(e *cdr.Encoder) { desc.Marshal(e) },
 		func(d *cdr.Decoder) error {
 			var e error
@@ -308,7 +318,9 @@ func (a *Agent) Leave() {
 	a.joined = false
 	a.mu.Unlock()
 	if joined {
-		_ = a.callRoot("leave", func(e *cdr.Encoder) { e.WriteString(a.name) }, nil)
+		ctx, cancel := a.rpcCtx()
+		_ = a.callRoot(ctx, "leave", func(e *cdr.Encoder) { e.WriteString(a.name) }, nil)
+		cancel()
 	}
 	a.Stop()
 }
@@ -323,6 +335,7 @@ func (a *Agent) Stop() {
 		close(a.stop)
 	}
 	a.mu.Unlock()
+	a.cancel() // aborts in-flight protocol RPCs
 	a.wg.Wait()
 }
 
@@ -447,8 +460,10 @@ func (a *Agent) tick() {
 // syncDirectory compares epochs with the root and reconciles: adopt the
 // newer directory, or rejoin if this node has been expelled.
 func (a *Agent) syncDirectory() {
+	ctx, cancel := a.rpcCtx()
+	defer cancel()
 	var rootEpoch uint64
-	err := a.callRoot("ping", nil, func(d *cdr.Decoder) error {
+	err := a.callRoot(ctx, "ping", nil, func(d *cdr.Decoder) error {
 		var e error
 		rootEpoch, e = d.ReadULongLong()
 		return e
@@ -463,7 +478,7 @@ func (a *Agent) syncDirectory() {
 		return
 	}
 	var dir *Directory
-	err = a.callRoot("get_directory", nil, func(d *cdr.Decoder) error {
+	err = a.callRoot(ctx, "get_directory", nil, func(d *cdr.Decoder) error {
 		var e error
 		dir, e = UnmarshalDirectory(d)
 		return e
@@ -480,7 +495,7 @@ func (a *Agent) syncDirectory() {
 		// root and adopt the resulting directory.
 		desc := a.Desc()
 		var fresh *Directory
-		err := a.callRoot("join",
+		err := a.callRoot(ctx, "join",
 			func(e *cdr.Encoder) { desc.Marshal(e) },
 			func(d *cdr.Decoder) error {
 				var e error
@@ -568,6 +583,8 @@ func (a *Agent) sendUpdate(cands []string, report *node.Report, offers []*node.O
 	// Measure the payload size once for accounting.
 	sizer := cdr.NewEncoder(cdr.LittleEndian)
 	payload(sizer)
+	ctx, cancel := a.rpcCtx()
+	defer cancel()
 	for _, cand := range cands {
 		ref, ok := a.refOf(cand)
 		if !ok {
@@ -575,7 +592,7 @@ func (a *Agent) sendUpdate(cands []string, report *node.Report, offers []*node.O
 		}
 		a.updatesSent.Add(1)
 		a.updateBytes.Add(uint64(sizer.Len()))
-		_ = ref.InvokeOneway("update", payload)
+		_ = ref.InvokeOnewayContext(ctx, "update", payload)
 	}
 }
 
@@ -605,6 +622,8 @@ func (a *Agent) floodReport() {
 	sizer := cdr.NewEncoder(cdr.LittleEndian)
 	payload(sizer)
 	a.floods.Add(1)
+	ctx, cancel := a.rpcCtx()
+	defer cancel()
 	for _, name := range names {
 		if name == a.name {
 			continue
@@ -615,7 +634,7 @@ func (a *Agent) floodReport() {
 		}
 		a.updatesSent.Add(1)
 		a.updateBytes.Add(uint64(sizer.Len()))
-		_ = ref.InvokeOneway("update", payload)
+		_ = ref.InvokeOnewayContext(ctx, "update", payload)
 	}
 }
 
@@ -634,6 +653,21 @@ func (a *Agent) refOf(name string) (*orb.ObjectRef, bool) {
 // dead.
 func (a *Agent) failTimeout() time.Duration {
 	return a.cfg.UpdateInterval * time.Duration(a.cfg.FailMultiple)
+}
+
+// rpcTimeout bounds one protocol RPC: generous against the failure
+// timeout so a slow-but-alive peer is not cut off, with a 2s floor
+// protecting experiments that compress UpdateInterval.
+func (a *Agent) rpcTimeout() time.Duration {
+	if t := 4 * a.failTimeout(); t > 2*time.Second {
+		return t
+	}
+	return 2 * time.Second
+}
+
+// rpcCtx derives a per-RPC context from the agent's lifetime context.
+func (a *Agent) rpcCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(a.ctx, a.rpcTimeout())
 }
 
 // actingLeader reports whether this agent currently leads its group: it
@@ -695,6 +729,8 @@ func (a *Agent) sendSummary(group int, rootCands []string) {
 		e.WriteDouble(freeCPU)
 		e.WriteStringSeq(exportList)
 	}
+	ctx, cancel := a.rpcCtx()
+	defer cancel()
 	for _, rc := range rootCands {
 		if rc == a.name {
 			// Local shortcut: ingest own summary directly.
@@ -705,7 +741,7 @@ func (a *Agent) sendSummary(group int, rootCands []string) {
 		if !ok {
 			continue
 		}
-		_ = ref.InvokeOneway("summary", payload)
+		_ = ref.InvokeOnewayContext(ctx, "summary", payload)
 	}
 }
 
@@ -747,10 +783,12 @@ func (a *Agent) reportDeaths(group int) {
 
 	for _, name := range suspects {
 		if ref, ok := a.refOf(name); ok {
-			err := ref.Invoke("ping", nil, func(d *cdr.Decoder) error {
+			pingCtx, cancel := a.rpcCtx()
+			err := ref.InvokeContext(pingCtx, "ping", nil, func(d *cdr.Decoder) error {
 				_, e := d.ReadULongLong()
 				return e
 			})
+			cancel()
 			if err == nil {
 				// Alive after all: refresh liveness, keep the view.
 				a.mu.Lock()
@@ -763,7 +801,10 @@ func (a *Agent) reportDeaths(group int) {
 				continue
 			}
 		}
-		if err := a.callRoot("report_dead", func(e *cdr.Encoder) { e.WriteString(name) }, nil); err == nil {
+		ctx, cancel := a.rpcCtx()
+		err := a.callRoot(ctx, "report_dead", func(e *cdr.Encoder) { e.WriteString(name) }, nil)
+		cancel()
+		if err == nil {
 			a.mu.Lock()
 			delete(a.view, name)
 			delete(a.expected, name)
@@ -772,17 +813,21 @@ func (a *Agent) reportDeaths(group int) {
 	}
 }
 
-// callRoot invokes an operation on the first reachable root MRM replica.
-func (a *Agent) callRoot(op string, args orb.Marshaller, result orb.Unmarshaller) error {
+// callRoot invokes an operation on the first reachable root MRM replica
+// under ctx.
+func (a *Agent) callRoot(ctx context.Context, op string, args orb.Marshaller, result orb.Unmarshaller) error {
 	a.mu.Lock()
 	rootCands := a.dir.RootCandidates(a.cfg.Replicas)
 	a.mu.Unlock()
 	var lastErr error = ErrNoRoot
 	for _, rc := range rootCands {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if rc == a.name {
 			// Self-call through the ORB's collocation path.
 			ref := a.o.NewRef(a.CohesionIOR())
-			if err := ref.Invoke(op, args, result); err == nil {
+			if err := ref.InvokeContext(ctx, op, args, result); err == nil {
 				return nil
 			} else {
 				lastErr = err
@@ -793,7 +838,7 @@ func (a *Agent) callRoot(op string, args orb.Marshaller, result orb.Unmarshaller
 		if !ok {
 			continue
 		}
-		if err := ref.Invoke(op, args, result); err == nil {
+		if err := ref.InvokeContext(ctx, op, args, result); err == nil {
 			return nil
 		} else {
 			lastErr = err

@@ -1,6 +1,7 @@
 package cohesion
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"testing/quick"
@@ -198,7 +199,7 @@ func TestSoftUpdatesPopulateMRMView(t *testing.T) {
 	})
 	// Query from another member of the same group resolves locally (one
 	// MRM hop, no root involvement).
-	offers, err := tc.agents[1].Query("IDL:test/Adder:1.0", "*")
+	offers, err := tc.agents[1].Query(context.Background(), "IDL:test/Adder:1.0", "*")
 	if err != nil || len(offers) != 1 || offers[0].Node != "n02" {
 		t.Fatalf("query = %+v, %v", offers, err)
 	}
@@ -216,11 +217,11 @@ func TestHierarchicalQueryAcrossGroups(t *testing.T) {
 	// n06 (group 2) asks; its group has nothing, so the query climbs to
 	// the root, whose summaries route it to group 1.
 	waitFor(t, 5*time.Second, "cross-group query to find the offer", func() bool {
-		offers, err := tc.agents[6].Query("IDL:test/Adder:1.0", ">=2.0")
+		offers, err := tc.agents[6].Query(context.Background(), "IDL:test/Adder:1.0", ">=2.0")
 		return err == nil && len(offers) == 1 && offers[0].Node == "n05"
 	})
 	// Version filtering works across the hierarchy.
-	offers, err := tc.agents[6].Query("IDL:test/Adder:1.0", "<2.0")
+	offers, err := tc.agents[6].Query(context.Background(), "IDL:test/Adder:1.0", "<2.0")
 	if err != nil || len(offers) != 0 {
 		t.Fatalf("filtered query = %+v, %v", offers, err)
 	}
@@ -238,7 +239,7 @@ func TestFlatQueryBaseline(t *testing.T) {
 	if _, err := tc.nodes[4].InstallComponent(c); err != nil {
 		t.Fatal(err)
 	}
-	offers, err := tc.agents[1].QueryFlat("IDL:test/Adder:1.0", "*")
+	offers, err := tc.agents[1].QueryFlat(context.Background(), "IDL:test/Adder:1.0", "*")
 	if err != nil || len(offers) != 1 || offers[0].Node != "n04" {
 		t.Fatalf("flat query = %+v, %v", offers, err)
 	}
@@ -291,7 +292,7 @@ func TestMRMFailoverToReplica(t *testing.T) {
 	})
 	// Queries from the surviving member still resolve via the replica.
 	waitFor(t, 3*time.Second, "query after failover", func() bool {
-		offers, err := tc.agents[2].Query("IDL:test/Adder:1.0", "*")
+		offers, err := tc.agents[2].Query(context.Background(), "IDL:test/Adder:1.0", "*")
 		return err == nil && len(offers) == 1
 	})
 }
@@ -307,7 +308,7 @@ func TestStrongModePerfectKnowledge(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitFor(t, 3*time.Second, "flooded knowledge on n01", func() bool {
-		offers, err := tc.agents[1].Query("IDL:test/Adder:1.0", "*")
+		offers, err := tc.agents[1].Query(context.Background(), "IDL:test/Adder:1.0", "*")
 		return err == nil && len(offers) == 1 && offers[0].Node == "n03"
 	})
 	// In strong mode the query itself was answered locally: zero query
@@ -361,10 +362,10 @@ func TestQueryBeforeJoinFails(t *testing.T) {
 	nd := node.New(node.Config{Name: "loner", Impls: testImpls()})
 	defer nd.Close()
 	ag := NewAgent(Config{Node: nd})
-	if _, err := ag.Query("IDL:x:1.0", "*"); err != ErrNotJoined {
+	if _, err := ag.Query(context.Background(), "IDL:x:1.0", "*"); err != ErrNotJoined {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := ag.QueryFlat("IDL:x:1.0", "*"); err != ErrNotJoined {
+	if _, err := ag.QueryFlat(context.Background(), "IDL:x:1.0", "*"); err != ErrNotJoined {
 		t.Fatalf("flat err = %v", err)
 	}
 }
@@ -518,12 +519,12 @@ func TestQueryAllSpansGroups(t *testing.T) {
 	}
 	// Plain Query from n02 stops at its group (locality): one offer.
 	waitFor(t, 5*time.Second, "local query", func() bool {
-		offers, err := tc.agents[2].Query("IDL:test/Adder:1.0", "*")
+		offers, err := tc.agents[2].Query(context.Background(), "IDL:test/Adder:1.0", "*")
 		return err == nil && len(offers) == 1 && offers[0].Node == "n01"
 	})
 	// QueryAll merges both groups.
 	waitFor(t, 5*time.Second, "exhaustive query", func() bool {
-		offers, err := tc.agents[2].QueryAll("IDL:test/Adder:1.0", "*")
+		offers, err := tc.agents[2].QueryAll(context.Background(), "IDL:test/Adder:1.0", "*")
 		if err != nil || len(offers) != 2 {
 			return false
 		}
@@ -543,7 +544,7 @@ func TestAntiEntropyRejoinAfterFalseExpulsion(t *testing.T) {
 	// Simulate a false expulsion: the root removes a live member behind
 	// its back.
 	victim := tc.agents[3]
-	if err := victim.callRoot("report_dead", func(e *cdr.Encoder) { e.WriteString("n03") }, nil); err != nil {
+	if err := victim.callRoot(context.Background(), "report_dead", func(e *cdr.Encoder) { e.WriteString("n03") }, nil); err != nil {
 		t.Fatal(err)
 	}
 	waitFor(t, 3*time.Second, "expulsion to propagate", func() bool {

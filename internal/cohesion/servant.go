@@ -1,6 +1,7 @@
 package cohesion
 
 import (
+	"context"
 	"time"
 
 	"corbalc/internal/cdr"
@@ -16,7 +17,15 @@ type agentServant struct{ a *Agent }
 
 func (s *agentServant) RepositoryID() string { return CohesionRepoID }
 
+// Invoke implements orb.Servant for callers without a context.
 func (s *agentServant) Invoke(op string, args *cdr.Decoder, reply *cdr.Encoder) error {
+	return s.InvokeContext(context.Background(), op, args, reply)
+}
+
+// InvokeContext implements orb.ContextServant: forwarded root calls run
+// under the inbound request's context, so a caller's deadline bounds the
+// whole forwarding chain.
+func (s *agentServant) InvokeContext(ctx context.Context, op string, args *cdr.Decoder, reply *cdr.Encoder) error {
 	a := s.a
 	switch op {
 	case "ping":
@@ -31,7 +40,7 @@ func (s *agentServant) Invoke(op string, args *cdr.Decoder, reply *cdr.Encoder) 
 		if err != nil {
 			return orb.Marshal()
 		}
-		dir, err := a.handleJoin(desc)
+		dir, err := a.handleJoin(ctx, desc)
 		if err != nil {
 			return joinExc(err)
 		}
@@ -43,7 +52,7 @@ func (s *agentServant) Invoke(op string, args *cdr.Decoder, reply *cdr.Encoder) 
 		if err != nil {
 			return orb.Marshal()
 		}
-		if err := a.handleRemoval(name); err != nil {
+		if err := a.handleRemoval(ctx, name); err != nil {
 			return joinExc(err)
 		}
 		return nil
@@ -123,7 +132,7 @@ func (s *agentServant) Invoke(op string, args *cdr.Decoder, reply *cdr.Encoder) 
 			return orb.Marshal()
 		}
 		a.queriesServed.Add(1)
-		offers := a.rootQuery(portID, verReq, int(skipGroup))
+		offers := a.rootQuery(ctx, portID, verReq, int(skipGroup))
 		node.MarshalOffers(reply, offers)
 		return nil
 	}
@@ -149,7 +158,7 @@ func (a *Agent) actingRootLeader() bool {
 
 // handleJoin admits a node: executed at the root leader, forwarded
 // otherwise.
-func (a *Agent) handleJoin(desc *NodeDesc) (*Directory, error) {
+func (a *Agent) handleJoin(ctx context.Context, desc *NodeDesc) (*Directory, error) {
 	if a.actingRootLeader() {
 		a.mu.Lock()
 		a.dir.Assign(desc, a.cfg.GroupSize)
@@ -160,7 +169,7 @@ func (a *Agent) handleJoin(desc *NodeDesc) (*Directory, error) {
 	}
 	// Forward to the root.
 	var dir *Directory
-	err := a.callRoot("join",
+	err := a.callRoot(ctx, "join",
 		func(e *cdr.Encoder) { desc.Marshal(e) },
 		func(d *cdr.Decoder) error {
 			var err error
@@ -175,7 +184,7 @@ func (a *Agent) handleJoin(desc *NodeDesc) (*Directory, error) {
 
 // handleRemoval removes a departed or dead node: executed at the root
 // leader, forwarded otherwise.
-func (a *Agent) handleRemoval(name string) error {
+func (a *Agent) handleRemoval(ctx context.Context, name string) error {
 	if a.actingRootLeader() {
 		a.mu.Lock()
 		removed := a.dir.Remove(name)
@@ -187,17 +196,19 @@ func (a *Agent) handleRemoval(name string) error {
 		}
 		return nil
 	}
-	return a.callRoot("report_dead", func(e *cdr.Encoder) { e.WriteString(name) }, nil)
+	return a.callRoot(ctx, "report_dead", func(e *cdr.Encoder) { e.WriteString(name) }, nil)
 }
 
 // broadcastDirectory pushes a new directory epoch to every member.
 func (a *Agent) broadcastDirectory(dir *Directory) {
+	ctx, cancel := a.rpcCtx()
+	defer cancel()
 	for name, nd := range dir.Nodes {
 		if name == a.name {
 			continue
 		}
 		ref := a.o.NewRef(nd.Cohesion)
-		_ = ref.InvokeOneway("directory_push", dir.Marshal)
+		_ = ref.InvokeOnewayContext(ctx, "directory_push", dir.Marshal)
 	}
 }
 
@@ -266,7 +277,7 @@ func (a *Agent) viewQuery(portID, verReq string) []*node.Offer {
 
 // rootQuery resolves a query at the root: the summaries prune the fan-out
 // to groups that actually export the port, exploiting the hierarchy.
-func (a *Agent) rootQuery(portID, verReq string, skipGroup int) []*node.Offer {
+func (a *Agent) rootQuery(ctx context.Context, portID, verReq string, skipGroup int) []*node.Offer {
 	a.mu.Lock()
 	var groups []int
 	for g, sum := range a.summaries {
@@ -291,7 +302,7 @@ func (a *Agent) rootQuery(portID, verReq string, skipGroup int) []*node.Offer {
 			}
 			var offers []*node.Offer
 			a.queriesSent.Add(1)
-			err := ref.Invoke("mrm_query",
+			err := ref.InvokeContext(ctx, "mrm_query",
 				func(e *cdr.Encoder) { e.WriteString(portID); e.WriteString(verReq) },
 				func(d *cdr.Decoder) error {
 					var err error
@@ -334,7 +345,7 @@ func (a *Agent) dirClone() (*Directory, error) {
 // the root, which fans out only to groups whose summaries export the
 // port. In Strong mode every node has perfect knowledge, so the answer
 // is local.
-func (a *Agent) Query(portID, verReq string) ([]*node.Offer, error) {
+func (a *Agent) Query(ctx context.Context, portID, verReq string) ([]*node.Offer, error) {
 	group, cands, err := a.groupSnapshot()
 	if err != nil {
 		return nil, err
@@ -359,7 +370,7 @@ func (a *Agent) Query(portID, verReq string) ([]*node.Offer, error) {
 				continue
 			}
 			a.queriesSent.Add(1)
-			err = ref.Invoke("mrm_query",
+			err = ref.InvokeContext(ctx, "mrm_query",
 				func(e *cdr.Encoder) { e.WriteString(portID); e.WriteString(verReq) },
 				func(d *cdr.Decoder) error {
 					var e error
@@ -380,7 +391,7 @@ func (a *Agent) Query(portID, verReq string) ([]*node.Offer, error) {
 	// Level 1: the root fans out to exporting groups.
 	var offers []*node.Offer
 	a.queriesSent.Add(1)
-	err = a.callRoot("root_query",
+	err = a.callRoot(ctx, "root_query",
 		func(e *cdr.Encoder) {
 			e.WriteString(portID)
 			e.WriteString(verReq)
@@ -403,7 +414,7 @@ func (a *Agent) Query(portID, verReq string) ([]*node.Offer, error) {
 // QueryAll resolves a query exhaustively: local group offers plus every
 // other exporting group via the root — for aggregated/data-parallel
 // computations that want *all* providers, not the locally best one.
-func (a *Agent) QueryAll(portID, verReq string) ([]*node.Offer, error) {
+func (a *Agent) QueryAll(ctx context.Context, portID, verReq string) ([]*node.Offer, error) {
 	group, cands, err := a.groupSnapshot()
 	if err != nil {
 		return nil, err
@@ -427,7 +438,7 @@ func (a *Agent) QueryAll(portID, verReq string) ([]*node.Offer, error) {
 				continue
 			}
 			a.queriesSent.Add(1)
-			err = ref.Invoke("mrm_query",
+			err = ref.InvokeContext(ctx, "mrm_query",
 				func(e *cdr.Encoder) { e.WriteString(portID); e.WriteString(verReq) },
 				func(d *cdr.Decoder) error {
 					var e error
@@ -442,7 +453,7 @@ func (a *Agent) QueryAll(portID, verReq string) ([]*node.Offer, error) {
 	}
 	var rootOffers []*node.Offer
 	a.queriesSent.Add(1)
-	err = a.callRoot("root_query",
+	err = a.callRoot(ctx, "root_query",
 		func(e *cdr.Encoder) {
 			e.WriteString(portID)
 			e.WriteString(verReq)
@@ -483,7 +494,7 @@ func (a *Agent) localOffers(portID, verReq string) []*node.Offer {
 
 // QueryFlat is the non-hierarchical baseline: ask every node's Component
 // Registry directly (E4 compares its message count against Query's).
-func (a *Agent) QueryFlat(portID, verReq string) ([]*node.Offer, error) {
+func (a *Agent) QueryFlat(ctx context.Context, portID, verReq string) ([]*node.Offer, error) {
 	dir, err := a.dirClone()
 	if err != nil {
 		return nil, err
@@ -497,7 +508,7 @@ func (a *Agent) QueryFlat(portID, verReq string) ([]*node.Offer, error) {
 		ref := a.o.NewRef(nd.Registry)
 		var offers []*node.Offer
 		a.queriesSent.Add(1)
-		err := ref.Invoke("query",
+		err := ref.InvokeContext(ctx, "query",
 			func(e *cdr.Encoder) { e.WriteString(portID); e.WriteString(verReq) },
 			func(d *cdr.Decoder) error {
 				var e error

@@ -10,6 +10,7 @@
 package container
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -37,8 +38,9 @@ type Host interface {
 	// release function, or an error when the node cannot host it.
 	Admit(q xmldesc.QoS) (release func(), err error)
 	// ResolveDependency finds a provider for a required uses port,
-	// searching the whole network through the Distributed Registry.
-	ResolveDependency(p xmldesc.Port) (*ior.IOR, error)
+	// searching the whole network through the Distributed Registry. The
+	// context bounds the network-wide search.
+	ResolveDependency(ctx context.Context, p xmldesc.Port) (*ior.IOR, error)
 }
 
 // Errors returned by the container.

@@ -1,6 +1,7 @@
 package container
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -48,7 +49,7 @@ func (h *fakeHost) Admit(q xmldesc.QoS) (func(), error) {
 	return func() { h.cpuFree += q.CPUMin; h.admitted.Add(-1) }, nil
 }
 
-func (h *fakeHost) ResolveDependency(p xmldesc.Port) (*ior.IOR, error) {
+func (h *fakeHost) ResolveDependency(_ context.Context, p xmldesc.Port) (*ior.IOR, error) {
 	if ref, ok := h.resolver[p.RepoID]; ok {
 		return ref, nil
 	}
@@ -450,11 +451,11 @@ func TestResolveDependenciesRequiredPort(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Resolution fails with no provider in the network.
-	if err := mi.ResolveDependencies(); err == nil {
+	if err := mi.ResolveDependencies(context.Background()); err == nil {
 		t.Fatal("resolution succeeded with no provider")
 	}
 	host.resolver["IDL:test/Counter:1.0"] = ior.New("IDL:test/Counter:1.0", "h", 1, []byte("k"))
-	if err := mi.ResolveDependencies(); err != nil {
+	if err := mi.ResolveDependencies(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if got := mi.Ports().Unsatisfied(); len(got) != 0 {

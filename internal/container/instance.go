@@ -1,6 +1,7 @@
 package container
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -236,12 +237,12 @@ func (mi *ManagedInstance) Disconnect(port string) error {
 // required uses port through the network (the automatic dependency
 // management of paper §2, requirement 6). Consumes ports are satisfied
 // locally by hub subscription at activation.
-func (mi *ManagedInstance) ResolveDependencies() error {
+func (mi *ManagedInstance) ResolveDependencies(ctx context.Context) error {
 	for _, p := range mi.ports.Unsatisfied() {
 		if p.Kind != xmldesc.PortUses {
 			continue
 		}
-		target, err := mi.c.host.ResolveDependency(p)
+		target, err := mi.c.host.ResolveDependency(ctx, p)
 		if err != nil {
 			return fmt.Errorf("container: resolving port %s (%s): %w", p.Name, p.RepoID, err)
 		}

@@ -1,6 +1,7 @@
 package deploy_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -115,7 +116,7 @@ func waitOffers(t *testing.T, p *corbalc.Peer, key string) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		if offers, err := p.Agent.Query(key, "*"); err == nil && len(offers) > 0 {
+		if offers, err := p.Agent.Query(context.Background(), key, "*"); err == nil && len(offers) > 0 {
 			return
 		}
 		time.Sleep(10 * time.Millisecond)
@@ -142,7 +143,7 @@ func TestResolveRemoteUse(t *testing.T) {
 	install(t, c.Peers[2], pingSpec("logger", 0)) // low bandwidth: stay remote
 	waitOffers(t, c.Peers[0], "IDL:test/Ping:1.0")
 
-	ref, err := c.Peers[0].Engine.Resolve(xmldesc.Port{
+	ref, err := c.Peers[0].Engine.Resolve(context.Background(), xmldesc.Port{
 		Kind: xmldesc.PortUses, Name: "log", RepoID: "IDL:test/Ping:1.0",
 	})
 	if err != nil {
@@ -163,7 +164,7 @@ func TestResolveFetchesBandwidthHungryComponent(t *testing.T) {
 	install(t, c.Peers[2], pingSpec("decoder", 20)) // above the 5 Mbps default threshold
 	waitOffers(t, c.Peers[0], "IDL:test/Ping:1.0")
 
-	ref, err := c.Peers[0].Engine.Resolve(xmldesc.Port{
+	ref, err := c.Peers[0].Engine.Resolve(context.Background(), xmldesc.Port{
 		Kind: xmldesc.PortUses, Name: "video", RepoID: "IDL:test/Ping:1.0",
 	})
 	if err != nil {
@@ -186,7 +187,7 @@ func TestFetchDisabledByPolicy(t *testing.T) {
 	})
 	install(t, c.Peers[1], pingSpec("decoder", 20))
 	waitOffers(t, c.Peers[0], "IDL:test/Ping:1.0")
-	ref, err := c.Peers[0].Engine.Resolve(xmldesc.Port{
+	ref, err := c.Peers[0].Engine.Resolve(context.Background(), xmldesc.Port{
 		Kind: xmldesc.PortUses, Name: "video", RepoID: "IDL:test/Ping:1.0",
 	})
 	if err != nil {
@@ -223,7 +224,7 @@ func TestPDAUsesComponentsRemotely(t *testing.T) {
 	install(t, server, pingSpec("decoder", 50)) // very bandwidth hungry
 	waitOffers(t, pda, "IDL:test/Ping:1.0")
 
-	ref, err := pda.Engine.Resolve(xmldesc.Port{
+	ref, err := pda.Engine.Resolve(context.Background(), xmldesc.Port{
 		Kind: xmldesc.PortUses, Name: "video", RepoID: "IDL:test/Ping:1.0",
 	})
 	if err != nil {
@@ -250,7 +251,7 @@ func TestPlacePrefersLeastLoadedNode(t *testing.T) {
 	// Give the MRM a moment to see the skewed load.
 	time.Sleep(100 * time.Millisecond)
 
-	pl, err := c.Peers[0].Engine.Place("worker", "*", "w1")
+	pl, err := c.Peers[0].Engine.Place(context.Background(), "worker", "*", "w1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +259,7 @@ func TestPlacePrefersLeastLoadedNode(t *testing.T) {
 		t.Fatalf("placed on %s, want peer2 (least loaded)", pl.Node)
 	}
 	// The instance is reachable through its reflective reference.
-	ref, err := c.Peers[0].Engine.ProvidePort(pl, "svc")
+	ref, err := c.Peers[0].Engine.ProvidePort(context.Background(), pl, "svc")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,11 +270,11 @@ func TestPlacePrefersLeastLoadedNode(t *testing.T) {
 
 func TestPlaceNoOffer(t *testing.T) {
 	c := newCluster(t, 2, nil)
-	_, err := c.Peers[0].Engine.Place("ghost", "*", "g")
+	_, err := c.Peers[0].Engine.Place(context.Background(), "ghost", "*", "g")
 	if !errors.Is(err, deploy.ErrNoOffer) {
 		t.Fatalf("err = %v", err)
 	}
-	_, err = c.Peers[0].Engine.Resolve(xmldesc.Port{
+	_, err = c.Peers[0].Engine.Resolve(context.Background(), xmldesc.Port{
 		Kind: xmldesc.PortUses, Name: "x", RepoID: "IDL:test/Missing:1.0",
 	})
 	if !errors.Is(err, deploy.ErrNoOffer) {
@@ -299,7 +300,7 @@ func TestBalancerMigratesFromOverloadedNode(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		if _, err := a.Instantiate(comp.ID(), fmt.Sprintf("w%d", i)); err != nil {
+		if _, err := a.Instantiate(context.Background(), comp.ID(), fmt.Sprintf("w%d", i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -342,7 +343,7 @@ func TestAlwaysFetchPolicy(t *testing.T) {
 	})
 	install(t, c.Peers[1], pingSpec("logger", 0)) // zero bandwidth demand
 	waitOffers(t, c.Peers[0], "IDL:test/Ping:1.0")
-	ref, err := c.Peers[0].Engine.Resolve(xmldesc.Port{
+	ref, err := c.Peers[0].Engine.Resolve(context.Background(), xmldesc.Port{
 		Kind: xmldesc.PortUses, Name: "log", RepoID: "IDL:test/Ping:1.0",
 	})
 	if err != nil {
@@ -364,7 +365,7 @@ func TestFetchFallsBackToRemoteWhenImmovable(t *testing.T) {
 	spec.Mobility = "fixed"
 	install(t, c.Peers[1], spec)
 	waitOffers(t, c.Peers[0], "IDL:test/Ping:1.0")
-	ref, err := c.Peers[0].Engine.Resolve(xmldesc.Port{
+	ref, err := c.Peers[0].Engine.Resolve(context.Background(), xmldesc.Port{
 		Kind: xmldesc.PortUses, Name: "a", RepoID: "IDL:test/Ping:1.0",
 	})
 	if err != nil {

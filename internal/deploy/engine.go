@@ -8,6 +8,7 @@
 package deploy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -22,7 +23,7 @@ import (
 // Querier finds offers for a port interface ID (or "component:<name>"
 // key) network-wide; cohesion.Agent implements it.
 type Querier interface {
-	Query(portRepoID, versionReq string) ([]*node.Offer, error)
+	Query(ctx context.Context, portRepoID, versionReq string) ([]*node.Offer, error)
 }
 
 // Errors returned by the engine.
@@ -91,17 +92,17 @@ func (e *Engine) rank(offers []*node.Offer) []*node.Offer {
 // Resolve implements node.DependencyResolver: it finds the best provider
 // for a required uses port anywhere in the network, optionally fetching
 // the component for local use first.
-func (e *Engine) Resolve(p xmldesc.Port) (*ior.IOR, error) {
+func (e *Engine) Resolve(ctx context.Context, p xmldesc.Port) (*ior.IOR, error) {
 	// Local fast path: the node's own repository.
 	if offers, err := e.n.LocalQuery(p.RepoID, p.Version); err == nil && len(offers) > 0 {
 		id, err := component.ParseID(offers[0].ComponentID)
 		if err == nil {
-			if ref, err := e.n.ObtainPort(id, p.RepoID); err == nil {
+			if ref, err := e.n.ObtainPort(ctx, id, p.RepoID); err == nil {
 				return ref, nil
 			}
 		}
 	}
-	offers, err := e.q.Query(p.RepoID, p.Version)
+	offers, err := e.q.Query(ctx, p.RepoID, p.Version)
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +111,7 @@ func (e *Engine) Resolve(p xmldesc.Port) (*ior.IOR, error) {
 	}
 	var lastErr error
 	for _, of := range e.rank(offers) {
-		ref, err := e.useOffer(of, p.RepoID)
+		ref, err := e.useOffer(ctx, of, p.RepoID)
 		if err == nil {
 			return ref, nil
 		}
@@ -121,22 +122,22 @@ func (e *Engine) Resolve(p xmldesc.Port) (*ior.IOR, error) {
 
 // useOffer turns one offer into a provided-port reference, deciding
 // between local fetch and remote use.
-func (e *Engine) useOffer(of *node.Offer, portRepoID string) (*ior.IOR, error) {
+func (e *Engine) useOffer(ctx context.Context, of *node.Offer, portRepoID string) (*ior.IOR, error) {
 	id, err := component.ParseID(of.ComponentID)
 	if err != nil {
 		return nil, err
 	}
 	if of.Node == e.n.Name() {
-		return e.n.ObtainPort(id, portRepoID)
+		return e.n.ObtainPort(ctx, id, portRepoID)
 	}
 	if e.shouldFetch(of) {
-		if ref, err := e.fetchAndObtain(of, id, portRepoID); err == nil {
+		if ref, err := e.fetchAndObtain(ctx, of, id, portRepoID); err == nil {
 			return ref, nil
 		}
 		// Fetching failed (capability, space, ...): fall back to
 		// remote use.
 	}
-	return e.remoteObtain(of, portRepoID)
+	return e.remoteObtain(ctx, of, portRepoID)
 }
 
 // shouldFetch applies the fetch-vs-remote decision.
@@ -158,11 +159,11 @@ func (e *Engine) shouldFetch(of *node.Offer) bool {
 
 // fetchAndObtain pulls the component package from the offering node,
 // installs it locally and obtains the port from the local copy.
-func (e *Engine) fetchAndObtain(of *node.Offer, id component.ID, portRepoID string) (*ior.IOR, error) {
+func (e *Engine) fetchAndObtain(ctx context.Context, of *node.Offer, id component.ID, portRepoID string) (*ior.IOR, error) {
 	if _, ok := e.n.Repo().Get(id); !ok {
 		reg := e.n.ORB().NewRef(of.Registry)
 		var pkg []byte
-		err := reg.Invoke("get_package",
+		err := reg.InvokeContext(ctx, "get_package",
 			func(enc *cdr.Encoder) { enc.WriteString(of.ComponentID) },
 			func(d *cdr.Decoder) error {
 				var err error
@@ -176,15 +177,15 @@ func (e *Engine) fetchAndObtain(of *node.Offer, id component.ID, portRepoID stri
 			return nil, err
 		}
 	}
-	return e.n.ObtainPort(id, portRepoID)
+	return e.n.ObtainPort(ctx, id, portRepoID)
 }
 
 // remoteObtain asks the offering node for a port on a (possibly shared)
 // instance.
-func (e *Engine) remoteObtain(of *node.Offer, portRepoID string) (*ior.IOR, error) {
+func (e *Engine) remoteObtain(ctx context.Context, of *node.Offer, portRepoID string) (*ior.IOR, error) {
 	acc := e.n.ORB().NewRef(of.Acceptor)
 	var ref *ior.IOR
-	err := acc.Invoke("obtain",
+	err := acc.InvokeContext(ctx, "obtain",
 		func(enc *cdr.Encoder) {
 			enc.WriteString(of.ComponentID)
 			enc.WriteString(portRepoID)
@@ -217,8 +218,8 @@ type Placement struct {
 
 // Place instantiates component `name` (satisfying verReq) on the
 // least-loaded offering node under the given instance name.
-func (e *Engine) Place(name, verReq, instanceName string) (*Placement, error) {
-	offers, err := e.q.Query(node.ComponentKey(name), verReq)
+func (e *Engine) Place(ctx context.Context, name, verReq, instanceName string) (*Placement, error) {
+	offers, err := e.q.Query(ctx, node.ComponentKey(name), verReq)
 	if err != nil {
 		return nil, err
 	}
@@ -227,7 +228,7 @@ func (e *Engine) Place(name, verReq, instanceName string) (*Placement, error) {
 	}
 	var lastErr error
 	for _, of := range e.rank(offers) {
-		pl, err := e.instantiateAt(of, instanceName)
+		pl, err := e.instantiateAt(ctx, of, instanceName)
 		if err == nil {
 			return pl, nil
 		}
@@ -236,10 +237,10 @@ func (e *Engine) Place(name, verReq, instanceName string) (*Placement, error) {
 	return nil, fmt.Errorf("deploy: placing %s failed on every node, last: %w", name, lastErr)
 }
 
-func (e *Engine) instantiateAt(of *node.Offer, instanceName string) (*Placement, error) {
+func (e *Engine) instantiateAt(ctx context.Context, of *node.Offer, instanceName string) (*Placement, error) {
 	acc := e.n.ORB().NewRef(of.Acceptor)
 	var equiv *ior.IOR
-	err := acc.Invoke("instantiate",
+	err := acc.InvokeContext(ctx, "instantiate",
 		func(enc *cdr.Encoder) {
 			enc.WriteString(of.ComponentID)
 			enc.WriteString(instanceName)
@@ -264,10 +265,10 @@ func (e *Engine) instantiateAt(of *node.Offer, instanceName string) (*Placement,
 
 // ProvidePort asks a placement's node for one of the instance's provided
 // ports.
-func (e *Engine) ProvidePort(pl *Placement, port string) (*ior.IOR, error) {
+func (e *Engine) ProvidePort(ctx context.Context, pl *Placement, port string) (*ior.IOR, error) {
 	equiv := e.n.ORB().NewRef(pl.Equivalent)
 	var ref *ior.IOR
-	err := equiv.Invoke("provide_port",
+	err := equiv.InvokeContext(ctx, "provide_port",
 		func(enc *cdr.Encoder) { enc.WriteString(port) },
 		func(d *cdr.Decoder) error {
 			var err error
@@ -282,9 +283,9 @@ func (e *Engine) ProvidePort(pl *Placement, port string) (*ior.IOR, error) {
 
 // Connect wires a placement's uses port to a provider reference through
 // the instance's reflective interface.
-func (e *Engine) Connect(pl *Placement, port string, target *ior.IOR) error {
+func (e *Engine) Connect(ctx context.Context, pl *Placement, port string, target *ior.IOR) error {
 	equiv := e.n.ORB().NewRef(pl.Equivalent)
-	return equiv.Invoke("connect",
+	return equiv.InvokeContext(ctx, "connect",
 		func(enc *cdr.Encoder) {
 			enc.WriteString(port)
 			target.Marshal(enc)

@@ -1,6 +1,7 @@
 package deploy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -32,7 +33,7 @@ var ErrNothingToMove = errors.New("deploy: no migration possible")
 
 // Step examines the MRM's member view and performs at most one
 // migration over CORBA, returning what moved.
-func (nb *NetBalancer) Step(view []cohesion.MemberView) (*Migration, error) {
+func (nb *NetBalancer) Step(ctx context.Context, view []cohesion.MemberView) (*Migration, error) {
 	threshold := nb.Threshold
 	if threshold <= 0 {
 		threshold = 0.25
@@ -59,7 +60,7 @@ func (nb *NetBalancer) Step(view []cohesion.MemberView) (*Migration, error) {
 		if src.Report.LoadFraction() <= mean+threshold {
 			break
 		}
-		mig, err := nb.migrateFrom(src, targets, mean)
+		mig, err := nb.migrateFrom(ctx, src, targets, mean)
 		if err == nil {
 			return mig, nil
 		}
@@ -79,7 +80,7 @@ func movableComponents(src cohesion.MemberView) map[string]bool {
 	return out
 }
 
-func (nb *NetBalancer) migrateFrom(src cohesion.MemberView, targets []cohesion.MemberView, mean float64) (*Migration, error) {
+func (nb *NetBalancer) migrateFrom(ctx context.Context, src cohesion.MemberView, targets []cohesion.MemberView, mean float64) (*Migration, error) {
 	movable := movableComponents(src)
 	if len(movable) == 0 {
 		return nil, ErrNothingToMove
@@ -88,7 +89,7 @@ func (nb *NetBalancer) migrateFrom(src cohesion.MemberView, targets []cohesion.M
 	type pair struct{ comp, inst string }
 	var pairs []pair
 	reg := nb.ORB.NewRef(src.Desc.Registry)
-	err := reg.Invoke("list_instances", nil, func(d *cdr.Decoder) error {
+	err := reg.InvokeContext(ctx, "list_instances", nil, func(d *cdr.Decoder) error {
 		n, err := d.ReadULong()
 		if err != nil {
 			return err
@@ -118,7 +119,7 @@ func (nb *NetBalancer) migrateFrom(src cohesion.MemberView, targets []cohesion.M
 			if tgt.Desc.Name == src.Desc.Name || tgt.Report.LoadFraction() >= mean {
 				continue
 			}
-			if err := nb.moveOver(src, tgt, p.comp, p.inst); err != nil {
+			if err := nb.moveOver(ctx, src, tgt, p.comp, p.inst); err != nil {
 				continue
 			}
 			return &Migration{
@@ -135,17 +136,17 @@ func (nb *NetBalancer) migrateFrom(src cohesion.MemberView, targets []cohesion.M
 // moveOver performs one migration entirely over CORBA:
 // ensure-installed(target) -> yield(source) -> receive(target), with a
 // best-effort local restore if the hand-off fails.
-func (nb *NetBalancer) moveOver(src, tgt cohesion.MemberView, compID, instance string) error {
+func (nb *NetBalancer) moveOver(ctx context.Context, src, tgt cohesion.MemberView, compID, instance string) error {
 	// 1. Make sure the target has the component installed.
 	if !nb.hasComponent(tgt, compID) {
 		var pkg []byte
-		err := nb.ORB.NewRef(src.Desc.Registry).Invoke("get_package",
+		err := nb.ORB.NewRef(src.Desc.Registry).InvokeContext(ctx, "get_package",
 			func(e *cdr.Encoder) { e.WriteString(compID) },
 			func(d *cdr.Decoder) error { var e error; pkg, e = d.ReadOctetSeq(); return e })
 		if err != nil {
 			return err
 		}
-		err = nb.ORB.NewRef(tgt.Desc.Acceptor).Invoke("install",
+		err = nb.ORB.NewRef(tgt.Desc.Acceptor).InvokeContext(ctx, "install",
 			func(e *cdr.Encoder) { e.WriteOctetSeq(pkg) },
 			func(d *cdr.Decoder) error { _, e := d.ReadString(); return e })
 		if err != nil {
@@ -155,7 +156,7 @@ func (nb *NetBalancer) moveOver(src, tgt cohesion.MemberView, compID, instance s
 
 	// 2. Yield the instance from the source.
 	var capsule []byte
-	err := nb.ORB.NewRef(src.Desc.Acceptor).Invoke("yield_instance",
+	err := nb.ORB.NewRef(src.Desc.Acceptor).InvokeContext(ctx, "yield_instance",
 		func(e *cdr.Encoder) { e.WriteString(compID); e.WriteString(instance) },
 		func(d *cdr.Decoder) error { var e error; capsule, e = d.ReadOctetSeq(); return e })
 	if err != nil {
@@ -164,7 +165,7 @@ func (nb *NetBalancer) moveOver(src, tgt cohesion.MemberView, compID, instance s
 
 	// 3. Hand it to the target; on failure put it back where it was.
 	receive := func(desc cohesion.MemberView) error {
-		return nb.ORB.NewRef(desc.Desc.Acceptor).Invoke("receive_capsule",
+		return nb.ORB.NewRef(desc.Desc.Acceptor).InvokeContext(ctx, "receive_capsule",
 			func(e *cdr.Encoder) {
 				e.WriteString(compID)
 				e.WriteOctetSeq(capsule)

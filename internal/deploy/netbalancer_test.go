@@ -1,6 +1,7 @@
 package deploy_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -25,7 +26,7 @@ func TestNetBalancerMigratesOverCORBA(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"w1", "w2", "w3"} {
-		if _, err := c.Peers[1].Node.Instantiate(comp.ID(), name); err != nil {
+		if _, err := c.Peers[1].Node.Instantiate(context.Background(), comp.ID(), name); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -57,7 +58,7 @@ func TestNetBalancerMigratesOverCORBA(t *testing.T) {
 	}
 
 	nb := &deploy.NetBalancer{ORB: c.Peers[0].Node.ORB(), Threshold: 0.2}
-	mig, err := nb.Step(c.Peers[0].Agent.GroupView())
+	mig, err := nb.Step(context.Background(), c.Peers[0].Agent.GroupView())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,10 +115,10 @@ func TestNetBalancerBalancedViewDoesNothing(t *testing.T) {
 	}
 	waitView()
 	nb := &deploy.NetBalancer{ORB: c.Peers[0].Node.ORB()}
-	if _, err := nb.Step(c.Peers[0].Agent.GroupView()); !errors.Is(err, deploy.ErrNothingToMove) {
+	if _, err := nb.Step(context.Background(), c.Peers[0].Agent.GroupView()); !errors.Is(err, deploy.ErrNothingToMove) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := nb.Step(nil); !errors.Is(err, deploy.ErrNothingToMove) {
+	if _, err := nb.Step(context.Background(), nil); !errors.Is(err, deploy.ErrNothingToMove) {
 		t.Fatalf("empty view err = %v", err)
 	}
 }
@@ -131,7 +132,7 @@ func TestYieldInstanceOp(t *testing.T) {
 	if _, err := c.Peers[0].Node.InstallComponent(comp); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Peers[0].Node.Instantiate(comp.ID(), "y1"); err != nil {
+	if _, err := c.Peers[0].Node.Instantiate(context.Background(), comp.ID(), "y1"); err != nil {
 		t.Fatal(err)
 	}
 	acc := c.Peers[1].Node.ORB().NewRef(c.Peers[0].Node.AcceptorIOR())

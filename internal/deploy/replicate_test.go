@@ -1,6 +1,7 @@
 package deploy_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -31,7 +32,7 @@ func TestReplicateCoordinatedCarriesState(t *testing.T) {
 	if _, err := primaryNode.InstallComponent(comp); err != nil {
 		t.Fatal(err)
 	}
-	mi, err := primaryNode.Instantiate(comp.ID(), "p1")
+	mi, err := primaryNode.Instantiate(context.Background(), comp.ID(), "p1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestReplicaMasksPrimaryFailure(t *testing.T) {
 	if _, err := c.Peers[1].Node.InstallComponent(comp); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Peers[1].Node.Instantiate(comp.ID(), "p1"); err != nil {
+	if _, err := c.Peers[1].Node.Instantiate(context.Background(), comp.ID(), "p1"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := deploy.Replicate(c.Peers[1].Node, comp.ID(), "p1", c.Peers[2].Node); err != nil {
@@ -85,7 +86,7 @@ func TestReplicaMasksPrimaryFailure(t *testing.T) {
 	// Both nodes now offer the service.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		offers, err := c.Peers[0].Agent.QueryAll("IDL:test/Ping:1.0", "*")
+		offers, err := c.Peers[0].Agent.QueryAll(context.Background(), "IDL:test/Ping:1.0", "*")
 		if err == nil && len(offers) == 2 {
 			break
 		}
@@ -100,7 +101,7 @@ func TestReplicaMasksPrimaryFailure(t *testing.T) {
 	c.Net.SetDown("peer1", true)
 	deadline = time.Now().Add(10 * time.Second)
 	for {
-		ref, err := c.Peers[0].Engine.Resolve(xmldesc.Port{
+		ref, err := c.Peers[0].Engine.Resolve(context.Background(), xmldesc.Port{
 			Kind: xmldesc.PortUses, Name: "s", RepoID: "IDL:test/Ping:1.0",
 		})
 		if err == nil {
@@ -126,7 +127,7 @@ func TestReplicateStatelessAndErrors(t *testing.T) {
 	if _, err := c.Peers[0].Node.InstallComponent(comp); err != nil {
 		t.Fatal(err)
 	}
-	mi, err := c.Peers[0].Node.Instantiate(comp.ID(), "s1")
+	mi, err := c.Peers[0].Node.Instantiate(context.Background(), comp.ID(), "s1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestReplicateStatelessAndErrors(t *testing.T) {
 	if _, err := c.Peers[0].Node.InstallComponent(plain); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Peers[0].Node.Instantiate(plain.ID(), "f1"); err != nil {
+	if _, err := c.Peers[0].Node.Instantiate(context.Background(), plain.ID(), "f1"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := deploy.Replicate(c.Peers[0].Node, plain.ID(), "f1", c.Peers[1].Node); !errors.Is(err, deploy.ErrNotReplicable) {

@@ -11,6 +11,7 @@
 package dii
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -69,11 +70,11 @@ type Result struct {
 	Out    map[string]any
 }
 
-// Call invokes an operation with the given in/inout arguments (in
-// declaration order, skipping pure out parameters). Outputs are decoded
-// per the signature. Attribute accessors use their implied names
-// ("_get_x"/"_set_x").
-func (o *Object) Call(opName string, args ...any) (*Result, error) {
+// CallContext invokes an operation under ctx with the given in/inout
+// arguments (in declaration order, skipping pure out parameters).
+// Outputs are decoded per the signature. Attribute accessors use their
+// implied names ("_get_x"/"_set_x").
+func (o *Object) CallContext(ctx context.Context, opName string, args ...any) (*Result, error) {
 	op, ok := o.Iface.LookupOperation(opName)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s.%s", ErrNoOperation, o.Iface.ScopedName(), opName)
@@ -124,9 +125,9 @@ func (o *Object) Call(opName string, args ...any) (*Result, error) {
 
 	var err error
 	if op.Oneway {
-		err = o.Ref.InvokeOneway(opName, marshal)
+		err = o.Ref.InvokeOnewayContext(ctx, opName, marshal)
 	} else {
-		err = o.Ref.Invoke(opName, marshal, unmarshal)
+		err = o.Ref.InvokeContext(ctx, opName, marshal, unmarshal)
 	}
 	if encodeErr != nil {
 		return nil, encodeErr
@@ -159,17 +160,33 @@ func (o *Object) mapException(op *idl.Operation, err error) error {
 	return err
 }
 
-// Get reads an attribute.
-func (o *Object) Get(attr string) (any, error) {
-	res, err := o.Call("_get_" + attr)
+// Call is the context-less form of CallContext, for the public API and
+// tools; production code inside internal/ should pass a real context.
+func (o *Object) Call(opName string, args ...any) (*Result, error) {
+	return o.CallContext(context.Background(), opName, args...)
+}
+
+// GetContext reads an attribute under ctx.
+func (o *Object) GetContext(ctx context.Context, attr string) (any, error) {
+	res, err := o.CallContext(ctx, "_get_"+attr)
 	if err != nil {
 		return nil, err
 	}
 	return res.Return, nil
 }
 
-// Set writes an attribute.
-func (o *Object) Set(attr string, value any) error {
-	_, err := o.Call("_set_"+attr, value)
+// Get is the context-less form of GetContext.
+func (o *Object) Get(attr string) (any, error) {
+	return o.GetContext(context.Background(), attr)
+}
+
+// SetContext writes an attribute under ctx.
+func (o *Object) SetContext(ctx context.Context, attr string, value any) error {
+	_, err := o.CallContext(ctx, "_set_"+attr, value)
 	return err
+}
+
+// Set is the context-less form of SetContext.
+func (o *Object) Set(attr string, value any) error {
+	return o.SetContext(context.Background(), attr, value)
 }

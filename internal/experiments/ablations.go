@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -49,7 +50,7 @@ func A1Fanout(sc Scale) *Table {
 		c.Net.ResetStats()
 		start := time.Now()
 		for i := 0; i < queries; i++ {
-			offers, err := querier.Agent.Query("IDL:bench/NeedleA:1.0", "*")
+			offers, err := querier.Agent.Query(context.Background(), "IDL:bench/NeedleA:1.0", "*")
 			if err != nil || len(offers) == 0 {
 				panic(fmt.Sprintf("A1 fanout=%d: query failed (%v, %d offers)", g, err, len(offers)))
 			}
@@ -114,7 +115,7 @@ func A2Replicas(sc Scale) *Table {
 		ok := false
 		deadline := time.Now().Add(5 * time.Second)
 		for time.Now().Before(deadline) {
-			offers, err := querier.Agent.Query("IDL:bench/NeedleB:1.0", "*")
+			offers, err := querier.Agent.Query(context.Background(), "IDL:bench/NeedleB:1.0", "*")
 			if err == nil && len(offers) == 1 {
 				ok = true
 				break

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -53,12 +54,12 @@ func E1Invocation(sc Scale) *Table {
 	measure := func(transport string, ref *orb.ObjectRef) {
 		for _, op := range ops {
 			// Warm up the path (dial, caches).
-			if err := ref.Invoke(op.name, op.args, op.res); err != nil {
+			if err := ref.InvokeContext(context.Background(), op.name, op.args, op.res); err != nil {
 				panic(fmt.Sprintf("E1 %s/%s: %v", transport, op.name, err))
 			}
 			start := time.Now()
 			for i := 0; i < iters; i++ {
-				if err := ref.Invoke(op.name, op.args, op.res); err != nil {
+				if err := ref.InvokeContext(context.Background(), op.name, op.args, op.res); err != nil {
 					panic(err)
 				}
 			}
@@ -128,7 +129,7 @@ func E2Registry(sc Scale) *Table {
 		}
 		start := time.Now()
 		for _, pkg := range pkgs {
-			err := acc.Invoke("install",
+			err := acc.InvokeContext(context.Background(), "install",
 				func(e *cdr.Encoder) { e.WriteOctetSeq(pkg) },
 				func(d *cdr.Decoder) error { _, err := d.ReadString(); return err })
 			if err != nil {
@@ -144,7 +145,7 @@ func E2Registry(sc Scale) *Table {
 		for i := 0; i < queries; i++ {
 			target := fmt.Sprintf("IDL:bench/Svc%04d:1.0", i%count)
 			var offers []*node.Offer
-			err := reg.Invoke("query",
+			err := reg.InvokeContext(context.Background(), "query",
 				func(e *cdr.Encoder) { e.WriteString(target); e.WriteString("*") },
 				func(d *cdr.Decoder) error {
 					var err error
@@ -271,7 +272,7 @@ func E4QueryHierarchy(sc Scale) *Table {
 			})
 		}
 		hier := func(portID string) int {
-			offers, err := querier.Agent.Query(portID, "*")
+			offers, err := querier.Agent.Query(context.Background(), portID, "*")
 			if err != nil || len(offers) == 0 {
 				return 0
 			}
@@ -280,7 +281,7 @@ func E4QueryHierarchy(sc Scale) *Table {
 		run("hier-local", "IDL:bench/Nearby:1.0", hier)
 		run("hier-remote", "IDL:bench/Needle:1.0", hier)
 		run("flat", "IDL:bench/Needle:1.0", func(portID string) int {
-			offers, err := querier.Agent.QueryFlat(portID, "*")
+			offers, err := querier.Agent.QueryFlat(context.Background(), portID, "*")
 			if err != nil || len(offers) == 0 {
 				return 0
 			}
@@ -325,7 +326,7 @@ func E5Failover(sc Scale) *Table {
 		// Query availability: the very next query must succeed through
 		// the replica (after timing out on the corpse).
 		start := time.Now()
-		offers, err := querier.Agent.Query("IDL:bench/Needle:1.0", "*")
+		offers, err := querier.Agent.Query(context.Background(), "IDL:bench/Needle:1.0", "*")
 		firstQuery := time.Since(start)
 		ok := err == nil && len(offers) == 1
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -84,13 +85,13 @@ func E6Deployment(sc Scale) *Table {
 	run("static-fixed", func(c *corbalc.Cluster, i int) bool {
 		p := c.Peers[i%nodes]
 		id := component.ID{Name: "worker", Version: mustVersion("1.0.0")}
-		_, err := p.Node.Instantiate(id, fmt.Sprintf("s%d", i))
+		_, err := p.Node.Instantiate(context.Background(), id, fmt.Sprintf("s%d", i))
 		return err == nil
 	})
 	// Run-time: the deployment engine picks the node when the instance
 	// is requested.
 	run("runtime-adaptive", func(c *corbalc.Cluster, i int) bool {
-		_, err := c.Peers[0].Engine.Place("worker", "*", fmt.Sprintf("r%d", i))
+		_, err := c.Peers[0].Engine.Place(context.Background(), "worker", "*", fmt.Sprintf("r%d", i))
 		return err == nil
 	})
 	return t
@@ -125,7 +126,7 @@ func E7Migration(sc Scale) *Table {
 			waitQuery(c.Peers[0], "IDL:bench/Decoder:1.0", 1)
 
 			start := time.Now()
-			ref, err := c.Peers[0].Engine.Resolve(xmldesc.Port{
+			ref, err := c.Peers[0].Engine.Resolve(context.Background(), xmldesc.Port{
 				Kind: xmldesc.PortUses, Name: "video", RepoID: "IDL:bench/Decoder:1.0",
 			})
 			if err != nil {
@@ -133,7 +134,7 @@ func E7Migration(sc Scale) *Table {
 			}
 			oref := c.Peers[0].Node.ORB().NewRef(ref)
 			for f := 0; f < frames; f++ {
-				err := oref.Invoke("frame", nil, func(d *cdr.Decoder) error {
+				err := oref.InvokeContext(context.Background(), "frame", nil, func(d *cdr.Decoder) error {
 					_, err := d.ReadOctetSeq()
 					return err
 				})
@@ -224,7 +225,7 @@ func E8TinyDevices(sc Scale) *Table {
 
 	pdaPlacements := 0
 	for i := 0; i < 12; i++ {
-		pl, err := server.Engine.Place("app", "*", fmt.Sprintf("i%d", i))
+		pl, err := server.Engine.Place(context.Background(), "app", "*", fmt.Sprintf("i%d", i))
 		if err != nil {
 			panic(err)
 		}
@@ -239,10 +240,10 @@ func E8TinyDevices(sc Scale) *Table {
 	t.Rows = append(t.Rows, []string{"PDA install attempt", fmt.Sprint(err != nil)})
 
 	// Remote use from the PDA still works.
-	ref, err := pda.Engine.Resolve(xmldesc.Port{Kind: xmldesc.PortUses, Name: "a", RepoID: "IDL:bench/App:1.0"})
+	ref, err := pda.Engine.Resolve(context.Background(), xmldesc.Port{Kind: xmldesc.PortUses, Name: "a", RepoID: "IDL:bench/App:1.0"})
 	ok := err == nil
 	if ok {
-		ok = pda.Node.ORB().NewRef(ref).Invoke("poke", nil, func(d *cdr.Decoder) error {
+		ok = pda.Node.ORB().NewRef(ref).InvokeContext(context.Background(), "poke", nil, func(d *cdr.Decoder) error {
 			_, err := d.ReadString()
 			return err
 		}) == nil
@@ -299,7 +300,7 @@ func E9Grid(sc Scale) *Table {
 			}
 			master := c.Peers[0]
 			waitQuery(master, "IDL:bench/Cruncher:1.0", w)
-			offers, err := master.Agent.QueryAll("IDL:bench/Cruncher:1.0", "*")
+			offers, err := master.Agent.QueryAll(context.Background(), "IDL:bench/Cruncher:1.0", "*")
 			if err != nil || len(offers) < w {
 				panic(fmt.Sprintf("E9: %d offers, %v", len(offers), err))
 			}
@@ -341,7 +342,7 @@ func farm(master *corbalc.Peer, offers []*node.Offer, chunks, chunkMs int, onDon
 		go func(of *node.Offer) {
 			acc := master.Node.ORB().NewRef(of.Acceptor)
 			var port *ior.IOR
-			err := acc.Invoke("obtain",
+			err := acc.InvokeContext(context.Background(), "obtain",
 				func(e *cdr.Encoder) {
 					e.WriteString(of.ComponentID)
 					e.WriteString(of.PortRepoID)
@@ -356,7 +357,7 @@ func farm(master *corbalc.Peer, offers []*node.Offer, chunks, chunkMs int, onDon
 			}
 			ref := master.Node.ORB().NewRef(port)
 			for range work {
-				err := ref.Invoke("chunk",
+				err := ref.InvokeContext(context.Background(), "chunk",
 					func(e *cdr.Encoder) { e.WriteLong(int32(chunkMs)) },
 					func(d *cdr.Decoder) error { _, e := d.ReadLong(); return e })
 				results <- result{ok: err == nil}

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -247,7 +248,7 @@ func cluster(n int, link simnet.Link, mutate func(*corbalc.Options)) *corbalc.Cl
 func waitQuery(p *corbalc.Peer, key string, want int) {
 	deadline := time.Now().Add(30 * time.Second)
 	for time.Now().Before(deadline) {
-		if offers, err := p.Agent.QueryAll(key, "*"); err == nil && len(offers) >= want {
+		if offers, err := p.Agent.QueryAll(context.Background(), key, "*"); err == nil && len(offers) >= want {
 			return
 		}
 		time.Sleep(10 * time.Millisecond)

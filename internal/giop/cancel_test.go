@@ -1,0 +1,66 @@
+package giop
+
+import (
+	"testing"
+
+	"corbalc/internal/cdr"
+)
+
+func TestCancelRequestRoundTrip(t *testing.T) {
+	for _, v := range []Version{V10, V12} {
+		for _, order := range []cdr.ByteOrder{cdr.LittleEndian, cdr.BigEndian} {
+			e := NewBodyEncoder(order)
+			EncodeCancelRequest(e, &CancelRequestHeader{RequestID: 0xCAFEBABE})
+			m := &Message{
+				Header: Header{Version: v, Order: order, Type: MsgCancelRequest},
+				Body:   e.Bytes(),
+			}
+			h, err := DecodeCancelRequest(m.BodyDecoder())
+			if err != nil {
+				t.Fatalf("v%v order %v: decode: %v", v, order, err)
+			}
+			if h.RequestID != 0xCAFEBABE {
+				t.Errorf("v%v order %v: request id %#x, want 0xCAFEBABE", v, order, h.RequestID)
+			}
+			if id, ok := PeekRequestID(m); !ok || id != 0xCAFEBABE {
+				t.Errorf("v%v order %v: peek = %#x, %v", v, order, id, ok)
+			}
+		}
+	}
+}
+
+func TestDecodeCancelRequestTruncated(t *testing.T) {
+	m := &Message{Header: Header{Version: V12, Type: MsgCancelRequest}, Body: []byte{1, 2}}
+	if _, err := DecodeCancelRequest(m.BodyDecoder()); err == nil {
+		t.Fatal("truncated CancelRequest decoded without error")
+	}
+	if _, ok := PeekRequestID(m); ok {
+		t.Fatal("peek succeeded on truncated body")
+	}
+}
+
+func TestPeekRequestID(t *testing.T) {
+	scs := []ServiceContext{{ID: SvcTracing, Data: []byte{1, 2, 3}}}
+	for _, v := range []Version{V10, V12} {
+		e := NewBodyEncoder(cdr.LittleEndian)
+		if err := EncodeRequest(e, v, &RequestHeader{
+			RequestID: 77, ResponseExpected: true,
+			ObjectKey: []byte("k"), Operation: "op", ServiceContexts: scs,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		m := &Message{Header: Header{Version: v, Order: cdr.LittleEndian, Type: MsgRequest}, Body: e.Bytes()}
+		if id, ok := PeekRequestID(m); !ok || id != 77 {
+			t.Errorf("request v%v: peek = %d, %v; want 77", v, id, ok)
+		}
+
+		e = NewBodyEncoder(cdr.LittleEndian)
+		if err := EncodeReply(e, v, &ReplyHeader{RequestID: 88, Status: ReplyNoException}); err != nil {
+			t.Fatal(err)
+		}
+		m = &Message{Header: Header{Version: v, Order: cdr.LittleEndian, Type: MsgReply}, Body: e.Bytes()}
+		if id, ok := PeekRequestID(m); !ok || id != 88 {
+			t.Errorf("reply v%v: peek = %d, %v; want 88", v, id, ok)
+		}
+	}
+}

@@ -214,6 +214,8 @@ type ServiceContext struct {
 const (
 	SvcNodeIdentity uint32 = 0x434C4300 // "CLC\0": sender node name
 	SvcTracing      uint32 = 0x434C4301 // request hop trace
+	SvcDeadline     uint32 = 0x434C4302 // absolute call deadline, µs since epoch
+	SvcCallID       uint32 = 0x434C4303 // end-to-end call correlation ID
 )
 
 func encodeServiceContexts(e *cdr.Encoder, scs []ServiceContext) {
@@ -426,6 +428,46 @@ func AlignBodyDecode(d *cdr.Decoder, v Version) error {
 		}
 	}
 	return nil
+}
+
+// CancelRequestHeader is a CancelRequest header: the client's notice that
+// it no longer awaits the reply to RequestID. The layout is a single
+// unsigned long in every GIOP version.
+type CancelRequestHeader struct {
+	RequestID uint32
+}
+
+// EncodeCancelRequest encodes a CancelRequest header.
+func EncodeCancelRequest(e *cdr.Encoder, h *CancelRequestHeader) {
+	e.WriteULong(h.RequestID)
+}
+
+// DecodeCancelRequest parses a CancelRequest header.
+func DecodeCancelRequest(d *cdr.Decoder) (*CancelRequestHeader, error) {
+	id, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	return &CancelRequestHeader{RequestID: id}, nil
+}
+
+// PeekRequestID extracts the request ID from a Request, Reply,
+// LocateRequest, LocateReply or CancelRequest without decoding the rest
+// of the header. In GIOP 1.2 every such header begins with the ID; 1.0
+// Request and Reply headers prefix a service context list that must be
+// skipped first.
+func PeekRequestID(m *Message) (uint32, bool) {
+	d := m.BodyDecoder()
+	if m.Header.Version == V10 && (m.Header.Type == MsgRequest || m.Header.Type == MsgReply) {
+		if _, err := decodeServiceContexts(d); err != nil {
+			return 0, false
+		}
+	}
+	id, err := d.ReadULong()
+	if err != nil {
+		return 0, false
+	}
+	return id, true
 }
 
 // LocateRequestHeader is a LocateRequest header (both versions carry a

@@ -5,6 +5,7 @@
 package iiop
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -19,9 +20,11 @@ import (
 )
 
 // Handler consumes an inbound GIOP message and produces the reply (nil
-// when none is due). *orb.ORB satisfies it.
+// when none is due). The context is cancelled when the client sends a
+// GIOP CancelRequest for the message's request ID or the connection
+// dies. *orb.ORB satisfies it.
 type Handler interface {
-	HandleMessage(*giop.Message) (*giop.Message, error)
+	HandleMessage(ctx context.Context, m *giop.Message) (*giop.Message, error)
 }
 
 // DefaultMaxFragment is the body size beyond which GIOP 1.2 messages
@@ -121,6 +124,10 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
+// errCancelledByPeer is the cancellation cause recorded when a client's
+// GIOP CancelRequest aborts an in-flight request.
+var errCancelledByPeer = errors.New("iiop: request cancelled by peer")
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -129,6 +136,16 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
+	// connCtx parents every request dispatched from this connection, so
+	// in-flight servants observe cancellation when the connection dies.
+	connCtx, connCancel := context.WithCancel(context.Background())
+	defer connCancel()
+	// inflight maps the request IDs currently being handled to their
+	// cancel functions, so a CancelRequest can abort them.
+	var (
+		inflightMu sync.Mutex
+		inflight   = make(map[uint32]context.CancelCauseFunc)
+	)
 	var wmu sync.Mutex // serialises interleaved reply writes
 	var reqWG sync.WaitGroup
 	defer reqWG.Wait()
@@ -148,10 +165,39 @@ func (s *Server) serveConn(conn net.Conn) {
 		if m == nil {
 			continue // waiting for more fragments
 		}
+		if m.Header.Type == giop.MsgCancelRequest {
+			if id, ok := giop.PeekRequestID(m); ok {
+				inflightMu.Lock()
+				cancel := inflight[id]
+				inflightMu.Unlock()
+				if cancel != nil {
+					cancel(errCancelledByPeer)
+				}
+			}
+			continue
+		}
 		reqWG.Add(1)
 		go func(m *giop.Message) {
 			defer reqWG.Done()
-			reply, err := s.handler.HandleMessage(m)
+			reqCtx := connCtx
+			cancelled := func() bool { return false }
+			if m.Header.Type == giop.MsgRequest || m.Header.Type == giop.MsgLocateRequest {
+				if id, ok := giop.PeekRequestID(m); ok {
+					ctx, cancel := context.WithCancelCause(connCtx)
+					reqCtx = ctx
+					cancelled = func() bool { return context.Cause(ctx) == errCancelledByPeer }
+					inflightMu.Lock()
+					inflight[id] = cancel
+					inflightMu.Unlock()
+					defer func() {
+						inflightMu.Lock()
+						delete(inflight, id)
+						inflightMu.Unlock()
+						cancel(nil)
+					}()
+				}
+			}
+			reply, err := s.handler.HandleMessage(reqCtx, m)
 			if err != nil || reply == nil {
 				if err != nil {
 					// Protocol-level failure: tell the peer and drop.
@@ -161,6 +207,11 @@ func (s *Server) serveConn(conn net.Conn) {
 					}, nil)
 					wmu.Unlock()
 				}
+				return
+			}
+			if cancelled() {
+				// The client sent CancelRequest: it no longer awaits this
+				// reply, so writing it would only burn bandwidth.
 				return
 			}
 			wmu.Lock()
@@ -203,17 +254,35 @@ func (s *Server) Close() error {
 	return err
 }
 
+// DefaultCallTimeout bounds a two-way call when Transport.CallTimeout is
+// left zero: a safety net against wedged connections, independent of any
+// per-call context deadline.
+const DefaultCallTimeout = 30 * time.Second
+
 // Transport is the client-side IIOP transport, registered with an ORB to
 // serve TagInternetIOP profiles.
 type Transport struct {
 	// DialTimeout bounds connection establishment (default 5s).
 	DialTimeout time.Duration
-	// CallTimeout bounds a single two-way request (default 30s); zero
-	// means no limit.
+	// CallTimeout bounds a single two-way request (default
+	// DefaultCallTimeout; negative disables the limit, mirroring
+	// MaxFragment).
 	CallTimeout time.Duration
 	// MaxFragment bounds outgoing GIOP 1.2 bodies (default
 	// DefaultMaxFragment; negative disables fragmentation).
 	MaxFragment int
+}
+
+// effectiveCallTimeout resolves the CallTimeout knob: zero means the
+// default, negative means no limit.
+func (t *Transport) effectiveCallTimeout() time.Duration {
+	switch {
+	case t.CallTimeout == 0:
+		return DefaultCallTimeout
+	case t.CallTimeout < 0:
+		return 0
+	}
+	return t.CallTimeout
 }
 
 // Tag implements orb.Transport.
@@ -228,8 +297,9 @@ func (t *Transport) Endpoint(profile []byte) (string, error) {
 	return p.Addr(), nil
 }
 
-// Dial implements orb.Transport.
-func (t *Transport) Dial(profile []byte) (orb.Channel, error) {
+// Dial implements orb.Transport. Establishment is bounded by both
+// DialTimeout and ctx, whichever ends first.
+func (t *Transport) Dial(ctx context.Context, profile []byte) (orb.Channel, error) {
 	addr, err := t.Endpoint(profile)
 	if err != nil {
 		return nil, err
@@ -238,7 +308,8 @@ func (t *Transport) Dial(profile []byte) (orb.Channel, error) {
 	if dt == 0 {
 		dt = 5 * time.Second
 	}
-	conn, err := net.DialTimeout("tcp", addr, dt)
+	d := net.Dialer{Timeout: dt}
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("iiop: dial %s: %w", addr, err)
 	}
@@ -252,7 +323,7 @@ func (t *Transport) Dial(profile []byte) (orb.Channel, error) {
 	c := &clientConn{
 		conn:        conn,
 		pending:     make(map[uint32]chan *giop.Message),
-		callTimeout: t.CallTimeout,
+		callTimeout: t.effectiveCallTimeout(),
 		maxFragment: maxFrag,
 	}
 	go c.readLoop()
@@ -293,7 +364,7 @@ func (c *clientConn) readLoop() {
 		}
 		switch m.Header.Type {
 		case giop.MsgReply, giop.MsgLocateReply:
-			id, ok := peekRequestID(m)
+			id, ok := giop.PeekRequestID(m)
 			if !ok {
 				c.fail(errors.New("iiop: undecodable reply header"))
 				return
@@ -316,25 +387,6 @@ func (c *clientConn) readLoop() {
 			// GIOP) are not supported by the lightweight profile.
 		}
 	}
-}
-
-// peekRequestID extracts the request ID from a Reply or LocateReply
-// without fully decoding it (both layouts begin with the ID in 1.2; 1.0
-// Reply prefixes a service context list that must be skipped).
-func peekRequestID(m *giop.Message) (uint32, bool) {
-	d := m.BodyDecoder()
-	if m.Header.Type == giop.MsgReply && m.Header.Version == giop.V10 {
-		h, err := giop.DecodeReply(d, giop.V10)
-		if err != nil {
-			return 0, false
-		}
-		return h.RequestID, true
-	}
-	id, err := d.ReadULong()
-	if err != nil {
-		return 0, false
-	}
-	return id, true
 }
 
 func (c *clientConn) fail(err error) {
@@ -363,8 +415,13 @@ func (c *clientConn) register(requestID uint32, ch chan *giop.Message) error {
 	return nil
 }
 
-// Call implements orb.Channel.
-func (c *clientConn) Call(req *giop.Message, requestID uint32) (*giop.Message, error) {
+// Call implements orb.Channel. The reply wait ends when the reply
+// arrives, ctx is done, or the CallTimeout safety net fires; in the
+// latter two cases the pending slot is freed and a GIOP CancelRequest is
+// sent so the server can abandon the work. A reply arriving after that is
+// discarded by readLoop (no pending channel), leaving the multiplexed
+// connection usable.
+func (c *clientConn) Call(ctx context.Context, req *giop.Message, requestID uint32) (*giop.Message, error) {
 	ch := make(chan *giop.Message, 1)
 	if err := c.register(requestID, ch); err != nil {
 		return nil, err
@@ -395,16 +452,38 @@ func (c *clientConn) Call(req *giop.Message, requestID uint32) (*giop.Message, e
 			return nil, err
 		}
 		return m, nil
+	case <-ctx.Done():
+		c.abandon(requestID, req)
+		return nil, ctx.Err()
 	case <-timeout:
-		c.mu.Lock()
-		delete(c.pending, requestID)
-		c.mu.Unlock()
+		c.abandon(requestID, req)
 		return nil, orb.Timeout()
 	}
 }
 
+// abandon frees the pending slot of a call the client gave up on and
+// notifies the server with a best-effort GIOP CancelRequest.
+func (c *clientConn) abandon(requestID uint32, req *giop.Message) {
+	c.mu.Lock()
+	delete(c.pending, requestID)
+	c.mu.Unlock()
+	e := giop.NewBodyEncoder(req.Header.Order)
+	giop.EncodeCancelRequest(e, &giop.CancelRequestHeader{RequestID: requestID})
+	_ = c.write(&giop.Message{
+		Header: giop.Header{
+			Version: req.Header.Version, Order: req.Header.Order, Type: giop.MsgCancelRequest,
+		},
+		Body: e.Bytes(),
+	})
+}
+
 // Send implements orb.Channel (oneway requests).
-func (c *clientConn) Send(req *giop.Message) error { return c.write(req) }
+func (c *clientConn) Send(ctx context.Context, req *giop.Message) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return c.write(req)
+}
 
 func (c *clientConn) write(m *giop.Message) error {
 	c.wmu.Lock()

@@ -1,9 +1,11 @@
 package node
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"corbalc/internal/cdr"
 	"corbalc/internal/events"
@@ -93,7 +95,11 @@ func (s *eventService) addBridge(typeID string, target *ior.IOR) string {
 	id := fmt.Sprintf("bridge-%d", s.seq.Add(1))
 	targetRef := s.n.orb.NewRef(target)
 	cancel := s.n.hub.Channel(typeID).Subscribe("bridge/"+id, func(ev events.Event) {
-		_ = targetRef.InvokeOneway("push", func(e *cdr.Encoder) {
+		// Bound each forward by the node's lifetime plus a short push
+		// deadline: a wedged remote must not stall the hub forever.
+		ctx, done := context.WithTimeout(s.n.ctx, 5*time.Second)
+		defer done()
+		_ = targetRef.InvokeOnewayContext(ctx, "push", func(e *cdr.Encoder) {
 			e.WriteString(ev.TypeID)
 			e.WriteString(ev.Source)
 			e.WriteOctetSeq(ev.Data)

@@ -9,6 +9,7 @@
 package node
 
 import (
+	"context"
 	"crypto/ed25519"
 	"errors"
 	"fmt"
@@ -42,7 +43,7 @@ const (
 // The node's default resolver only looks locally; the Distributed
 // Registry plugs in a network-wide one.
 type DependencyResolver interface {
-	Resolve(p xmldesc.Port) (*ior.IOR, error)
+	Resolve(ctx context.Context, p xmldesc.Port) (*ior.IOR, error)
 }
 
 // ErrUnresolved reports that no provider could be found for a port.
@@ -67,13 +68,19 @@ type Config struct {
 
 // Node is one CORBA-LC node.
 type Node struct {
-	name  string
-	orb   *orb.ORB
-	hub   *events.Hub
-	impls *component.Registry
-	res   *Resources
-	repo  *Repository
-	keys  []ed25519.PublicKey
+	name string
+	orb  *orb.ORB
+
+	// ctx is the node's lifetime context: background work the node
+	// starts on its own behalf (event-bridge pushes) derives from it and
+	// stops at Close.
+	ctx    context.Context
+	cancel context.CancelFunc
+	hub    *events.Hub
+	impls  *component.Registry
+	res    *Resources
+	repo   *Repository
+	keys   []ed25519.PublicKey
 
 	mu         sync.Mutex
 	containers map[component.ID]*container.Container
@@ -115,6 +122,7 @@ func New(cfg Config) *Node {
 		keys:       cfg.TrustedKeys,
 		containers: make(map[component.ID]*container.Container),
 	}
+	n.ctx, n.cancel = context.WithCancel(context.Background())
 	n.resolver = &localResolver{n: n}
 	n.eventSvc = newEventService(n)
 	o.Activate(KeyResources, &resourceServant{n: n})
@@ -147,11 +155,11 @@ func (n *Node) Admit(q xmldesc.QoS) (func(), error) {
 }
 
 // ResolveDependency implements container.Host.
-func (n *Node) ResolveDependency(p xmldesc.Port) (*ior.IOR, error) {
+func (n *Node) ResolveDependency(ctx context.Context, p xmldesc.Port) (*ior.IOR, error) {
 	n.mu.Lock()
 	r := n.resolver
 	n.mu.Unlock()
-	return r.Resolve(p)
+	return r.Resolve(ctx, p)
 }
 
 // SetResolver plugs in a network-wide dependency resolver (the
@@ -317,7 +325,7 @@ func (n *Node) ContainerFor(id component.ID) (*container.Container, error) {
 
 // Instantiate creates (and dependency-resolves) an instance of an
 // installed component.
-func (n *Node) Instantiate(id component.ID, name string) (*container.ManagedInstance, error) {
+func (n *Node) Instantiate(ctx context.Context, id component.ID, name string) (*container.ManagedInstance, error) {
 	ct, err := n.ContainerFor(id)
 	if err != nil {
 		return nil, err
@@ -326,7 +334,7 @@ func (n *Node) Instantiate(id component.ID, name string) (*container.ManagedInst
 	if err != nil {
 		return nil, err
 	}
-	if err := mi.ResolveDependencies(); err != nil {
+	if err := mi.ResolveDependencies(ctx); err != nil {
 		_ = ct.Destroy(mi.Name())
 		return nil, err
 	}
@@ -347,6 +355,7 @@ func (n *Node) Instances() map[component.ID][]*container.ManagedInstance {
 
 // Close tears down all containers and the event hub.
 func (n *Node) Close() {
+	n.cancel()
 	n.mu.Lock()
 	cts := n.containers
 	n.containers = make(map[component.ID]*container.Container)
@@ -503,7 +512,7 @@ func (n *Node) LocalQuery(portRepoID, versionReq string) ([]*Offer, error) {
 // ObtainPort returns a provided-port reference for a component installed
 // here, reusing a running instance or creating one — the server half of
 // network dependency resolution.
-func (n *Node) ObtainPort(id component.ID, portRepoID string) (*ior.IOR, error) {
+func (n *Node) ObtainPort(ctx context.Context, id component.ID, portRepoID string) (*ior.IOR, error) {
 	c, ok := n.repo.Get(id)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotInstalled, id)
@@ -520,7 +529,7 @@ func (n *Node) ObtainPort(id component.ID, portRepoID string) (*ior.IOR, error) 
 		if err != nil {
 			return nil, err
 		}
-		if err := mi.ResolveDependencies(); err != nil {
+		if err := mi.ResolveDependencies(ctx); err != nil {
 			_ = ct.Destroy(mi.Name())
 			return nil, err
 		}
@@ -579,11 +588,11 @@ func (n *Node) AllOffers() []*Offer {
 // it instantiates (or reuses) a local provider and returns its port.
 type localResolver struct{ n *Node }
 
-func (lr *localResolver) Resolve(p xmldesc.Port) (*ior.IOR, error) {
+func (lr *localResolver) Resolve(ctx context.Context, p xmldesc.Port) (*ior.IOR, error) {
 	req, _ := version.ParseRequirement(p.Version)
 	provs := lr.n.repo.Providers(p.RepoID, req)
 	if len(provs) == 0 {
 		return nil, fmt.Errorf("%w: no local provider for %s", ErrUnresolved, p.RepoID)
 	}
-	return lr.n.ObtainPort(provs[0].ID(), p.RepoID)
+	return lr.n.ObtainPort(ctx, provs[0].ID(), p.RepoID)
 }

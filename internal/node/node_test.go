@@ -1,6 +1,7 @@
 package node
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync/atomic"
@@ -102,7 +103,7 @@ func TestInstallInstantiateInvoke(t *testing.T) {
 	}
 	d0 := n.Digest()
 
-	mi, err := n.Instantiate(id, "a1")
+	mi, err := n.Instantiate(context.Background(), id, "a1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,18 +194,18 @@ func TestLocalResolverReusesInstance(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := xmldesc.Port{Kind: xmldesc.PortUses, Name: "dep", RepoID: "IDL:test/Adder:1.0"}
-	ref1, err := n.ResolveDependency(p)
+	ref1, err := n.ResolveDependency(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref2, err := n.ResolveDependency(p)
+	ref2, err := n.ResolveDependency(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ref1.String() != ref2.String() {
 		t.Fatal("resolver created a second instance instead of reusing")
 	}
-	if _, err := n.ResolveDependency(xmldesc.Port{RepoID: "IDL:test/Nothing:1.0", Kind: xmldesc.PortUses, Name: "x"}); !errors.Is(err, ErrUnresolved) {
+	if _, err := n.ResolveDependency(context.Background(), xmldesc.Port{RepoID: "IDL:test/Nothing:1.0", Kind: xmldesc.PortUses, Name: "x"}); !errors.Is(err, ErrUnresolved) {
 		t.Fatalf("missing dep err = %v", err)
 	}
 }
@@ -388,7 +389,7 @@ func TestMigrationViaAcceptorCapsule(t *testing.T) {
 		t.Fatal(err)
 	}
 	id := comp.ID()
-	mi, err := a.Instantiate(id, "mover")
+	mi, err := a.Instantiate(context.Background(), id, "mover")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -456,7 +457,7 @@ func TestUninstallClosesContainer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mi, err := n.Instantiate(id, "x")
+	mi, err := n.Instantiate(context.Background(), id, "x")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -485,13 +486,13 @@ func TestAdmitReleasesOnDestroy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Instantiate(id, "one"); err != nil {
+	if _, err := n.Instantiate(context.Background(), id, "one"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Instantiate(id, "two"); err != nil {
+	if _, err := n.Instantiate(context.Background(), id, "two"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Instantiate(id, "three"); err == nil {
+	if _, err := n.Instantiate(context.Background(), id, "three"); err == nil {
 		t.Fatal("over-admission")
 	}
 	ct, err := n.ContainerFor(id)
@@ -501,7 +502,7 @@ func TestAdmitReleasesOnDestroy(t *testing.T) {
 	if err := ct.Destroy("one"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Instantiate(id, "three"); err != nil {
+	if _, err := n.Instantiate(context.Background(), id, "three"); err != nil {
 		t.Fatalf("create after release: %v", err)
 	}
 }

@@ -1,6 +1,8 @@
 package node
 
 import (
+	"context"
+
 	"corbalc/internal/cdr"
 	"corbalc/internal/component"
 	"corbalc/internal/container"
@@ -14,7 +16,14 @@ type registryServant struct{ n *Node }
 
 func (s *registryServant) RepositoryID() string { return ComponentRegistryRepoID }
 
+// Invoke implements orb.Servant for callers without a context.
 func (s *registryServant) Invoke(op string, args *cdr.Decoder, reply *cdr.Encoder) error {
+	return s.InvokeContext(context.Background(), op, args, reply)
+}
+
+// InvokeContext implements orb.ContextServant.
+func (s *registryServant) InvokeContext(ctx context.Context, op string, args *cdr.Decoder, reply *cdr.Encoder) error {
+	_ = ctx // registry operations are all node-local today
 	n := s.n
 	switch op {
 	case "list_components":
@@ -160,7 +169,15 @@ type acceptorServant struct{ n *Node }
 
 func (s *acceptorServant) RepositoryID() string { return ComponentAcceptorRepoID }
 
+// Invoke implements orb.Servant for callers without a context.
 func (s *acceptorServant) Invoke(op string, args *cdr.Decoder, reply *cdr.Encoder) error {
+	return s.InvokeContext(context.Background(), op, args, reply)
+}
+
+// InvokeContext implements orb.ContextServant: instantiation and port
+// obtainment resolve dependencies network-wide under the caller's
+// context, so a client deadline bounds the entire resolution fan-out.
+func (s *acceptorServant) InvokeContext(ctx context.Context, op string, args *cdr.Decoder, reply *cdr.Encoder) error {
 	n := s.n
 	switch op {
 	case "install":
@@ -204,7 +221,7 @@ func (s *acceptorServant) Invoke(op string, args *cdr.Decoder, reply *cdr.Encode
 		if err != nil {
 			return noComponentExc(idStr)
 		}
-		mi, err := n.Instantiate(id, instName)
+		mi, err := n.Instantiate(ctx, id, instName)
 		if err != nil {
 			return installExc(err)
 		}
@@ -263,7 +280,7 @@ func (s *acceptorServant) Invoke(op string, args *cdr.Decoder, reply *cdr.Encode
 		if err != nil {
 			return noComponentExc(idStr)
 		}
-		ref, err := n.ObtainPort(id, portRepoID)
+		ref, err := n.ObtainPort(ctx, id, portRepoID)
 		if err != nil {
 			return installExc(err)
 		}

@@ -1,6 +1,7 @@
 package node
 
 import (
+	"context"
 	"crypto/ed25519"
 	"crypto/rand"
 	"errors"
@@ -363,7 +364,7 @@ func TestNodeAccessors(t *testing.T) {
 	n.SetResolver(resolverFunc(func(p xmldesc.Port) (*ior.IOR, error) {
 		return ior.New(p.RepoID, "h", 1, []byte("k")), nil
 	}))
-	ref, err := n.ResolveDependency(xmldesc.Port{RepoID: "IDL:x:1.0"})
+	ref, err := n.ResolveDependency(context.Background(), xmldesc.Port{RepoID: "IDL:x:1.0"})
 	if err != nil || ref.TypeID != "IDL:x:1.0" {
 		t.Fatalf("resolver: %v, %v", ref, err)
 	}
@@ -371,4 +372,4 @@ func TestNodeAccessors(t *testing.T) {
 
 type resolverFunc func(p xmldesc.Port) (*ior.IOR, error)
 
-func (f resolverFunc) Resolve(p xmldesc.Port) (*ior.IOR, error) { return f(p) }
+func (f resolverFunc) Resolve(_ context.Context, p xmldesc.Port) (*ior.IOR, error) { return f(p) }

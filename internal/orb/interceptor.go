@@ -1,0 +1,158 @@
+package orb
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// RequestInfo is the per-call metadata exposed to interceptors — the
+// lightweight analogue of CORBA Portable Interceptors' ClientRequestInfo/
+// ServerRequestInfo. The same value flows through both points of one
+// side's chain, so SendRequest/ReceiveRequest state can be correlated in
+// ReceiveReply/SendReply.
+type RequestInfo struct {
+	// Operation is the invoked operation name.
+	Operation string
+	// ObjectKey addresses the target object.
+	ObjectKey []byte
+	// RequestID is the GIOP request ID (per-connection scope).
+	RequestID uint32
+	// CallID is the end-to-end correlation ID carried in the SvcCallID
+	// service context; both sides of one call observe the same value.
+	CallID string
+	// Deadline is the call's absolute deadline (zero when unbounded).
+	Deadline time.Time
+	// Oneway reports a request that expects no reply.
+	Oneway bool
+	// Local reports a collocated dispatch that never reached a transport
+	// (client side only).
+	Local bool
+	// Elapsed is the time spent in the call; set at the reply points.
+	Elapsed time.Duration
+	// Err is the call outcome; set at the reply points (nil on success).
+	Err error
+}
+
+// ClientInterceptor observes outbound invocations. SendRequest runs after
+// the request message is built, before it is handed to a transport;
+// ReceiveReply runs after the reply is decoded (or the call failed), with
+// Elapsed and Err populated.
+type ClientInterceptor interface {
+	SendRequest(ctx context.Context, info *RequestInfo)
+	ReceiveReply(ctx context.Context, info *RequestInfo)
+}
+
+// ServerInterceptor observes inbound dispatches. ReceiveRequest runs
+// after the request header is decoded, before the servant; returning a
+// non-nil error rejects the request with that error (typically a
+// *SystemException) without dispatching. SendReply runs after the servant
+// returned, with Elapsed and Err populated.
+type ServerInterceptor interface {
+	ReceiveRequest(ctx context.Context, info *RequestInfo) error
+	SendReply(ctx context.Context, info *RequestInfo)
+}
+
+// AddClientInterceptor appends an interceptor to the outbound chain.
+func (o *ORB) AddClientInterceptor(ci ClientInterceptor) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.clientInterceptors = append(o.clientInterceptors, ci)
+}
+
+// AddServerInterceptor appends an interceptor to the inbound chain.
+func (o *ORB) AddServerInterceptor(si ServerInterceptor) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.serverInterceptors = append(o.serverInterceptors, si)
+}
+
+// clientChain snapshots the outbound interceptor chain.
+func (o *ORB) clientChain() []ClientInterceptor {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.clientInterceptors
+}
+
+// serverChain snapshots the inbound interceptor chain.
+func (o *ORB) serverChain() []ServerInterceptor {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.serverInterceptors
+}
+
+// Stats is the shipped stats/latency interceptor: it counts requests and
+// accumulates service times on both sides of the ORB. One instance is
+// registered on every ORB at construction (reachable via ORB.Stats), and
+// backs ORB.RequestsServed/RequestsSent.
+type Stats struct {
+	sent      atomic.Uint64
+	served    atomic.Uint64
+	sentNanos atomic.Int64
+	srvNanos  atomic.Int64
+	sentErrs  atomic.Uint64
+	srvErrs   atomic.Uint64
+}
+
+// SendRequest implements ClientInterceptor.
+func (s *Stats) SendRequest(context.Context, *RequestInfo) {}
+
+// ReceiveReply implements ClientInterceptor.
+func (s *Stats) ReceiveReply(_ context.Context, info *RequestInfo) {
+	s.sent.Add(1)
+	s.sentNanos.Add(int64(info.Elapsed))
+	if info.Err != nil {
+		s.sentErrs.Add(1)
+	}
+}
+
+// ReceiveRequest implements ServerInterceptor.
+func (s *Stats) ReceiveRequest(context.Context, *RequestInfo) error { return nil }
+
+// SendReply implements ServerInterceptor.
+func (s *Stats) SendReply(_ context.Context, info *RequestInfo) {
+	s.served.Add(1)
+	s.srvNanos.Add(int64(info.Elapsed))
+	if info.Err != nil {
+		s.srvErrs.Add(1)
+	}
+}
+
+// RequestsSent reports completed outbound invocations.
+func (s *Stats) RequestsSent() uint64 { return s.sent.Load() }
+
+// RequestsServed reports dispatched inbound requests.
+func (s *Stats) RequestsServed() uint64 { return s.served.Load() }
+
+// Errors reports the outbound and inbound error counts.
+func (s *Stats) Errors() (sent, served uint64) { return s.sentErrs.Load(), s.srvErrs.Load() }
+
+// MeanLatency reports the mean outbound and inbound service times (zero
+// when no calls completed on that side).
+func (s *Stats) MeanLatency() (sent, served time.Duration) {
+	if n := s.sent.Load(); n > 0 {
+		sent = time.Duration(uint64(s.sentNanos.Load()) / n)
+	}
+	if n := s.served.Load(); n > 0 {
+		served = time.Duration(uint64(s.srvNanos.Load()) / n)
+	}
+	return sent, served
+}
+
+// DeadlineEnforcer is the shipped deadline-enforcement server
+// interceptor: requests whose propagated deadline has already expired are
+// rejected with CORBA::TIMEOUT before reaching the servant — work the
+// client gave up on is not worth dispatching. One instance is registered
+// on every ORB at construction.
+type DeadlineEnforcer struct{}
+
+// ReceiveRequest implements ServerInterceptor.
+func (DeadlineEnforcer) ReceiveRequest(_ context.Context, info *RequestInfo) error {
+	if !info.Deadline.IsZero() && !time.Now().Before(info.Deadline) {
+		return Timeout()
+	}
+	return nil
+}
+
+// SendReply implements ServerInterceptor.
+func (DeadlineEnforcer) SendReply(context.Context, *RequestInfo) {}

@@ -10,6 +10,7 @@
 package orb
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
@@ -17,18 +18,23 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"corbalc/internal/cdr"
 	"corbalc/internal/giop"
 	"corbalc/internal/ior"
+	"corbalc/internal/svcctx"
 )
 
 // Channel is an established duplex connection to a remote endpoint over
 // which GIOP messages travel. Call blocks until the reply whose request
-// ID matches arrives. Implementations must be safe for concurrent use.
+// ID matches arrives, the context is done, or the channel fails; on
+// cancellation implementations should notify the peer (the IIOP channel
+// emits a GIOP CancelRequest). Implementations must be safe for
+// concurrent use.
 type Channel interface {
-	Call(req *giop.Message, requestID uint32) (*giop.Message, error)
-	Send(req *giop.Message) error
+	Call(ctx context.Context, req *giop.Message, requestID uint32) (*giop.Message, error)
+	Send(ctx context.Context, req *giop.Message) error
 	Close() error
 }
 
@@ -38,8 +44,9 @@ type Transport interface {
 	Tag() uint32
 	// Endpoint extracts a cache key (e.g. "host:port") from the profile.
 	Endpoint(profile []byte) (string, error)
-	// Dial opens a channel to the endpoint described by the profile.
-	Dial(profile []byte) (Channel, error)
+	// Dial opens a channel to the endpoint described by the profile,
+	// bounding connection establishment by ctx.
+	Dial(ctx context.Context, profile []byte) (Channel, error)
 }
 
 // KeyExtractor is optionally implemented by transports whose profiles
@@ -62,18 +69,20 @@ type ORB struct {
 	version giop.Version
 	order   cdr.ByteOrder
 
-	mu         sync.RWMutex
-	transports map[uint32]Transport
-	channels   map[string]Channel // endpoint -> live channel
-	decorators []IORDecorator
-	host       string
-	port       uint16
+	mu                 sync.RWMutex
+	transports         map[uint32]Transport
+	channels           map[string]Channel // endpoint -> live channel
+	decorators         []IORDecorator
+	clientInterceptors []ClientInterceptor
+	serverInterceptors []ServerInterceptor
+	host               string
+	port               uint16
 
 	reqID atomic.Uint32
 
-	// Stats counters, exported for the E1 benchmarks.
-	requestsServed atomic.Uint64
-	requestsSent   atomic.Uint64
+	// stats is the always-registered stats/latency interceptor backing
+	// RequestsServed/RequestsSent (exported for the E1 benchmarks).
+	stats *Stats
 }
 
 var orbSeq atomic.Uint64
@@ -110,7 +119,10 @@ func NewORB(opts ...Option) *ORB {
 		order:      cdr.LittleEndian,
 		transports: make(map[uint32]Transport),
 		channels:   make(map[string]Channel),
+		stats:      &Stats{},
 	}
+	o.clientInterceptors = []ClientInterceptor{o.stats}
+	o.serverInterceptors = []ServerInterceptor{DeadlineEnforcer{}, o.stats}
 	for _, opt := range opts {
 		opt(o)
 	}
@@ -123,11 +135,14 @@ func (o *ORB) ID() string { return o.id }
 // Adapter returns the ORB's object adapter.
 func (o *ORB) Adapter() *Adapter { return o.adapter }
 
+// Stats returns the ORB's built-in stats/latency interceptor.
+func (o *ORB) Stats() *Stats { return o.stats }
+
 // RequestsServed reports how many inbound requests this ORB dispatched.
-func (o *ORB) RequestsServed() uint64 { return o.requestsServed.Load() }
+func (o *ORB) RequestsServed() uint64 { return o.stats.RequestsServed() }
 
 // RequestsSent reports how many outbound requests this ORB issued.
-func (o *ORB) RequestsSent() uint64 { return o.requestsSent.Load() }
+func (o *ORB) RequestsSent() uint64 { return o.stats.RequestsSent() }
 
 // RegisterTransport makes a transport available for outbound calls.
 func (o *ORB) RegisterTransport(t Transport) {
@@ -191,14 +206,19 @@ func (o *ORB) nextRequestID() uint32 { return o.reqID.Add(1) }
 
 // HandleMessage dispatches an inbound GIOP message and returns the reply
 // message, or nil when no reply is due (oneway requests, CancelRequest).
-// Transports call this from their receive loops.
-func (o *ORB) HandleMessage(m *giop.Message) (*giop.Message, error) {
+// Transports call this from their receive loops; ctx bounds the dispatch
+// and is the parent of the context servants observe (transports cancel it
+// when the peer sends CancelRequest or the connection dies).
+func (o *ORB) HandleMessage(ctx context.Context, m *giop.Message) (*giop.Message, error) {
 	switch m.Header.Type {
 	case giop.MsgRequest:
-		return o.handleRequest(m)
+		return o.handleRequest(ctx, m)
 	case giop.MsgLocateRequest:
 		return o.handleLocateRequest(m)
 	case giop.MsgCancelRequest, giop.MsgCloseConnection:
+		// CancelRequest is honoured at the transport layer (the IIOP
+		// server cancels the in-flight request's context); an ORB fed one
+		// directly has nothing to do.
 		return nil, nil
 	case giop.MsgMessageError:
 		return nil, errors.New("orb: peer reported message error")
@@ -211,7 +231,7 @@ func (o *ORB) HandleMessage(m *giop.Message) (*giop.Message, error) {
 	}
 }
 
-func (o *ORB) handleRequest(m *giop.Message) (*giop.Message, error) {
+func (o *ORB) handleRequest(ctx context.Context, m *giop.Message) (*giop.Message, error) {
 	v := m.Header.Version
 	d := m.BodyDecoder()
 	req, err := giop.DecodeRequest(d, v)
@@ -221,7 +241,22 @@ func (o *ORB) handleRequest(m *giop.Message) (*giop.Message, error) {
 	if err := giop.AlignBodyDecode(d, v); err != nil {
 		return nil, fmt.Errorf("orb: bad request body padding: %w", err)
 	}
-	o.requestsServed.Add(1)
+
+	// Derive the request context from the propagated service contexts:
+	// deadline applied, call ID attached.
+	ctx, cancel := svcctx.NewContext(ctx, req.ServiceContexts)
+	defer cancel()
+	scInfo := svcctx.Extract(req.ServiceContexts)
+	info := &RequestInfo{
+		Operation: req.Operation,
+		ObjectKey: req.ObjectKey,
+		RequestID: req.RequestID,
+		CallID:    scInfo.CallID,
+		Oneway:    !req.ResponseExpected,
+	}
+	if scInfo.HasDeadline {
+		info.Deadline = scInfo.Deadline
+	}
 
 	status := giop.ReplyNoException
 	out := giop.NewBodyEncoder(m.Header.Order)
@@ -233,12 +268,25 @@ func (o *ORB) handleRequest(m *giop.Message) (*giop.Message, error) {
 	// pins the invariant.
 	resultEnc := cdr.NewEncoder(m.Header.Order)
 
-	servant, ok := o.adapter.Resolve(req.ObjectKey)
+	start := time.Now()
 	var invokeErr error
-	if !ok {
-		invokeErr = ObjectNotExist()
-	} else {
-		invokeErr = safeInvoke(servant, req.Operation, d, resultEnc)
+	for _, si := range o.serverChain() {
+		if invokeErr = si.ReceiveRequest(ctx, info); invokeErr != nil {
+			break
+		}
+	}
+	if invokeErr == nil {
+		servant, ok := o.adapter.Resolve(req.ObjectKey)
+		if !ok {
+			invokeErr = ObjectNotExist()
+		} else {
+			invokeErr = safeInvoke(ctx, servant, req.Operation, d, resultEnc)
+		}
+	}
+	info.Elapsed = time.Since(start)
+	info.Err = invokeErr
+	for _, si := range o.serverChain() {
+		si.SendReply(ctx, info)
 	}
 
 	if !req.ResponseExpected {
@@ -284,13 +332,17 @@ func (o *ORB) handleRequest(m *giop.Message) (*giop.Message, error) {
 }
 
 // safeInvoke shields the dispatch loop from servant panics, converting
-// them to CORBA::UNKNOWN as a real ORB would.
-func safeInvoke(s Servant, op string, args *cdr.Decoder, reply *cdr.Encoder) (err error) {
+// them to CORBA::UNKNOWN as a real ORB would. Context-aware servants
+// receive the request context; plain servants are invoked as before.
+func safeInvoke(ctx context.Context, s Servant, op string, args *cdr.Decoder, reply *cdr.Encoder) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("servant panic: %v: %w", r, Unknown())
 		}
 	}()
+	if cs, ok := s.(ContextServant); ok {
+		return cs.InvokeContext(ctx, op, args, reply)
+	}
 	return s.Invoke(op, args, reply)
 }
 
@@ -314,8 +366,9 @@ func (o *ORB) handleLocateRequest(m *giop.Message) (*giop.Message, error) {
 }
 
 // channelFor returns (possibly opening) a channel to the endpoint
-// described by the given profile via the transport registered for tag.
-func (o *ORB) channelFor(tag uint32, profile []byte) (Channel, error) {
+// described by the given profile via the transport registered for tag;
+// ctx bounds a dial if one is needed.
+func (o *ORB) channelFor(ctx context.Context, tag uint32, profile []byte) (Channel, error) {
 	o.mu.RLock()
 	t, ok := o.transports[tag]
 	o.mu.RUnlock()
@@ -335,7 +388,7 @@ func (o *ORB) channelFor(tag uint32, profile []byte) (Channel, error) {
 		return ch, nil
 	}
 
-	ch, err = t.Dial(profile)
+	ch, err = t.Dial(ctx, profile)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package orb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -227,7 +228,7 @@ func TestLocateRequestHandling(t *testing.T) {
 		if err := giop.EncodeLocateRequest(e, giop.V12, &giop.LocateRequestHeader{RequestID: 9, ObjectKey: []byte(tc.key)}); err != nil {
 			t.Fatal(err)
 		}
-		reply, err := o.HandleMessage(&giop.Message{
+		reply, err := o.HandleMessage(context.Background(), &giop.Message{
 			Header: giop.Header{Version: giop.V12, Order: cdr.BigEndian, Type: giop.MsgLocateRequest},
 			Body:   e.Bytes(),
 		})
@@ -246,7 +247,7 @@ func TestLocateRequestHandling(t *testing.T) {
 
 func TestUnknownMessageTypeGetsMessageError(t *testing.T) {
 	o := NewORB()
-	reply, err := o.HandleMessage(&giop.Message{
+	reply, err := o.HandleMessage(context.Background(), &giop.Message{
 		Header: giop.Header{Version: giop.V12, Order: cdr.BigEndian, Type: MsgTypeBogus},
 	})
 	if err != nil {
@@ -276,7 +277,7 @@ func (mt *memTransport) Tag() uint32 { return memTag }
 
 func (mt *memTransport) Endpoint(profile []byte) (string, error) { return string(profile), nil }
 
-func (mt *memTransport) Dial(profile []byte) (Channel, error) {
+func (mt *memTransport) Dial(_ context.Context, profile []byte) (Channel, error) {
 	mt.mu.Lock()
 	mt.dials++
 	mt.mu.Unlock()
@@ -285,7 +286,7 @@ func (mt *memTransport) Dial(profile []byte) (Channel, error) {
 
 type memChannel struct{ mt *memTransport }
 
-func (c *memChannel) Call(req *giop.Message, id uint32) (*giop.Message, error) {
+func (c *memChannel) Call(ctx context.Context, req *giop.Message, id uint32) (*giop.Message, error) {
 	c.mt.mu.Lock()
 	if c.mt.broken {
 		c.mt.broken = false
@@ -293,11 +294,11 @@ func (c *memChannel) Call(req *giop.Message, id uint32) (*giop.Message, error) {
 		return nil, errors.New("connection reset")
 	}
 	c.mt.mu.Unlock()
-	return c.mt.target.HandleMessage(req)
+	return c.mt.target.HandleMessage(ctx, req)
 }
 
-func (c *memChannel) Send(req *giop.Message) error {
-	_, err := c.mt.target.HandleMessage(req)
+func (c *memChannel) Send(ctx context.Context, req *giop.Message) error {
+	_, err := c.mt.target.HandleMessage(ctx, req)
 	return err
 }
 

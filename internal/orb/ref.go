@@ -2,12 +2,15 @@ package orb
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"corbalc/internal/cdr"
 	"corbalc/internal/giop"
 	"corbalc/internal/ior"
+	"corbalc/internal/svcctx"
 )
 
 // ObjectRef is a client-side reference to a (possibly remote) CORBA
@@ -45,23 +48,39 @@ type (
 	Unmarshaller func(*cdr.Decoder) error
 )
 
-// Invoke performs a synchronous request: op is the operation name, args
-// (may be nil) marshals the in-parameters, result (may be nil) unmarshals
-// the reply body. User and system exceptions surface as errors (see
+// InvokeContext performs a synchronous request under ctx: op is the
+// operation name, args (may be nil) marshals the in-parameters, result
+// (may be nil) unmarshals the reply body. The context's deadline is
+// propagated to the server in a SvcDeadline service context; expiry or
+// cancellation aborts the call with CORBA::TIMEOUT and (on IIOP) emits a
+// GIOP CancelRequest. User and system exceptions surface as errors (see
 // IsUserException and *SystemException).
+func (r *ObjectRef) InvokeContext(ctx context.Context, op string, args Marshaller, result Unmarshaller) error {
+	return r.invoke(ctx, op, args, result, true)
+}
+
+// Invoke is the context-less form of InvokeContext, for the public API
+// surface and tests; production code inside internal/ should pass a real
+// context (enforced by the ctxtimeout analyzer).
 func (r *ObjectRef) Invoke(op string, args Marshaller, result Unmarshaller) error {
-	return r.invoke(op, args, result, true)
+	return r.InvokeContext(context.Background(), op, args, result)
 }
 
-// InvokeOneway sends a request without waiting for any reply.
+// InvokeOnewayContext sends a request under ctx without waiting for any
+// reply.
+func (r *ObjectRef) InvokeOnewayContext(ctx context.Context, op string, args Marshaller) error {
+	return r.invoke(ctx, op, args, nil, false)
+}
+
+// InvokeOneway is the context-less form of InvokeOnewayContext.
 func (r *ObjectRef) InvokeOneway(op string, args Marshaller) error {
-	return r.invoke(op, args, nil, false)
+	return r.InvokeOnewayContext(context.Background(), op, args)
 }
 
-// Exists probes the reference with a GIOP LocateRequest: it reports
-// whether the target object is currently reachable and active, without
-// invoking any operation on it.
-func (r *ObjectRef) Exists() (bool, error) {
+// ExistsContext probes the reference with a GIOP LocateRequest under ctx:
+// it reports whether the target object is currently reachable and active,
+// without invoking any operation on it.
+func (r *ObjectRef) ExistsContext(ctx context.Context) (bool, error) {
 	if r.ior.IsNil() {
 		return false, nil
 	}
@@ -109,13 +128,16 @@ func (r *ObjectRef) Exists() (bool, error) {
 				}
 			}
 		}
-		ch, err := o.channelFor(tp.Tag, tp.Data)
+		ch, err := o.channelFor(ctx, tp.Tag, tp.Data)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		reply, err := ch.Call(msg, reqID)
+		reply, err := ch.Call(ctx, msg, reqID)
 		if err != nil {
+			if ctxDone(ctx, err) {
+				return false, ctxError(ctx, err)
+			}
 			o.dropChannel(tp.Tag, tp.Data)
 			lastErr = err
 			continue
@@ -137,6 +159,11 @@ func (r *ObjectRef) Exists() (bool, error) {
 	return false, lastErr
 }
 
+// Exists is the context-less form of ExistsContext.
+func (r *ObjectRef) Exists() (bool, error) {
+	return r.ExistsContext(context.Background())
+}
+
 // localKey extracts the object key from the in-process profile if the
 // reference designates an object served by this very ORB.
 func (r *ObjectRef) localKey() ([]byte, bool) {
@@ -151,12 +178,53 @@ func (r *ObjectRef) localKey() ([]byte, bool) {
 	return p[i+1:], true
 }
 
-func (r *ObjectRef) invoke(op string, args Marshaller, result Unmarshaller, twoway bool) error {
+// ctxDone reports whether a channel error should be attributed to the
+// caller's context rather than the channel: either the context is already
+// done, or the error chain says so.
+func ctxDone(ctx context.Context, err error) bool {
+	return ctx.Err() != nil ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// ctxError maps a context-attributed failure to the CORBA exception
+// model: both expiry and cancellation surface as CORBA::TIMEOUT (there is
+// no standard "cancelled" system exception), with the context error
+// preserved in the chain for errors.Is.
+func ctxError(ctx context.Context, err error) error {
+	cause := ctx.Err()
+	if cause == nil {
+		cause = err
+	}
+	var se *SystemException
+	if errors.As(err, &se) {
+		return err
+	}
+	return &wrappedException{SystemException: Timeout(), cause: cause}
+}
+
+// wrappedException is a system exception that also preserves an
+// underlying cause for errors.Is (e.g. context.DeadlineExceeded).
+type wrappedException struct {
+	*SystemException
+	cause error
+}
+
+func (w *wrappedException) Error() string {
+	return fmt.Sprintf("%v: %v", w.SystemException, w.cause)
+}
+
+func (w *wrappedException) Unwrap() []error { return []error{w.SystemException, w.cause} }
+
+func (r *ObjectRef) invoke(ctx context.Context, op string, args Marshaller, result Unmarshaller, twoway bool) error {
 	if r.ior.IsNil() {
 		return ObjectNotExist()
 	}
 	o := r.orb
-	o.requestsSent.Add(1)
+	if err := ctx.Err(); err != nil {
+		// Expired before any wire activity: nothing to cancel.
+		return ctxError(ctx, err)
+	}
+	ctx, callID := svcctx.EnsureCallID(ctx)
 
 	// Build the request message once, independent of transport.
 	reqID := o.nextRequestID()
@@ -195,13 +263,42 @@ func (r *ObjectRef) invoke(op string, args Marshaller, result Unmarshaller, twow
 		}
 	}
 
-	msg, err := o.buildRequest(reqID, objectKey, op, args, twoway)
+	msg, err := o.buildRequest(ctx, reqID, objectKey, op, args, twoway)
 	if err != nil {
 		return err
 	}
 
+	info := &RequestInfo{
+		Operation: op,
+		ObjectKey: objectKey,
+		RequestID: reqID,
+		CallID:    callID,
+		Oneway:    !twoway,
+		Local:     local,
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		info.Deadline = dl
+	}
+	chain := o.clientChain()
+	start := time.Now()
+	for _, ci := range chain {
+		ci.SendRequest(ctx, info)
+	}
+	err = r.dispatch(ctx, msg, reqID, result, twoway, local)
+	info.Elapsed = time.Since(start)
+	info.Err = err
+	for _, ci := range chain {
+		ci.ReceiveReply(ctx, info)
+	}
+	return err
+}
+
+// dispatch moves the built request over the collocated fast path or the
+// reference's profiles and decodes the reply.
+func (r *ObjectRef) dispatch(ctx context.Context, msg *giop.Message, reqID uint32, result Unmarshaller, twoway, local bool) error {
+	o := r.orb
 	if local {
-		reply, err := o.HandleMessage(msg)
+		reply, err := o.HandleMessage(ctx, msg)
 		if err != nil {
 			return err
 		}
@@ -212,24 +309,36 @@ func (r *ObjectRef) invoke(op string, args Marshaller, result Unmarshaller, twow
 	}
 
 	// Remote: pick the first profile with a registered transport,
-	// preferring IIOP.
+	// preferring IIOP. A failure attributed to the caller's context does
+	// not fail over to the next profile (the caller gave up, not the
+	// channel) and keeps the channel cached — other multiplexed calls on
+	// it are unaffected.
 	var lastErr error
 	for _, tp := range orderedProfiles(r.ior) {
-		ch, err := o.channelFor(tp.Tag, tp.Data)
+		ch, err := o.channelFor(ctx, tp.Tag, tp.Data)
 		if err != nil {
+			if ctxDone(ctx, err) {
+				return ctxError(ctx, err)
+			}
 			lastErr = err
 			continue
 		}
 		if !twoway {
-			if err := ch.Send(msg); err != nil {
+			if err := ch.Send(ctx, msg); err != nil {
+				if ctxDone(ctx, err) {
+					return ctxError(ctx, err)
+				}
 				o.dropChannel(tp.Tag, tp.Data)
 				lastErr = err
 				continue
 			}
 			return nil
 		}
-		reply, err := ch.Call(msg, reqID)
+		reply, err := ch.Call(ctx, msg, reqID)
 		if err != nil {
+			if ctxDone(ctx, err) {
+				return ctxError(ctx, err)
+			}
 			o.dropChannel(tp.Tag, tp.Data)
 			lastErr = err
 			continue
@@ -263,13 +372,14 @@ func orderedProfiles(r *ior.IOR) []ior.TaggedProfile {
 	return out
 }
 
-func (o *ORB) buildRequest(reqID uint32, objectKey []byte, op string, args Marshaller, twoway bool) (*giop.Message, error) {
+func (o *ORB) buildRequest(ctx context.Context, reqID uint32, objectKey []byte, op string, args Marshaller, twoway bool) (*giop.Message, error) {
 	e := giop.NewBodyEncoder(o.order)
 	hdr := &giop.RequestHeader{
 		RequestID:        reqID,
 		ResponseExpected: twoway,
 		ObjectKey:        objectKey,
 		Operation:        op,
+		ServiceContexts:  svcctx.Inject(ctx, nil),
 	}
 	if err := giop.EncodeRequest(e, o.version, hdr); err != nil {
 		return nil, err

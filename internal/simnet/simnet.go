@@ -12,6 +12,7 @@ package simnet
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -24,9 +25,10 @@ import (
 )
 
 // Handler consumes a GIOP message and produces the reply; *orb.ORB
-// satisfies it.
+// satisfies it. Because delivery is an in-process call, the caller's
+// context (deadline, cancellation, call ID) reaches the target directly.
 type Handler interface {
-	HandleMessage(*giop.Message) (*giop.Message, error)
+	HandleMessage(ctx context.Context, m *giop.Message) (*giop.Message, error)
 }
 
 // Link models one directional link's quality.
@@ -252,17 +254,33 @@ func (n *Network) plan(from, to string, size int) (delay time.Duration, target H
 	return delay, dst.handler, nil
 }
 
+// wait models a propagation delay: it sleeps for d unless ctx ends
+// first, in which case the context error is returned (the simulated
+// message is abandoned mid-flight, like a cancelled real call).
+func wait(ctx context.Context, d time.Duration) error {
+	if d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return ctx.Err()
+}
+
 // send models one directional message: plan, wait, deliver.
-func (n *Network) send(from, to string, m *giop.Message) (*giop.Message, error) {
+func (n *Network) send(ctx context.Context, from, to string, m *giop.Message) (*giop.Message, error) {
 	size := giop.HeaderLen + len(m.Body)
 	delay, target, err := n.plan(from, to, size)
-	if delay > 0 {
-		time.Sleep(delay)
+	if werr := wait(ctx, delay); werr != nil {
+		return nil, werr
 	}
 	if err != nil {
 		return nil, err
 	}
-	return target.HandleMessage(m)
+	return target.HandleMessage(ctx, m)
 }
 
 // ProfileData encodes a virtual-endpoint IOR profile: endpoint name and
@@ -302,8 +320,9 @@ func (t *Transport) ObjectKey(profile []byte) ([]byte, error) {
 	return key, err
 }
 
-// Dial implements orb.Transport.
-func (t *Transport) Dial(profile []byte) (orb.Channel, error) {
+// Dial implements orb.Transport (establishment is instantaneous on the
+// virtual network, so ctx only gates the subsequent calls).
+func (t *Transport) Dial(_ context.Context, profile []byte) (orb.Channel, error) {
 	remote, _, err := parseProfile(profile)
 	if err != nil {
 		return nil, err
@@ -324,9 +343,11 @@ type channel struct {
 }
 
 // Call implements orb.Channel: request travels from->to, reply to->from,
-// both subject to link conditions.
-func (c *channel) Call(req *giop.Message, _ uint32) (*giop.Message, error) {
-	reply, err := c.net.send(c.from, c.to, req)
+// both subject to link conditions and to ctx. Cancellation needs no
+// CancelRequest here — the target's handler runs under the caller's very
+// context, so it observes cancellation directly.
+func (c *channel) Call(ctx context.Context, req *giop.Message, _ uint32) (*giop.Message, error) {
+	reply, err := c.net.send(ctx, c.from, c.to, req)
 	if err != nil {
 		return nil, err
 	}
@@ -335,8 +356,8 @@ func (c *channel) Call(req *giop.Message, _ uint32) (*giop.Message, error) {
 	}
 	size := giop.HeaderLen + len(reply.Body)
 	delay, _, err := c.net.plan(c.to, c.from, size)
-	if delay > 0 {
-		time.Sleep(delay)
+	if werr := wait(ctx, delay); werr != nil {
+		return nil, werr
 	}
 	if err != nil {
 		return nil, err
@@ -345,8 +366,8 @@ func (c *channel) Call(req *giop.Message, _ uint32) (*giop.Message, error) {
 }
 
 // Send implements orb.Channel (oneway).
-func (c *channel) Send(req *giop.Message) error {
-	_, err := c.net.send(c.from, c.to, req)
+func (c *channel) Send(ctx context.Context, req *giop.Message) error {
+	_, err := c.net.send(ctx, c.from, c.to, req)
 	return err
 }
 

@@ -1,0 +1,141 @@
+// Package svcctx maps between Go context.Context values and the GIOP
+// service contexts CORBA-LC piggybacks on request headers: SvcDeadline
+// (the absolute call deadline, microseconds since the Unix epoch) and
+// SvcCallID (an end-to-end correlation ID minted once per logical call
+// and propagated to the server, where interceptors on both sides can
+// observe it).
+//
+// Only request headers carry these contexts. Replies stay service-
+// context-free on purpose: the ORB's reply-splice fast path relies on
+// reply bodies always starting at stream offset 24 (see
+// orb.handleRequest), and nothing in the deadline/cancellation protocol
+// needs reply-side metadata.
+package svcctx
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"corbalc/internal/cdr"
+	"corbalc/internal/giop"
+)
+
+// callIDKey is the context key under which the call's correlation ID
+// travels.
+type callIDKey struct{}
+
+// WithCallID returns a context carrying the given correlation ID.
+func WithCallID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, callIDKey{}, id)
+}
+
+// CallID returns the correlation ID carried by ctx, or "" when none is.
+func CallID(ctx context.Context) string {
+	id, _ := ctx.Value(callIDKey{}).(string)
+	return id
+}
+
+// NewCallID mints a fresh correlation ID (64 random bits, hex-encoded).
+func NewCallID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Crypto randomness is not load-bearing here — the ID only
+		// correlates log lines — so degrade to a constant-free marker.
+		return "callid-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// EnsureCallID returns ctx guaranteed to carry a correlation ID, minting
+// one if absent, along with the ID.
+func EnsureCallID(ctx context.Context) (context.Context, string) {
+	if id := CallID(ctx); id != "" {
+		return ctx, id
+	}
+	id := NewCallID()
+	return WithCallID(ctx, id), id
+}
+
+// maxCallIDLen bounds accepted correlation IDs so a hostile peer cannot
+// make us retain arbitrarily large strings per request.
+const maxCallIDLen = 128
+
+// encodeDeadline renders an absolute deadline as a CDR encapsulation
+// (byte-order octet + long long microseconds since the Unix epoch).
+func encodeDeadline(t time.Time) []byte {
+	e := cdr.NewEncoderAt(cdr.LittleEndian, 1)
+	e.WriteLongLong(t.UnixMicro())
+	return append([]byte{byte(cdr.LittleEndian)}, e.Bytes()...)
+}
+
+// decodeDeadline parses a deadline encapsulation.
+func decodeDeadline(data []byte) (time.Time, error) {
+	if len(data) < 1 {
+		return time.Time{}, fmt.Errorf("svcctx: empty deadline context")
+	}
+	d := cdr.NewDecoderAt(data[1:], cdr.ByteOrder(data[0]&1), 1)
+	us, err := d.ReadLongLong()
+	if err != nil {
+		return time.Time{}, fmt.Errorf("svcctx: bad deadline context: %w", err)
+	}
+	return time.UnixMicro(us), nil
+}
+
+// Inject appends the service contexts describing ctx (deadline, call ID)
+// to scs and returns the extended list. A context with neither yields scs
+// unchanged.
+func Inject(ctx context.Context, scs []giop.ServiceContext) []giop.ServiceContext {
+	if dl, ok := ctx.Deadline(); ok {
+		scs = append(scs, giop.ServiceContext{ID: giop.SvcDeadline, Data: encodeDeadline(dl)})
+	}
+	if id := CallID(ctx); id != "" {
+		scs = append(scs, giop.ServiceContext{ID: giop.SvcCallID, Data: []byte(id)})
+	}
+	return scs
+}
+
+// Info is the call metadata extracted from a request's service contexts.
+type Info struct {
+	Deadline    time.Time // zero when the request carries none
+	HasDeadline bool
+	CallID      string // "" when the request carries none
+}
+
+// Extract pulls the deadline and call ID out of a service context list.
+// Malformed entries are ignored — a bad vendor context must not fail the
+// request.
+func Extract(scs []giop.ServiceContext) Info {
+	var info Info
+	for _, sc := range scs {
+		switch sc.ID {
+		case giop.SvcDeadline:
+			if dl, err := decodeDeadline(sc.Data); err == nil {
+				info.Deadline, info.HasDeadline = dl, true
+			}
+		case giop.SvcCallID:
+			if n := len(sc.Data); n > 0 && n <= maxCallIDLen {
+				info.CallID = string(sc.Data)
+			}
+		}
+	}
+	return info
+}
+
+// NewContext derives the per-request server-side context from parent and
+// the request's service contexts: the call ID is attached and the
+// deadline (if any) applied. The returned cancel func must be called when
+// request handling completes.
+func NewContext(parent context.Context, scs []giop.ServiceContext) (context.Context, context.CancelFunc) {
+	info := Extract(scs)
+	ctx := parent
+	if info.CallID != "" {
+		ctx = WithCallID(ctx, info.CallID)
+	}
+	if info.HasDeadline {
+		return context.WithDeadline(ctx, info.Deadline)
+	}
+	return context.WithCancel(ctx)
+}

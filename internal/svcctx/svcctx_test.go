@@ -1,0 +1,76 @@
+package svcctx
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"corbalc/internal/giop"
+)
+
+func TestInjectExtractRoundTrip(t *testing.T) {
+	dl := time.Now().Add(1500 * time.Millisecond).Truncate(time.Microsecond)
+	ctx, cancel := context.WithDeadline(context.Background(), dl)
+	defer cancel()
+	ctx = WithCallID(ctx, "abc123")
+
+	scs := Inject(ctx, []giop.ServiceContext{{ID: giop.SvcNodeIdentity, Data: []byte("n1")}})
+	if len(scs) != 3 {
+		t.Fatalf("got %d service contexts, want 3", len(scs))
+	}
+
+	info := Extract(scs)
+	if !info.HasDeadline {
+		t.Fatal("deadline not extracted")
+	}
+	if !info.Deadline.Equal(dl) {
+		t.Errorf("deadline %v, want %v", info.Deadline, dl)
+	}
+	if info.CallID != "abc123" {
+		t.Errorf("call id %q, want %q", info.CallID, "abc123")
+	}
+}
+
+func TestInjectEmptyContext(t *testing.T) {
+	if scs := Inject(context.Background(), nil); len(scs) != 0 {
+		t.Fatalf("background context injected %d contexts, want 0", len(scs))
+	}
+}
+
+func TestExtractIgnoresMalformed(t *testing.T) {
+	info := Extract([]giop.ServiceContext{
+		{ID: giop.SvcDeadline, Data: []byte{0}}, // truncated
+		{ID: giop.SvcCallID, Data: nil},         // empty
+	})
+	if info.HasDeadline || info.CallID != "" {
+		t.Fatalf("malformed contexts extracted: %+v", info)
+	}
+}
+
+func TestNewContextAppliesDeadlineAndCallID(t *testing.T) {
+	dl := time.Now().Add(time.Hour).Truncate(time.Microsecond)
+	src, cancel := context.WithDeadline(context.Background(), dl)
+	defer cancel()
+	src = WithCallID(src, "xyz")
+
+	ctx, cancel2 := NewContext(context.Background(), Inject(src, nil))
+	defer cancel2()
+	got, ok := ctx.Deadline()
+	if !ok || !got.Equal(dl) {
+		t.Errorf("derived deadline %v (ok=%v), want %v", got, ok, dl)
+	}
+	if CallID(ctx) != "xyz" {
+		t.Errorf("derived call id %q, want %q", CallID(ctx), "xyz")
+	}
+}
+
+func TestEnsureCallID(t *testing.T) {
+	ctx, id := EnsureCallID(context.Background())
+	if id == "" || CallID(ctx) != id {
+		t.Fatalf("EnsureCallID minted %q, ctx carries %q", id, CallID(ctx))
+	}
+	ctx2, id2 := EnsureCallID(ctx)
+	if id2 != id || ctx2 != ctx {
+		t.Fatal("EnsureCallID re-minted on a context that already had an ID")
+	}
+}
