@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench fmt tidy clean
+.PHONY: check build vet lint test race bench bench-json fmt tidy clean
 
 ## check: the full tier-1 gate — what CI runs on every push/PR.
 check: fmt tidy build vet lint race
@@ -12,8 +12,8 @@ vet:
 	$(GO) vet ./...
 
 ## lint: the CORBA-LC invariant suite (lockdiscipline, cdralign,
-## errpropagation, ctxtimeout). -vet folds in the curated stock vet
-## analyzers so one command covers both layers.
+## errpropagation, ctxtimeout, poolreturn). -vet folds in the curated
+## stock vet analyzers so one command covers both layers.
 lint:
 	$(GO) run ./cmd/corbalc-lint ./...
 
@@ -27,6 +27,23 @@ race:
 ## catches bench-only bit-rot without paying for real measurement runs.
 bench:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
+
+## bench-json: run the hot-path benchmark suite with -benchmem, render
+## BENCH_4.json, and enforce the allocation budgets (DESIGN.md §9).
+## Budgets: a collocated null call stays under 20 allocs (pre-pooling it
+## was 36); the vectored write and pooled read paths stay at zero.
+## Micro benchmarks use -benchtime=1000x so pool warm-up amortises away;
+## the E1/E3 experiments run once (they are whole-testbed simulations).
+bench-json:
+	@{ \
+	$(GO) test -run='^$$' -bench='E1_Invocation|E3_SoftVsStrongConsistency' -benchtime=1x -benchmem . && \
+	$(GO) test -run='^$$' -bench='LocalNullInvoke|LocalEchoString' -benchtime=1000x -benchmem ./internal/orb && \
+	$(GO) test -run='^$$' -bench='GIOPWriteMessage|GIOPReadMessagePooled' -benchtime=1000x -benchmem ./internal/giop && \
+	$(GO) test -run='^$$' -bench='ChannelCall|TCPRoundTrip' -benchtime=1000x -benchmem ./internal/iiop ; \
+	} | $(GO) run ./cmd/corbalc-benchgate -json BENCH_4.json \
+		-max BenchmarkLocalNullInvoke=20 \
+		-max BenchmarkGIOPWriteMessage=0 \
+		-max BenchmarkGIOPReadMessagePooled=0
 
 ## fmt: fail (listing offenders) if any file is not gofmt-clean.
 fmt:

@@ -1,0 +1,193 @@
+// corbalc-benchgate turns `go test -bench -benchmem` output into a
+// machine-readable benchmark report and enforces allocation budgets on
+// it — the perf half of the CI gate (DESIGN.md §9).
+//
+// Usage:
+//
+//	go test -run='^$' -bench=... -benchmem ./... | corbalc-benchgate \
+//	    -json BENCH_4.json \
+//	    -max BenchmarkLocalNullInvoke=20 -max BenchmarkGIOPWriteMessage=0
+//
+// Bench output is read from stdin (or a file named by -in). Every
+// metric the testing package prints — ns/op, B/op, allocs/op, and any
+// b.ReportMetric extras such as E1's us/null-call-collocated or E3's
+// softB/node/s — lands in the JSON verbatim. Each -max NAME=N flag
+// caps NAME's allocs/op at N; any benchmark over budget fails the run
+// with exit status 1, which is what makes the gate a gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one benchmark result line: name, iteration count,
+// then (value, unit) pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// procSuffix strips the -<GOMAXPROCS> suffix go test appends to names.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+type budget struct {
+	name string
+	max  float64
+}
+
+type budgetResult struct {
+	Metric string  `json:"metric"`
+	Max    float64 `json:"max"`
+	Actual float64 `json:"actual"`
+	OK     bool    `json:"ok"`
+}
+
+type report struct {
+	// Benchmarks maps benchmark name to its metrics (unit -> value).
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+	// Budgets records every enforced allocs/op ceiling and its outcome.
+	Budgets map[string]budgetResult `json:"budgets,omitempty"`
+}
+
+type maxFlags []budget
+
+func (m *maxFlags) String() string { return fmt.Sprint(*m) }
+
+func (m *maxFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want NAME=MAXALLOCS, got %q", s)
+	}
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("bad budget %q: %w", val, err)
+	}
+	*m = append(*m, budget{name: name, max: f})
+	return nil
+}
+
+func parse(r io.Reader) (map[string]map[string]float64, error) {
+	out := make(map[string]map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20) // experiment tables print long lines
+	for sc.Scan() {
+		match := benchLine.FindStringSubmatch(sc.Text())
+		if match == nil {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(match[1], "")
+		fields := strings.Fields(match[3])
+		metrics := out[name]
+		if metrics == nil {
+			metrics = make(map[string]float64)
+			out[name] = metrics
+		}
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue // not a value/unit pair (e.g. trailing notes)
+			}
+			metrics[fields[i+1]] = v
+		}
+	}
+	return out, sc.Err()
+}
+
+func run() int {
+	var (
+		budgets  maxFlags
+		jsonPath string
+		inPath   string
+	)
+	fs := flag.NewFlagSet("corbalc-benchgate", flag.ContinueOnError)
+	fs.Var(&budgets, "max", "allocs/op budget as NAME=N (repeatable)")
+	fs.StringVar(&jsonPath, "json", "", "write the JSON report to this file")
+	fs.StringVar(&inPath, "in", "", "read bench output from this file instead of stdin")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+
+	in := io.Reader(os.Stdin)
+	if inPath != "" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "corbalc-benchgate:", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	// Tee the raw output through so the gate is transparent in CI logs.
+	benches, err := parse(io.TeeReader(in, os.Stdout))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "corbalc-benchgate:", err)
+		return 2
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "corbalc-benchgate: no benchmark results on input")
+		return 2
+	}
+
+	rep := report{Benchmarks: benches, Budgets: make(map[string]budgetResult)}
+	failed := false
+	for _, b := range budgets {
+		metrics, ok := benches[b.name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "corbalc-benchgate: budgeted benchmark %s missing from input\n", b.name)
+			failed = true
+			continue
+		}
+		actual, ok := metrics["allocs/op"]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "corbalc-benchgate: %s has no allocs/op (run with -benchmem)\n", b.name)
+			failed = true
+			continue
+		}
+		res := budgetResult{Metric: "allocs/op", Max: b.max, Actual: actual, OK: actual <= b.max}
+		rep.Budgets[b.name] = res
+		if !res.OK {
+			fmt.Fprintf(os.Stderr, "corbalc-benchgate: %s allocs/op = %g exceeds budget %g\n",
+				b.name, actual, b.max)
+			failed = true
+		}
+	}
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "corbalc-benchgate:", err)
+			return 2
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "corbalc-benchgate:", err)
+			return 2
+		}
+	}
+
+	names := make([]string, 0, len(rep.Budgets))
+	for n := range rep.Budgets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r := rep.Budgets[n]
+		verdict := "ok"
+		if !r.OK {
+			verdict = "OVER BUDGET"
+		}
+		fmt.Fprintf(os.Stderr, "budget %-36s allocs/op %6g (max %g)  %s\n", n, r.Actual, r.Max, verdict)
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+func main() { os.Exit(run()) }

@@ -5,6 +5,7 @@
 //	cdralign        CDR primitives encode through internal/cdr helpers
 //	errpropagation  no silently dropped error results
 //	ctxtimeout      no network dials without deadline or context
+//	poolreturn      pooled buffers/encoders/messages reach a release point
 //
 // Usage:
 //
@@ -32,6 +33,7 @@ import (
 	"corbalc/internal/analysis/ctxtimeout"
 	"corbalc/internal/analysis/errpropagation"
 	"corbalc/internal/analysis/lockdiscipline"
+	"corbalc/internal/analysis/poolreturn"
 )
 
 var analyzers = []*analysis.Analyzer{
@@ -39,6 +41,7 @@ var analyzers = []*analysis.Analyzer{
 	cdralign.Analyzer,
 	errpropagation.Analyzer,
 	ctxtimeout.Analyzer,
+	poolreturn.Analyzer,
 }
 
 // vetAnalyzers is the stock go vet subset run with -vet: the checks most

@@ -1,0 +1,12 @@
+package poolreturn_test
+
+import (
+	"testing"
+
+	"corbalc/internal/analysis/analysistest"
+	"corbalc/internal/analysis/poolreturn"
+)
+
+func TestPoolReturn(t *testing.T) {
+	analysistest.Run(t, poolreturn.Analyzer, "a")
+}

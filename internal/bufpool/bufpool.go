@@ -1,0 +1,93 @@
+// Package bufpool provides size-classed free lists for the transient
+// byte buffers of the invocation hot path: GIOP frame bodies, CDR
+// encoder scratch, and fragment reassembly staging.
+//
+// Ownership discipline (see DESIGN.md §9): a buffer obtained from Get is
+// owned by exactly one holder at a time. Put transfers ownership back to
+// the pool — after Put the caller must not read, write, or retain any
+// slice aliasing the buffer. Code that hands a pooled buffer across an
+// API boundary must either transfer ownership explicitly (the callee
+// releases) or copy. When ownership is in doubt, leak the buffer to the
+// garbage collector instead of calling Put: a leaked buffer costs one
+// allocation, a double-released buffer corrupts an unrelated message.
+package bufpool
+
+import "sync"
+
+// classSizes are the pool size classes in ascending order. Get(n) serves
+// n ≤ 1 MiB from the smallest class that fits; larger requests fall
+// through to the allocator and are dropped again by Put, so a single
+// giant package transfer cannot pin megabytes in the free lists.
+var classSizes = [...]int{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+
+// pools[i] holds *[]byte entries with cap ≥ classSizes[i].
+var pools [len(classSizes)]sync.Pool
+
+// headerPool recycles the *[]byte boxes that carry slices in and out of
+// pools, so a Get/Put cycle allocates nothing once warm.
+var headerPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// classFor returns the index of the smallest class that can serve n, or
+// -1 when n exceeds the largest class.
+func classFor(n int) int {
+	for i, s := range classSizes {
+		if n <= s {
+			return i
+		}
+	}
+	return -1
+}
+
+// floorClassFor returns the index of the largest class with size ≤ c, or
+// -1 when c is below the smallest class.
+func floorClassFor(c int) int {
+	idx := -1
+	for i, s := range classSizes {
+		if s <= c {
+			idx = i
+		} else {
+			break
+		}
+	}
+	return idx
+}
+
+// Get returns a buffer of length n. Its capacity is at least the size of
+// n's class, so the caller may re-slice up to cap(b). The contents are
+// unspecified (recycled buffers are not zeroed).
+func Get(n int) []byte {
+	ci := classFor(n)
+	if ci < 0 {
+		return make([]byte, n)
+	}
+	if hp, _ := pools[ci].Get().(*[]byte); hp != nil {
+		b := (*hp)[:n]
+		*hp = nil
+		headerPool.Put(hp)
+		return b
+	}
+	return make([]byte, n, classSizes[ci])
+}
+
+// Put returns b to the free list of the largest class its capacity
+// covers. Buffers below the smallest class or above the largest are
+// dropped (left to the garbage collector). Put(nil) is a no-op.
+func Put(b []byte) {
+	c := cap(b)
+	ci := floorClassFor(c)
+	if ci < 0 || c > classSizes[len(classSizes)-1] {
+		return
+	}
+	hp := headerPool.Get().(*[]byte)
+	*hp = b[:0:c]
+	pools[ci].Put(hp)
+}
+
+// Copy returns a pooled buffer holding a copy of src. It is the
+// copy-on-retain helper for code that must keep request or reply bytes
+// beyond the owner's release point.
+func Copy(src []byte) []byte {
+	b := Get(len(src))
+	copy(b, src)
+	return b
+}

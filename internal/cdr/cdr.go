@@ -67,12 +67,42 @@ func NewEncoderAt(order ByteOrder, base int) *Encoder {
 	return &Encoder{order: order, base: base}
 }
 
+// NewEncoderSized returns an Encoder like NewEncoderAt whose buffer is
+// pre-sized to hold capacity bytes without reallocating — the capacity
+// hint for callers that know their message size distribution.
+func NewEncoderSized(order ByteOrder, base, capacity int) *Encoder {
+	return &Encoder{order: order, base: base, buf: make([]byte, 0, capacity)}
+}
+
+// Reset re-arms the encoder for a new stream in the given order and at
+// the given base, keeping the grown buffer capacity so steady-state
+// encoding stops allocating.
+func (e *Encoder) Reset(order ByteOrder, base int) {
+	e.buf = e.buf[:0]
+	e.order = order
+	e.base = base
+}
+
+// Truncate discards all but the first n encoded bytes. It is how the
+// reply fast path backs out optimistically-encoded results when the
+// servant raises instead of returning.
+func (e *Encoder) Truncate(n int) { e.buf = e.buf[:n] }
+
+// PatchULong overwrites the 32-bit value at byte offset off of the
+// encoded stream (offset into Bytes, not the aligned stream position).
+// The caller must have written the original value with WriteULong so the
+// offset is properly aligned.
+func (e *Encoder) PatchULong(off int, v uint32) { PutULongAt(e.buf, off, e.order, v) }
+
 // Bytes returns the encoded stream. The returned slice aliases the
 // encoder's buffer; it is valid until the next Write call.
 func (e *Encoder) Bytes() []byte { return e.buf }
 
 // Len returns the number of bytes encoded so far.
 func (e *Encoder) Len() int { return len(e.buf) }
+
+// Cap returns the encoder's current buffer capacity.
+func (e *Encoder) Cap() int { return cap(e.buf) }
 
 // Order reports the encoder's byte order.
 func (e *Encoder) Order() ByteOrder { return e.order }
@@ -228,6 +258,15 @@ func NewDecoder(buf []byte, order ByteOrder) *Decoder {
 // for alignment purposes.
 func NewDecoderAt(buf []byte, order ByteOrder, base int) *Decoder {
 	return &Decoder{buf: buf, order: order, base: base}
+}
+
+// Reset re-arms the decoder over a new buffer, so dispatch loops can
+// reuse one Decoder value instead of allocating per message.
+func (d *Decoder) Reset(buf []byte, order ByteOrder, base int) {
+	d.buf = buf
+	d.order = order
+	d.base = base
+	d.pos = 0
 }
 
 // Remaining reports the number of undecoded bytes.
@@ -411,6 +450,33 @@ func (d *Decoder) ReadOctetSeq() ([]byte, error) {
 	copy(out, d.buf[d.pos:])
 	d.pos += int(n)
 	return out, nil
+}
+
+// ReadOctetSeqAlias reads a sequence<octet> without copying: the
+// returned slice aliases the decoder's buffer and is only valid while
+// that buffer is — for pooled message bodies, until the message is
+// released. Hot-path header decoding uses it for fields consumed before
+// the release point; anything retained longer must copy.
+func (d *Decoder) ReadOctetSeqAlias() ([]byte, error) {
+	n, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	if uint32(d.Remaining()) < n {
+		return nil, ErrTooLong
+	}
+	out := d.buf[d.pos : d.pos+int(n) : d.pos+int(n)]
+	d.pos += int(n)
+	return out, nil
+}
+
+// Detach returns a decoder over a private copy of the undecoded
+// remainder, positioned and aligned identically to the original stream.
+// It is the escape hatch for values that must outlive a pooled buffer:
+// detach first, release the buffer, decode at leisure.
+func (d *Decoder) Detach() *Decoder {
+	rest := append([]byte(nil), d.buf[d.pos:]...)
+	return &Decoder{buf: rest, order: d.order, base: d.base + d.pos}
 }
 
 // ReadStringSeq reads a sequence<string>.

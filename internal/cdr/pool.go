@@ -1,0 +1,60 @@
+// Encoder pooling: the invocation hot path builds one request body and
+// one reply body per call, and without reuse every build pays an Encoder
+// allocation plus a buffer growth sequence. GetEncoder/Release recycle
+// both — the Encoder struct cycles through a sync.Pool and its buffer
+// through the size-classed free lists in internal/bufpool, so a
+// steady-state encode allocates nothing.
+//
+// Ownership: GetEncoder transfers a fresh encoder to the caller. Release
+// transfers it (and its buffer) back; after Release neither the encoder
+// nor any slice previously returned by Bytes may be touched. Ownership
+// of the buffer can instead travel onward inside a giop.Message (see
+// giop.MessageFromEncoder), in which case the message's Release is the
+// single release point.
+package cdr
+
+import (
+	"sync"
+
+	"corbalc/internal/bufpool"
+)
+
+// encoderSeedCap is the buffer capacity a pooled encoder starts with:
+// large enough for every header-only message and the common small-args
+// call, one size class in bufpool.
+const encoderSeedCap = 256
+
+// maxPooledEncoderCap bounds the buffer capacity an encoder may carry
+// back into the pool; encoders grown beyond it (one huge package
+// transfer) drop their buffer so the pool stays lightweight.
+const maxPooledEncoderCap = 1 << 20
+
+var encoderPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// GetEncoder returns a pooled encoder producing a stream in the given
+// byte order with its first byte at stream offset base. The caller owns
+// it until Release (or until ownership moves into a message).
+func GetEncoder(order ByteOrder, base int) *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	if e.buf == nil {
+		e.buf = bufpool.Get(encoderSeedCap)[:0]
+	}
+	e.Reset(order, base)
+	return e
+}
+
+// Release returns the encoder and its buffer to their pools. Releasing
+// nil is a no-op.
+func (e *Encoder) Release() {
+	if e == nil {
+		return
+	}
+	if cap(e.buf) > maxPooledEncoderCap {
+		// Return the oversized buffer to bufpool's accounting (which
+		// drops it) and let the encoder reseed lazily on next Get.
+		bufpool.Put(e.buf)
+		e.buf = nil
+	}
+	e.buf = e.buf[:0]
+	encoderPool.Put(e)
+}

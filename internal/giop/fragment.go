@@ -5,12 +5,13 @@ import (
 	"fmt"
 	"io"
 
+	"corbalc/internal/bufpool"
 	"corbalc/internal/cdr"
 )
 
-// GIOP 1.2 fragmentation: a Request or Reply too large for one message
-// is sent with the "more fragments" flag set, followed by Fragment
-// messages whose bodies begin with the request ID and whose payloads,
+// GIOP 1.2 fragmentation: a message too large for one frame is sent
+// with the "more fragments" flag set, followed by Fragment messages
+// whose bodies begin with the request ID and whose payloads,
 // concatenated in order, restore the original body. CORBA-LC uses this
 // for large component-package transfers so one transfer cannot hog a
 // multiplexed connection.
@@ -25,56 +26,32 @@ const fragmentIDLen = 4
 
 // Fragmentation errors.
 var (
-	ErrNotFragmentable = errors.New("giop: only GIOP 1.2 Request/Reply messages can be fragmented")
+	ErrNotFragmentable = errors.New("giop: only GIOP 1.2 messages with a leading request ID can be fragmented")
 	ErrOrphanFragment  = errors.New("giop: fragment for an unknown request")
 	ErrFragmentState   = errors.New("giop: inconsistent fragment state")
 )
 
+// Fragmentable reports whether t is a message type whose GIOP 1.2 body
+// begins with the request ID and may therefore be fragmented: Request,
+// Reply, LocateRequest and LocateReply. (LocateRequest/LocateReply
+// bodies are a handful of bytes plus the object key in practice, but
+// the spec permits fragmenting them and a huge object key would
+// otherwise wedge the writer — see the writeMaybeFragmented audit in
+// internal/iiop.)
+func Fragmentable(t MsgType) bool {
+	switch t {
+	case MsgRequest, MsgReply, MsgLocateRequest, MsgLocateReply:
+		return true
+	}
+	return false
+}
+
 // WriteMessageFragmented writes a message, splitting bodies larger than
 // maxBody across Fragment messages. maxBody <= 0 disables splitting.
-// Only GIOP 1.2 Request/Reply messages may be fragmented (their bodies
-// begin with the request ID, which the reassembler needs).
+// Cold-path convenience form; connection loops use (*Writer).
 func WriteMessageFragmented(w io.Writer, h Header, body []byte, maxBody int) error {
-	if maxBody <= 0 || len(body) <= maxBody {
-		return WriteMessage(w, h, body)
-	}
-	if h.Version != V12 || (h.Type != MsgRequest && h.Type != MsgReply) {
-		return ErrNotFragmentable
-	}
-	if maxBody < 8 {
-		maxBody = 8 // room for at least the request id and some payload
-	}
-	// The request ID leads the 1.2 header in both Request and Reply.
-	reqID, err := cdr.NewDecoderAt(body, h.Order, HeaderLen).ReadULong()
-	if err != nil {
-		return fmt.Errorf("giop: fragmenting: %w", err)
-	}
-
-	first := h
-	first.Fragment = true
-	if err := WriteMessage(w, first, body[:maxBody]); err != nil {
-		return err
-	}
-	rest := body[maxBody:]
-	for len(rest) > 0 {
-		chunk := rest
-		more := false
-		if len(chunk) > maxBody-fragmentIDLen {
-			chunk = chunk[:maxBody-fragmentIDLen]
-			more = true
-		}
-		rest = rest[len(chunk):]
-		fh := Header{Version: V12, Order: h.Order, Type: MsgFragment, Fragment: more}
-		fbody := make([]byte, 0, fragmentIDLen+len(chunk))
-		e := NewBodyEncoder(h.Order)
-		e.WriteULong(reqID)
-		fbody = append(fbody, e.Bytes()...)
-		fbody = append(fbody, chunk...)
-		if err := WriteMessage(w, fh, fbody); err != nil {
-			return err
-		}
-	}
-	return nil
+	mw := NewWriter(w)
+	return mw.WriteMessageFragmented(h, body, maxBody)
 }
 
 // Reassembler accumulates fragmented messages. Feed every inbound
@@ -91,9 +68,16 @@ func NewReassembler() *Reassembler {
 
 // Add consumes one wire message. The returned message, when non-nil, is
 // complete and has the Fragment flag cleared.
+//
+// Ownership: Add never retains m or any slice of m.Body — fragment
+// content is copied into a pooled reassembly buffer — so the caller may
+// release m as soon as Add returns, UNLESS Add returned m itself (the
+// unfragmented fast path, where the message passes straight through).
+// A reassembled message returned by Add is pooled and owned by the
+// caller; Release it like any other inbound message.
 func (ra *Reassembler) Add(m *Message) (*Message, error) {
-	switch m.Header.Type {
-	case MsgRequest, MsgReply:
+	switch {
+	case Fragmentable(m.Header.Type):
 		if !m.Header.Fragment {
 			return m, nil
 		}
@@ -104,11 +88,14 @@ func (ra *Reassembler) Add(m *Message) (*Message, error) {
 		if _, dup := ra.pending[reqID]; dup {
 			return nil, fmt.Errorf("%w: duplicate request id %d", ErrFragmentState, reqID)
 		}
-		// Copy: the caller may reuse the buffer.
-		cp := &Message{Header: m.Header, Body: append([]byte(nil), m.Body...)}
+		// Copy into a pooled staging buffer: the source body is the
+		// caller's (typically about to be recycled), and the reassembled
+		// message must never alias it.
+		cp := NewMessage(m.Header, bufpool.Copy(m.Body))
+		cp.pooled = true
 		ra.pending[reqID] = cp
 		return nil, nil
-	case MsgFragment:
+	case m.Header.Type == MsgFragment:
 		d := m.BodyDecoder()
 		reqID, err := d.ReadULong()
 		if err != nil {
@@ -118,7 +105,7 @@ func (ra *Reassembler) Add(m *Message) (*Message, error) {
 		if !ok {
 			return nil, fmt.Errorf("%w: id %d", ErrOrphanFragment, reqID)
 		}
-		base.Body = append(base.Body, m.Body[fragmentIDLen:]...)
+		base.Body = appendPooled(base.Body, m.Body[fragmentIDLen:])
 		if m.Header.Fragment {
 			return nil, nil // more to come
 		}
@@ -131,5 +118,28 @@ func (ra *Reassembler) Add(m *Message) (*Message, error) {
 	}
 }
 
+// appendPooled grows a pooled buffer like append, but routes the old
+// buffer back to the pool when growth reallocates.
+func appendPooled(dst, src []byte) []byte {
+	if len(dst)+len(src) <= cap(dst) {
+		return append(dst, src...)
+	}
+	grown := bufpool.Get(len(dst) + len(src))[:0]
+	grown = append(grown, dst...)
+	grown = append(grown, src...)
+	bufpool.Put(dst)
+	return grown
+}
+
 // Pending reports how many reassemblies are in flight (diagnostics).
 func (ra *Reassembler) Pending() int { return len(ra.pending) }
+
+// Drop discards every in-flight reassembly, releasing their staging
+// buffers; connection teardown calls it so half-received transfers do
+// not leak pooled memory.
+func (ra *Reassembler) Drop() {
+	for id, m := range ra.pending {
+		delete(ra.pending, id)
+		m.Release()
+	}
+}

@@ -12,7 +12,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
+	"corbalc/internal/bufpool"
 	"corbalc/internal/cdr"
 )
 
@@ -102,9 +105,30 @@ var (
 	ErrShortMessage = errors.New("giop: truncated message")
 )
 
-// MaxMessageSize bounds accepted message bodies (16 MiB). Component
-// package transfers chunk below this.
-const MaxMessageSize = 16 << 20
+// DefaultMaxMessageSize is the default cap on accepted message bodies
+// (64 MiB). Component package transfers chunk below this.
+const DefaultMaxMessageSize = 64 << 20
+
+// maxMessageSize is the live cap; see SetMaxMessageSize.
+var maxMessageSize atomic.Uint32
+
+func init() { maxMessageSize.Store(DefaultMaxMessageSize) }
+
+// SetMaxMessageSize changes the process-wide cap on accepted message
+// body sizes. The size field of an inbound header is attacker-chosen, so
+// the cap is enforced before any body allocation: an oversized frame
+// fails with ErrMessageSize instead of OOMing the node. n = 0 restores
+// the default. Constrained deployments (the paper's E8 tiny devices)
+// should lower it to their real memory budget.
+func SetMaxMessageSize(n uint32) {
+	if n == 0 {
+		n = DefaultMaxMessageSize
+	}
+	maxMessageSize.Store(n)
+}
+
+// MaxMessageSize reports the current cap on accepted message bodies.
+func MaxMessageSize() uint32 { return maxMessageSize.Load() }
 
 // Header is the decoded fixed GIOP header.
 type Header struct {
@@ -116,9 +140,65 @@ type Header struct {
 }
 
 // Message is a full GIOP message: header plus raw body bytes.
+//
+// Messages on the hot path are pooled: bodies read from the wire come
+// from internal/bufpool and bodies built by the ORB alias a pooled
+// cdr.Encoder. Release returns those resources; the layer that finishes
+// with a message (the transport after writing a reply, the client after
+// decoding one) is its single release point. A Message built with a
+// plain composite literal has nothing pooled and Release on it only
+// recycles the struct, so calling Release is always safe exactly once.
 type Message struct {
 	Header Header
 	Body   []byte
+
+	// pooled marks Body as owned by internal/bufpool.
+	pooled bool
+	// enc, when non-nil, owns the encoder whose buffer Body aliases.
+	enc *cdr.Encoder
+}
+
+var messagePool = sync.Pool{New: func() any { return new(Message) }}
+
+// NewMessage returns a pooled Message with the given header and body.
+// The body is NOT owned (not returned to any pool on Release); use
+// MessageFromEncoder or ReadMessagePooled for owned bodies.
+func NewMessage(h Header, body []byte) *Message {
+	m := messagePool.Get().(*Message)
+	m.Header = h
+	m.Body = body
+	m.pooled = false
+	m.enc = nil
+	return m
+}
+
+// MessageFromEncoder returns a pooled Message whose body is the
+// encoder's current stream. Ownership of the encoder transfers into the
+// message: the caller must not touch e (or its Bytes) again, and the
+// message's Release releases the encoder.
+func MessageFromEncoder(h Header, e *cdr.Encoder) *Message {
+	m := NewMessage(h, e.Bytes())
+	m.enc = e
+	return m
+}
+
+// Release returns the message's pooled resources (body buffer or owning
+// encoder, and the struct itself). It must be called at most once, after
+// which the message and any slice aliasing its body are invalid.
+// Releasing nil is a no-op.
+func (m *Message) Release() {
+	if m == nil {
+		return
+	}
+	if m.enc != nil {
+		m.enc.Release()
+		m.enc = nil
+	} else if m.pooled {
+		bufpool.Put(m.Body)
+	}
+	m.Body = nil
+	m.pooled = false
+	messagePool.Put(m)
 }
 
 // BodyDecoder returns a CDR decoder over the message body with alignment
@@ -127,10 +207,23 @@ func (m *Message) BodyDecoder() *cdr.Decoder {
 	return cdr.NewDecoderAt(m.Body, m.Header.Order, HeaderLen)
 }
 
+// ResetBodyDecoder re-arms d over the message body, the allocation-free
+// form of BodyDecoder for dispatch loops holding a reusable decoder.
+func (m *Message) ResetBodyDecoder(d *cdr.Decoder) {
+	d.Reset(m.Body, m.Header.Order, HeaderLen)
+}
+
 // NewBodyEncoder returns a CDR encoder for a message body, pre-based at
 // stream offset 12 so alignment matches what BodyDecoder expects.
 func NewBodyEncoder(order cdr.ByteOrder) *cdr.Encoder {
 	return cdr.NewEncoderAt(order, HeaderLen)
+}
+
+// GetBodyEncoder returns a pooled CDR encoder for a message body,
+// pre-based at stream offset 12. Release it, or transfer it into a
+// message with MessageFromEncoder.
+func GetBodyEncoder(order cdr.ByteOrder) *cdr.Encoder {
+	return cdr.GetEncoder(order, HeaderLen)
 }
 
 // EncodeHeader renders the 12-byte header for a body of length size.
@@ -166,24 +259,23 @@ func DecodeHeader(raw []byte) (Header, error) {
 	h.Fragment = raw[6]&2 != 0
 	h.Type = MsgType(raw[7])
 	h.Size = cdr.ULongAt(raw, 8, h.Order)
-	if h.Size > MaxMessageSize {
-		return h, ErrMessageSize
+	if h.Size > maxMessageSize.Load() {
+		return h, fmt.Errorf("%w: %d bytes (cap %d)", ErrMessageSize, h.Size, maxMessageSize.Load())
 	}
 	return h, nil
 }
 
-// WriteMessage frames and writes one message.
+// WriteMessage frames and writes one message. It is the convenience
+// form for cold paths; connection loops hold a *Writer, whose vectored
+// writes reuse their scratch state across messages.
 func WriteMessage(w io.Writer, h Header, body []byte) error {
-	hdr := EncodeHeader(h, len(body))
-	// Single write where possible keeps the TCP segmentation friendly.
-	buf := make([]byte, 0, HeaderLen+len(body))
-	buf = append(buf, hdr[:]...)
-	buf = append(buf, body...)
-	_, err := w.Write(buf)
-	return err
+	mw := NewWriter(w)
+	return mw.WriteMessage(h, body)
 }
 
-// ReadMessage reads one framed message, blocking until complete.
+// ReadMessage reads one framed message, blocking until complete. The
+// message body is freshly allocated and unpooled; receive loops should
+// prefer ReadMessagePooled.
 func ReadMessage(r io.Reader) (*Message, error) {
 	var hraw [HeaderLen]byte
 	if _, err := io.ReadFull(r, hraw[:]); err != nil {
@@ -194,13 +286,50 @@ func ReadMessage(r io.Reader) (*Message, error) {
 		return nil, err
 	}
 	body := make([]byte, h.Size)
-	if _, err := io.ReadFull(r, body); err != nil {
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return nil, ErrShortMessage
-		}
+	if err := readBody(r, body); err != nil {
 		return nil, err
 	}
 	return &Message{Header: h, Body: body}, nil
+}
+
+// ReadMessagePooled reads one framed message into a pooled body buffer
+// and a pooled Message struct. Ownership of both transfers to the
+// caller; Release the message when the last reader of its body is done.
+// The size cap is enforced on the untrusted header before the body
+// allocation.
+func ReadMessagePooled(r io.Reader) (*Message, error) {
+	// The header scratch comes from the pool too: a stack array would
+	// escape through the io.Reader interface call and cost an allocation
+	// per message.
+	hraw := bufpool.Get(HeaderLen)
+	if _, err := io.ReadFull(r, hraw); err != nil {
+		bufpool.Put(hraw)
+		return nil, err
+	}
+	h, err := DecodeHeader(hraw)
+	bufpool.Put(hraw)
+	if err != nil {
+		return nil, err
+	}
+	body := bufpool.Get(int(h.Size))
+	if err := readBody(r, body); err != nil {
+		bufpool.Put(body)
+		return nil, err
+	}
+	m := NewMessage(h, body)
+	m.pooled = true
+	return m, nil
+}
+
+// readBody fills body from r, mapping EOF to ErrShortMessage.
+func readBody(r io.Reader, body []byte) error {
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return ErrShortMessage
+		}
+		return err
+	}
+	return nil
 }
 
 // ServiceContext is one entry of a GIOP service context list; CORBA-LC
@@ -227,23 +356,38 @@ func encodeServiceContexts(e *cdr.Encoder, scs []ServiceContext) {
 }
 
 func decodeServiceContexts(d *cdr.Decoder) ([]ServiceContext, error) {
-	n, err := d.ReadULong()
-	if err != nil {
+	var out []ServiceContext
+	if err := decodeServiceContextsInto(d, &out); err != nil {
 		return nil, err
 	}
-	if uint32(d.Remaining())/8 < n {
-		return nil, cdr.ErrTooLong
-	}
-	out := make([]ServiceContext, n)
 	for i := range out {
-		if out[i].ID, err = d.ReadULong(); err != nil {
-			return nil, err
-		}
-		if out[i].Data, err = d.ReadOctetSeq(); err != nil {
-			return nil, err
-		}
+		out[i].Data = append([]byte(nil), out[i].Data...)
 	}
 	return out, nil
+}
+
+// decodeServiceContextsInto decodes a service context list into *scs,
+// reusing its capacity; every Data slice aliases the decoder's buffer.
+func decodeServiceContextsInto(d *cdr.Decoder, scs *[]ServiceContext) error {
+	n, err := d.ReadULong()
+	if err != nil {
+		return err
+	}
+	if uint32(d.Remaining())/8 < n {
+		return cdr.ErrTooLong
+	}
+	*scs = (*scs)[:0]
+	for i := uint32(0); i < n; i++ {
+		var sc ServiceContext
+		if sc.ID, err = d.ReadULong(); err != nil {
+			return err
+		}
+		if sc.Data, err = d.ReadOctetSeqAlias(); err != nil {
+			return err
+		}
+		*scs = append(*scs, sc)
+	}
+	return nil
 }
 
 // RequestHeader is the version-independent view of a GIOP Request header.
@@ -288,62 +432,80 @@ func EncodeRequest(e *cdr.Encoder, v Version, h *RequestHeader) error {
 	return fmt.Errorf("%w: %v", ErrBadVersion, v)
 }
 
-// DecodeRequest parses a Request header for the given version.
+// DecodeRequest parses a Request header for the given version. All
+// decoded fields are copies, independent of the decoder's buffer.
 func DecodeRequest(d *cdr.Decoder, v Version) (*RequestHeader, error) {
 	h := &RequestHeader{}
+	if err := DecodeRequestInto(d, v, h); err != nil {
+		return nil, err
+	}
+	// Detach the buffer aliases the Into form hands out.
+	h.ObjectKey = append([]byte(nil), h.ObjectKey...)
+	for i := range h.ServiceContexts {
+		h.ServiceContexts[i].Data = append([]byte(nil), h.ServiceContexts[i].Data...)
+	}
+	return h, nil
+}
+
+// DecodeRequestInto parses a Request header into h, reusing h's service
+// context capacity. ObjectKey and every ServiceContext.Data ALIAS the
+// decoder's buffer: they are valid only while the message body is, i.e.
+// until the dispatching transport releases the message. This is the
+// allocation-free form the ORB dispatch loop uses; anything retained
+// past the dispatch must copy.
+func DecodeRequestInto(d *cdr.Decoder, v Version, h *RequestHeader) error {
 	var err error
+	h.ObjectKey = nil
+	h.Operation = ""
 	switch v {
 	case V10:
-		if h.ServiceContexts, err = decodeServiceContexts(d); err != nil {
-			return nil, err
+		if err = decodeServiceContextsInto(d, &h.ServiceContexts); err != nil {
+			return err
 		}
 		if h.RequestID, err = d.ReadULong(); err != nil {
-			return nil, err
+			return err
 		}
 		if h.ResponseExpected, err = d.ReadBool(); err != nil {
-			return nil, err
+			return err
 		}
-		if h.ObjectKey, err = d.ReadOctetSeq(); err != nil {
-			return nil, err
+		if h.ObjectKey, err = d.ReadOctetSeqAlias(); err != nil {
+			return err
 		}
 		if h.Operation, err = d.ReadString(); err != nil {
-			return nil, err
+			return err
 		}
-		if _, err = d.ReadOctetSeq(); err != nil { // principal
-			return nil, err
+		if _, err = d.ReadOctetSeqAlias(); err != nil { // principal
+			return err
 		}
-		return h, nil
+		return nil
 	case V12:
 		if h.RequestID, err = d.ReadULong(); err != nil {
-			return nil, err
+			return err
 		}
 		flags, err := d.ReadOctet()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		h.ResponseExpected = flags == 3
 		if _, err = d.ReadOctets(3); err != nil { // reserved
-			return nil, err
+			return err
 		}
 		disp, err := d.ReadShort()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if disp != 0 {
-			return nil, fmt.Errorf("giop: unsupported target address disposition %d", disp)
+			return fmt.Errorf("giop: unsupported target address disposition %d", disp)
 		}
-		if h.ObjectKey, err = d.ReadOctetSeq(); err != nil {
-			return nil, err
+		if h.ObjectKey, err = d.ReadOctetSeqAlias(); err != nil {
+			return err
 		}
 		if h.Operation, err = d.ReadString(); err != nil {
-			return nil, err
+			return err
 		}
-		if h.ServiceContexts, err = decodeServiceContexts(d); err != nil {
-			return nil, err
-		}
-		return h, nil
+		return decodeServiceContextsInto(d, &h.ServiceContexts)
 	}
-	return nil, fmt.Errorf("%w: %v", ErrBadVersion, v)
+	return fmt.Errorf("%w: %v", ErrBadVersion, v)
 }
 
 // ReplyHeader is the version-independent view of a GIOP Reply header.
@@ -368,6 +530,33 @@ func EncodeReply(e *cdr.Encoder, v Version, h *ReplyHeader) error {
 		return nil
 	}
 	return fmt.Errorf("%w: %v", ErrBadVersion, v)
+}
+
+// EncodeReplyPrelude encodes a Reply header carrying no service
+// contexts and the given (typically optimistic) status, returning the
+// offset of the status word within the encoder's Bytes. The reply fast
+// path encodes NO_EXCEPTION up front, lets the servant stream results
+// directly into the same encoder, and on failure truncates the results
+// and patches the status via cdr.Encoder.PatchULong — every Reply
+// status occupies the same four bytes, so the patch is always valid.
+func EncodeReplyPrelude(e *cdr.Encoder, v Version, reqID uint32, status ReplyStatus) (statusOff int, err error) {
+	switch v {
+	case V10:
+		e.WriteULong(0) // empty service context list
+		e.WriteULong(reqID)
+		e.Align(4)
+		statusOff = e.Len()
+		e.WriteULong(uint32(status))
+		return statusOff, nil
+	case V12:
+		e.WriteULong(reqID)
+		e.Align(4)
+		statusOff = e.Len()
+		e.WriteULong(uint32(status))
+		e.WriteULong(0) // empty service context list
+		return statusOff, nil
+	}
+	return 0, fmt.Errorf("%w: %v", ErrBadVersion, v)
 }
 
 // DecodeReply parses a Reply header for the given version.

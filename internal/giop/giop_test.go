@@ -46,7 +46,7 @@ func TestHeaderErrors(t *testing.T) {
 	if _, err := DecodeHeader(bad[:]); !errors.Is(err, ErrBadVersion) {
 		t.Errorf("version err = %v", err)
 	}
-	huge := EncodeHeader(Header{Version: V12, Order: cdr.BigEndian, Type: MsgRequest}, MaxMessageSize+1)
+	huge := EncodeHeader(Header{Version: V12, Order: cdr.BigEndian, Type: MsgRequest}, int(MaxMessageSize())+1)
 	if _, err := DecodeHeader(huge[:]); !errors.Is(err, ErrMessageSize) {
 		t.Errorf("size err = %v", err)
 	}

@@ -5,6 +5,7 @@
 package iiop
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -18,6 +19,27 @@ import (
 	"corbalc/internal/ior"
 	"corbalc/internal/orb"
 )
+
+// connReadBufSize is the buffered-reader size for IIOP connections: big
+// enough that a header read plus a typical body arrive in one syscall,
+// so the old two-reads-per-message pattern stops hitting the socket
+// twice.
+const connReadBufSize = 32 << 10
+
+// readerPool recycles connection read buffers; connections come and go
+// (per-test servers, churning peers) but their 32 KiB buffers need not.
+var readerPool = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, connReadBufSize) }}
+
+func getReader(r io.Reader) *bufio.Reader {
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	return br
+}
+
+func putReader(br *bufio.Reader) {
+	br.Reset(nil) // drop the conn reference while pooled
+	readerPool.Put(br)
+}
 
 // Handler consumes an inbound GIOP message and produces the reply (nil
 // when none is due). The context is cancelled when the client sends a
@@ -51,14 +73,16 @@ func NewServer(h Handler) *Server {
 	return &Server{handler: h, conns: make(map[net.Conn]struct{}), MaxFragment: DefaultMaxFragment}
 }
 
-// writeMaybeFragmented writes a message, fragmenting eligible large
-// GIOP 1.2 bodies.
-func writeMaybeFragmented(w io.Writer, h giop.Header, body []byte, max int) error {
-	if max > 0 && len(body) > max && h.Version == giop.V12 &&
-		(h.Type == giop.MsgRequest || h.Type == giop.MsgReply) {
-		return giop.WriteMessageFragmented(w, h, body, max)
+// writeMaybeFragmented writes a message through the connection's
+// vectored writer, fragmenting eligible large GIOP 1.2 bodies
+// (Request, Reply, LocateRequest, LocateReply — see giop.Fragmentable).
+// The caller holds the connection's write mutex, which also serialises
+// the writer's scratch state.
+func writeMaybeFragmented(mw *giop.Writer, h giop.Header, body []byte, max int) error {
+	if max > 0 && len(body) > max && h.Version == giop.V12 && giop.Fragmentable(h.Type) {
+		return mw.WriteMessageFragmented(h, body, max)
 	}
-	return giop.WriteMessage(w, h, body)
+	return mw.WriteMessage(h, body)
 }
 
 // Listen binds the server to addr (e.g. "127.0.0.1:0") and starts
@@ -136,10 +160,6 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
-	// connCtx parents every request dispatched from this connection, so
-	// in-flight servants observe cancellation when the connection dies.
-	connCtx, connCancel := context.WithCancel(context.Background())
-	defer connCancel()
 	// inflight maps the request IDs currently being handled to their
 	// cancel functions, so a CancelRequest can abort them.
 	var (
@@ -147,18 +167,43 @@ func (s *Server) serveConn(conn net.Conn) {
 		inflight   = make(map[uint32]context.CancelCauseFunc)
 	)
 	var wmu sync.Mutex // serialises interleaved reply writes
+	mw := giop.NewWriter(conn)
 	var reqWG sync.WaitGroup
 	defer reqWG.Wait()
+	// connCtx parents every request dispatched from this connection, so
+	// in-flight servants observe cancellation when the connection dies.
+	// Registered AFTER the reqWG.Wait defer (defers run LIFO): the loop
+	// must cancel in-flight dispatches before waiting for them, or a
+	// parked servant would stall connection teardown.
+	connCtx, connCancel := context.WithCancel(context.Background())
+	defer connCancel()
+	br := getReader(conn)
+	defer putReader(br)
 	ra := giop.NewReassembler()
+	defer ra.Drop()
 	for {
-		raw, err := giop.ReadMessage(conn)
+		raw, err := giop.ReadMessagePooled(br)
 		if err != nil {
+			if errors.Is(err, giop.ErrMessageSize) {
+				// Oversized frame: the header decoded fine, so tell the
+				// peer why it is being dropped before closing.
+				wmu.Lock()
+				_ = mw.WriteMessage(giop.Header{Version: giop.V12, Type: giop.MsgMessageError}, nil)
+				wmu.Unlock()
+			}
 			return
 		}
 		if raw.Header.Type == giop.MsgCloseConnection {
+			raw.Release()
 			return
 		}
 		m, err := ra.Add(raw)
+		if m != raw {
+			// Add copied (or rejected) the fragment; the wire buffer is
+			// ours to recycle. When m == raw the message passes through
+			// and the dispatch goroutine owns it.
+			raw.Release()
+		}
 		if err != nil {
 			return // corrupt fragment stream: drop the connection
 		}
@@ -174,11 +219,16 @@ func (s *Server) serveConn(conn net.Conn) {
 					cancel(errCancelledByPeer)
 				}
 			}
+			m.Release()
 			continue
 		}
 		reqWG.Add(1)
 		go func(m *giop.Message) {
 			defer reqWG.Done()
+			// The request buffer is released when this dispatch is fully
+			// done with it: after the handler returns and the reply (which
+			// never aliases the request) has been written.
+			defer m.Release()
 			reqCtx := connCtx
 			cancelled := func() bool { return false }
 			if m.Header.Type == giop.MsgRequest || m.Header.Type == giop.MsgLocateRequest {
@@ -202,20 +252,21 @@ func (s *Server) serveConn(conn net.Conn) {
 				if err != nil {
 					// Protocol-level failure: tell the peer and drop.
 					wmu.Lock()
-					_ = giop.WriteMessage(conn, giop.Header{
+					_ = mw.WriteMessage(giop.Header{
 						Version: m.Header.Version, Order: m.Header.Order, Type: giop.MsgMessageError,
 					}, nil)
 					wmu.Unlock()
 				}
 				return
 			}
+			defer reply.Release()
 			if cancelled() {
 				// The client sent CancelRequest: it no longer awaits this
 				// reply, so writing it would only burn bandwidth.
 				return
 			}
 			wmu.Lock()
-			_ = writeMaybeFragmented(conn, reply.Header, reply.Body, s.MaxFragment)
+			_ = writeMaybeFragmented(mw, reply.Header, reply.Body, s.MaxFragment)
 			wmu.Unlock()
 		}(m)
 	}
@@ -322,6 +373,7 @@ func (t *Transport) Dial(ctx context.Context, profile []byte) (orb.Channel, erro
 	}
 	c := &clientConn{
 		conn:        conn,
+		mw:          giop.NewWriter(conn),
 		pending:     make(map[uint32]chan *giop.Message),
 		callTimeout: t.effectiveCallTimeout(),
 		maxFragment: maxFrag,
@@ -334,6 +386,7 @@ func (t *Transport) Dial(ctx context.Context, profile []byte) (orb.Channel, erro
 type clientConn struct {
 	conn        net.Conn
 	wmu         sync.Mutex
+	mw          *giop.Writer // guarded by wmu
 	callTimeout time.Duration
 	maxFragment int
 
@@ -347,14 +400,20 @@ type clientConn struct {
 var errConnClosed = errors.New("iiop: connection closed")
 
 func (c *clientConn) readLoop() {
+	br := getReader(c.conn)
+	defer putReader(br)
 	ra := giop.NewReassembler()
+	defer ra.Drop()
 	for {
-		raw, err := giop.ReadMessage(c.conn)
+		raw, err := giop.ReadMessagePooled(br)
 		if err != nil {
 			c.fail(err)
 			return
 		}
 		m, err := ra.Add(raw)
+		if m != raw {
+			raw.Release() // fragment content was copied (or rejected)
+		}
 		if err != nil {
 			c.fail(err)
 			return
@@ -366,6 +425,7 @@ func (c *clientConn) readLoop() {
 		case giop.MsgReply, giop.MsgLocateReply:
 			id, ok := giop.PeekRequestID(m)
 			if !ok {
+				m.Release()
 				c.fail(errors.New("iiop: undecodable reply header"))
 				return
 			}
@@ -374,17 +434,25 @@ func (c *clientConn) readLoop() {
 			delete(c.pending, id)
 			c.mu.Unlock()
 			if ch != nil {
+				// Ownership moves to the Call waiter, who releases the
+				// reply once decoded.
 				ch <- m
+			} else {
+				// Abandoned call (timeout/cancel): nobody awaits this.
+				m.Release()
 			}
 		case giop.MsgCloseConnection:
+			m.Release()
 			c.fail(io.EOF)
 			return
 		case giop.MsgMessageError:
+			m.Release()
 			c.fail(errors.New("iiop: peer reported message error"))
 			return
 		default:
 			// Requests arriving on a client connection (bidirectional
 			// GIOP) are not supported by the lightweight profile.
+			m.Release()
 		}
 	}
 }
@@ -467,14 +535,13 @@ func (c *clientConn) abandon(requestID uint32, req *giop.Message) {
 	c.mu.Lock()
 	delete(c.pending, requestID)
 	c.mu.Unlock()
-	e := giop.NewBodyEncoder(req.Header.Order)
+	e := giop.GetBodyEncoder(req.Header.Order)
 	giop.EncodeCancelRequest(e, &giop.CancelRequestHeader{RequestID: requestID})
-	_ = c.write(&giop.Message{
-		Header: giop.Header{
-			Version: req.Header.Version, Order: req.Header.Order, Type: giop.MsgCancelRequest,
-		},
-		Body: e.Bytes(),
-	})
+	msg := giop.MessageFromEncoder(giop.Header{
+		Version: req.Header.Version, Order: req.Header.Order, Type: giop.MsgCancelRequest,
+	}, e)
+	_ = c.write(msg)
+	msg.Release()
 }
 
 // Send implements orb.Channel (oneway requests).
@@ -488,7 +555,7 @@ func (c *clientConn) Send(ctx context.Context, req *giop.Message) error {
 func (c *clientConn) write(m *giop.Message) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	return writeMaybeFragmented(c.conn, m.Header, m.Body, c.maxFragment)
+	return writeMaybeFragmented(c.mw, m.Header, m.Body, c.maxFragment)
 }
 
 // markClosed flips the closed flag, reporting whether this caller won.

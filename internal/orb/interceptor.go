@@ -14,7 +14,10 @@ import (
 type RequestInfo struct {
 	// Operation is the invoked operation name.
 	Operation string
-	// ObjectKey addresses the target object.
+	// ObjectKey addresses the target object. On the server side it
+	// aliases the pooled request buffer, which is recycled once the
+	// dispatch completes: an interceptor that retains the RequestInfo
+	// past its callbacks must copy ObjectKey first.
 	ObjectKey []byte
 	// RequestID is the GIOP request ID (per-connection scope).
 	RequestID uint32

@@ -32,6 +32,11 @@ import (
 // cancellation implementations should notify the peer (the IIOP channel
 // emits a GIOP CancelRequest). Implementations must be safe for
 // concurrent use.
+//
+// Ownership: implementations must not retain req (or any slice of its
+// body) after Call or Send returns — the caller recycles the request
+// buffer immediately afterwards. A reply returned by Call is transferred
+// to the caller, who releases it once decoded.
 type Channel interface {
 	Call(ctx context.Context, req *giop.Message, requestID uint32) (*giop.Message, error)
 	Send(ctx context.Context, req *giop.Message) error
@@ -223,19 +228,31 @@ func (o *ORB) HandleMessage(ctx context.Context, m *giop.Message) (*giop.Message
 	case giop.MsgMessageError:
 		return nil, errors.New("orb: peer reported message error")
 	default:
-		body := giop.NewBodyEncoder(m.Header.Order)
-		return &giop.Message{
-			Header: giop.Header{Version: m.Header.Version, Order: m.Header.Order, Type: giop.MsgMessageError},
-			Body:   body.Bytes(),
-		}, nil
+		return giop.NewMessage(giop.Header{
+			Version: m.Header.Version, Order: m.Header.Order, Type: giop.MsgMessageError,
+		}, nil), nil
 	}
 }
 
+// serverScratch is the pooled per-dispatch decode state: the body
+// decoder and the request header (whose service-context slice keeps its
+// capacity across dispatches). The RequestInfo handed to interceptors is
+// NOT pooled — interceptors may legitimately retain it.
+type serverScratch struct {
+	dec cdr.Decoder
+	req giop.RequestHeader
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(serverScratch) }}
+
 func (o *ORB) handleRequest(ctx context.Context, m *giop.Message) (*giop.Message, error) {
 	v := m.Header.Version
-	d := m.BodyDecoder()
-	req, err := giop.DecodeRequest(d, v)
-	if err != nil {
+	sc := scratchPool.Get().(*serverScratch)
+	defer scratchPool.Put(sc)
+	d := &sc.dec
+	m.ResetBodyDecoder(d)
+	req := &sc.req
+	if err := giop.DecodeRequestInto(d, v, req); err != nil {
 		return nil, fmt.Errorf("orb: bad request header: %w", err)
 	}
 	if err := giop.AlignBodyDecode(d, v); err != nil {
@@ -258,15 +275,23 @@ func (o *ORB) handleRequest(ctx context.Context, m *giop.Message) (*giop.Message
 		info.Deadline = scInfo.Deadline
 	}
 
-	status := giop.ReplyNoException
-	out := giop.NewBodyEncoder(m.Header.Order)
-	// Results are staged in a base-0 encoder and spliced after the reply
-	// header. The splice preserves CDR alignment because our reply
-	// headers carry no service contexts, so the body always begins at
-	// stream offset 24 — a multiple of 8 — in both GIOP 1.0 and 1.2
-	// (for 1.2, AlignBody re-checks this). TestReplyBodySpliceAlignment
-	// pins the invariant.
-	resultEnc := cdr.NewEncoder(m.Header.Order)
+	// The reply is built optimistically in its final wire form: header
+	// first (status NO_EXCEPTION), then the servant's results encoded
+	// DIRECTLY into the same pooled encoder — no staging buffer, no
+	// splice copy. Alignment holds because our reply headers carry no
+	// service contexts, so the body always begins at stream offset 24 —
+	// a multiple of 8 — in both GIOP 1.0 and 1.2 (for 1.2, AlignBody
+	// re-checks this). TestReplyBodySpliceAlignment pins the invariant.
+	// If the servant raises, the result bytes are truncated away and the
+	// status word patched in place.
+	out := giop.GetBodyEncoder(m.Header.Order)
+	statusOff, err := giop.EncodeReplyPrelude(out, v, req.RequestID, giop.ReplyNoException)
+	if err != nil {
+		out.Release()
+		return nil, err
+	}
+	giop.AlignBody(out, v)
+	bodyStart := out.Len()
 
 	start := time.Now()
 	var invokeErr error
@@ -280,7 +305,7 @@ func (o *ORB) handleRequest(ctx context.Context, m *giop.Message) (*giop.Message
 		if !ok {
 			invokeErr = ObjectNotExist()
 		} else {
-			invokeErr = safeInvoke(ctx, servant, req.Operation, d, resultEnc)
+			invokeErr = safeInvoke(ctx, servant, req.Operation, d, out)
 		}
 	}
 	info.Elapsed = time.Since(start)
@@ -290,9 +315,11 @@ func (o *ORB) handleRequest(ctx context.Context, m *giop.Message) (*giop.Message
 	}
 
 	if !req.ResponseExpected {
+		out.Release()
 		return nil, nil
 	}
 
+	status := giop.ReplyNoException
 	var se *SystemException
 	var ue *UserException
 	switch {
@@ -306,29 +333,23 @@ func (o *ORB) handleRequest(ctx context.Context, m *giop.Message) (*giop.Message
 		se = Unknown()
 	}
 
-	if err := giop.EncodeReply(out, v, &giop.ReplyHeader{RequestID: req.RequestID, Status: status}); err != nil {
-		return nil, err
-	}
-	switch status {
-	case giop.ReplyNoException:
-		if resultEnc.Len() > 0 {
-			giop.AlignBody(out, v)
-			out.WriteOctets(resultEnc.Bytes())
+	if status != giop.ReplyNoException {
+		// Back out whatever the servant wrote before raising and patch
+		// the optimistic status word.
+		out.Truncate(bodyStart)
+		out.PatchULong(statusOff, uint32(status))
+		if status == giop.ReplyUserException {
+			out.WriteString(ue.ID)
+			if ue.Payload != nil {
+				ue.Payload(out)
+			}
+		} else {
+			marshalSystemException(out, se)
 		}
-	case giop.ReplyUserException:
-		giop.AlignBody(out, v)
-		out.WriteString(ue.ID)
-		if ue.Payload != nil {
-			ue.Payload(out)
-		}
-	case giop.ReplySystemException:
-		giop.AlignBody(out, v)
-		marshalSystemException(out, se)
 	}
-	return &giop.Message{
-		Header: giop.Header{Version: v, Order: m.Header.Order, Type: giop.MsgReply},
-		Body:   out.Bytes(),
-	}, nil
+	return giop.MessageFromEncoder(giop.Header{
+		Version: v, Order: m.Header.Order, Type: giop.MsgReply,
+	}, out), nil
 }
 
 // safeInvoke shields the dispatch loop from servant panics, converting
@@ -357,12 +378,11 @@ func (o *ORB) handleLocateRequest(m *giop.Message) (*giop.Message, error) {
 	if _, ok := o.adapter.Resolve(req.ObjectKey); ok {
 		status = giop.LocateObjectHere
 	}
-	out := giop.NewBodyEncoder(m.Header.Order)
+	out := giop.GetBodyEncoder(m.Header.Order)
 	giop.EncodeLocateReply(out, &giop.LocateReplyHeader{RequestID: req.RequestID, Status: status})
-	return &giop.Message{
-		Header: giop.Header{Version: v, Order: m.Header.Order, Type: giop.MsgLocateReply},
-		Body:   out.Bytes(),
-	}, nil
+	return giop.MessageFromEncoder(giop.Header{
+		Version: v, Order: m.Header.Order, Type: giop.MsgLocateReply,
+	}, out), nil
 }
 
 // channelFor returns (possibly opening) a channel to the endpoint

@@ -144,9 +144,11 @@ func (r *ObjectRef) ExistsContext(ctx context.Context) (bool, error) {
 		}
 		if reply == nil || reply.Header.Type != giop.MsgLocateReply {
 			lastErr = fmt.Errorf("orb: unexpected locate reply %v", reply)
+			reply.Release()
 			continue
 		}
 		lr, err := giop.DecodeLocateReply(reply.BodyDecoder())
+		reply.Release()
 		if err != nil {
 			lastErr = err
 			continue
@@ -267,6 +269,10 @@ func (r *ObjectRef) invoke(ctx context.Context, op string, args Marshaller, resu
 	if err != nil {
 		return err
 	}
+	// Channels do not retain the request past Call/Send (the Channel
+	// contract), and the collocated path decodes within HandleMessage,
+	// so once dispatch returns the request buffer can be recycled.
+	defer msg.Release()
 
 	info := &RequestInfo{
 		Operation: op,
@@ -372,8 +378,10 @@ func orderedProfiles(r *ior.IOR) []ior.TaggedProfile {
 	return out
 }
 
+// buildRequest encodes a request into a pooled message; the caller owns
+// it and must Release it once every transport attempt is done with it.
 func (o *ORB) buildRequest(ctx context.Context, reqID uint32, objectKey []byte, op string, args Marshaller, twoway bool) (*giop.Message, error) {
-	e := giop.NewBodyEncoder(o.order)
+	e := giop.GetBodyEncoder(o.order)
 	hdr := &giop.RequestHeader{
 		RequestID:        reqID,
 		ResponseExpected: twoway,
@@ -382,22 +390,26 @@ func (o *ORB) buildRequest(ctx context.Context, reqID uint32, objectKey []byte, 
 		ServiceContexts:  svcctx.Inject(ctx, nil),
 	}
 	if err := giop.EncodeRequest(e, o.version, hdr); err != nil {
+		e.Release()
 		return nil, err
 	}
 	if args != nil {
 		giop.AlignBody(e, o.version)
 		args(e)
 	}
-	return &giop.Message{
-		Header: giop.Header{Version: o.version, Order: o.order, Type: giop.MsgRequest},
-		Body:   e.Bytes(),
-	}, nil
+	return giop.MessageFromEncoder(giop.Header{
+		Version: o.version, Order: o.order, Type: giop.MsgRequest,
+	}, e), nil
 }
 
+// decodeReply consumes a reply message: whatever the outcome, the
+// (pooled) reply is released before returning, so every value that
+// escapes — decoded results, exception members — is copied out first.
 func (o *ORB) decodeReply(reply *giop.Message, reqID uint32, result Unmarshaller) error {
 	if reply == nil {
 		return fmt.Errorf("%w: empty reply", CommFailure())
 	}
+	defer reply.Release()
 	if reply.Header.Type != giop.MsgReply {
 		return fmt.Errorf("%w: unexpected %v", CommFailure(), reply.Header.Type)
 	}
@@ -429,7 +441,9 @@ func (o *ORB) decodeReply(reply *giop.Message, reqID uint32, result Unmarshaller
 		if err != nil {
 			return fmt.Errorf("%w: decoding exception id: %v", Marshal(), err)
 		}
-		return &UserException{ID: id, Body: d}
+		// The exception error outlives this call (callers inspect Body at
+		// leisure), so detach the members from the pooled reply buffer.
+		return &UserException{ID: id, Body: d.Detach()}
 	case giop.ReplySystemException:
 		if err := giop.AlignBodyDecode(d, reply.Header.Version); err != nil {
 			return err

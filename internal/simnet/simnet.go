@@ -357,9 +357,11 @@ func (c *channel) Call(ctx context.Context, req *giop.Message, _ uint32) (*giop.
 	size := giop.HeaderLen + len(reply.Body)
 	delay, _, err := c.net.plan(c.to, c.from, size)
 	if werr := wait(ctx, delay); werr != nil {
+		reply.Release() // reply "lost in flight": recycle, nobody will see it
 		return nil, werr
 	}
 	if err != nil {
+		reply.Release()
 		return nil, err
 	}
 	return reply, nil

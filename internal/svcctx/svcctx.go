@@ -17,6 +17,8 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"corbalc/internal/cdr"
@@ -38,15 +40,26 @@ func CallID(ctx context.Context) string {
 	return id
 }
 
-// NewCallID mints a fresh correlation ID (64 random bits, hex-encoded).
-func NewCallID() string {
-	var b [8]byte
+// callIDBase is a once-per-process random prefix; per-call IDs append a
+// counter to it. The split keeps IDs globally unique (the prefix) while
+// taking the crypto/rand syscall off the invocation hot path (the
+// counter) — minting an ID is one atomic add and one small allocation.
+var callIDBase = func() string {
+	var b [6]byte
 	if _, err := rand.Read(b[:]); err != nil {
 		// Crypto randomness is not load-bearing here — the ID only
-		// correlates log lines — so degrade to a constant-free marker.
-		return "callid-unavailable"
+		// correlates log lines — so degrade to a constant marker.
+		return "norand"
 	}
 	return hex.EncodeToString(b[:])
+}()
+
+var callIDSeq atomic.Uint64
+
+// NewCallID mints a fresh correlation ID: a per-process random prefix
+// plus a process-local sequence number.
+func NewCallID() string {
+	return callIDBase + "-" + strconv.FormatUint(callIDSeq.Add(1), 16)
 }
 
 // EnsureCallID returns ctx guaranteed to carry a correlation ID, minting
@@ -127,7 +140,10 @@ func Extract(scs []giop.ServiceContext) Info {
 // NewContext derives the per-request server-side context from parent and
 // the request's service contexts: the call ID is attached and the
 // deadline (if any) applied. The returned cancel func must be called when
-// request handling completes.
+// request handling completes (it may be a no-op: without a deadline
+// there is nothing to arm — request cancellation is the transport's job,
+// via the parent context — so the deadline-free fast path skips the
+// context.WithCancel allocations entirely).
 func NewContext(parent context.Context, scs []giop.ServiceContext) (context.Context, context.CancelFunc) {
 	info := Extract(scs)
 	ctx := parent
@@ -137,5 +153,7 @@ func NewContext(parent context.Context, scs []giop.ServiceContext) (context.Cont
 	if info.HasDeadline {
 		return context.WithDeadline(ctx, info.Deadline)
 	}
-	return context.WithCancel(ctx)
+	return ctx, noopCancel
 }
+
+func noopCancel() {}
