@@ -29,21 +29,32 @@ bench:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
 
 ## bench-json: run the hot-path benchmark suite with -benchmem, render
-## BENCH_4.json, and enforce the allocation budgets (DESIGN.md §9).
-## Budgets: a collocated null call stays under 20 allocs (pre-pooling it
-## was 36); the vectored write and pooled read paths stay at zero.
-## Micro benchmarks use -benchtime=1000x so pool warm-up amortises away;
-## the E1/E3 experiments run once (they are whole-testbed simulations).
+## BENCH_5.json, and enforce the perf budgets (DESIGN.md §9/§10).
+## Ceilings: a collocated null call stays under 20 allocs (pre-pooling
+## it was 36); the vectored write and pooled read paths stay at zero; a
+## TCP round trip stays under the BENCH_4 budget of 37 allocs (the
+## pooled pipeline now measures 6). Floors: concurrent TCP throughput
+## at C=64 must not regress more than 20% below the value recorded in
+## BENCH_5.json (262k calls/s at recording time, floor 210k).
+## Micro benchmarks use -benchtime=1000x so pool warm-up amortises
+## away; throughput benchmarks need wall-clock (-benchtime=1s) for a
+## stable calls/s; the E1/E3 experiments run once (they are
+## whole-testbed simulations).
 bench-json:
 	@{ \
 	$(GO) test -run='^$$' -bench='E1_Invocation|E3_SoftVsStrongConsistency' -benchtime=1x -benchmem . && \
 	$(GO) test -run='^$$' -bench='LocalNullInvoke|LocalEchoString' -benchtime=1000x -benchmem ./internal/orb && \
 	$(GO) test -run='^$$' -bench='GIOPWriteMessage|GIOPReadMessagePooled' -benchtime=1000x -benchmem ./internal/giop && \
-	$(GO) test -run='^$$' -bench='ChannelCall|TCPRoundTrip' -benchtime=1000x -benchmem ./internal/iiop ; \
-	} | $(GO) run ./cmd/corbalc-benchgate -json BENCH_4.json \
+	$(GO) test -run='^$$' -bench='ChannelCall|TCPRoundTrip' -benchtime=1000x -benchmem ./internal/iiop && \
+	$(GO) test -run='^$$' -bench='ConcurrentTCPThroughput' -benchtime=1s -benchmem ./internal/iiop && \
+	$(GO) test -run='^$$' -bench='ConcurrentSimnetThroughput' -benchtime=1s -benchmem ./internal/simnet ; \
+	} | $(GO) run ./cmd/corbalc-benchgate -json BENCH_5.json \
 		-max BenchmarkLocalNullInvoke=20 \
 		-max BenchmarkGIOPWriteMessage=0 \
-		-max BenchmarkGIOPReadMessagePooled=0
+		-max BenchmarkGIOPReadMessagePooled=0 \
+		-max BenchmarkTCPRoundTrip=37 \
+		-max 'BenchmarkConcurrentTCPThroughput/C=64=10' \
+		-min 'BenchmarkConcurrentTCPThroughput/C=64:calls/s=210000'
 
 ## fmt: fail (listing offenders) if any file is not gofmt-clean.
 fmt:

@@ -49,6 +49,22 @@ func BenchmarkE1_Invocation(b *testing.B) {
 	}
 }
 
+func BenchmarkE1b_Concurrency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.E1bConcurrency(benchScale)
+		if i == b.N-1 {
+			logTable(b, t)
+			// Row 2: iiop/tcp C=64 calls/s; row 3: single-connection.
+			if v, ok := parseCell(t.Rows[2][3]); ok {
+				b.ReportMetric(v, "calls/s-tcp-c64")
+			}
+			if v, ok := parseCell(t.Rows[3][3]); ok {
+				b.ReportMetric(v, "calls/s-tcp-c64-single")
+			}
+		}
+	}
+}
+
 func BenchmarkE2_Registry(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t := experiments.E2Registry(benchScale)

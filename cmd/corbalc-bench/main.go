@@ -40,6 +40,7 @@ func main() {
 	}
 	all := []exp{
 		{"E1", experiments.E1Invocation},
+		{"E1b", experiments.E1bConcurrency},
 		{"E2", experiments.E2Registry},
 		{"E3", experiments.E3Consistency},
 		{"E4", experiments.E4QueryHierarchy},

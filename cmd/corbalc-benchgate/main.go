@@ -10,10 +10,12 @@
 //
 // Bench output is read from stdin (or a file named by -in). Every
 // metric the testing package prints — ns/op, B/op, allocs/op, and any
-// b.ReportMetric extras such as E1's us/null-call-collocated or E3's
-// softB/node/s — lands in the JSON verbatim. Each -max NAME=N flag
-// caps NAME's allocs/op at N; any benchmark over budget fails the run
-// with exit status 1, which is what makes the gate a gate.
+// b.ReportMetric extras such as E1's us/null-call-collocated or E1b's
+// calls/s — lands in the JSON verbatim. Each -max NAME=N flag caps
+// NAME's allocs/op at N; each -min NAME:METRIC=V flag floors any
+// reported metric (the throughput-regression gate). A benchmark over
+// budget or under floor fails the run with exit status 1, which is
+// what makes the gate a gate.
 package main
 
 import (
@@ -37,15 +39,18 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 var procSuffix = regexp.MustCompile(`-\d+$`)
 
 type budget struct {
-	name string
-	max  float64
+	name   string
+	metric string
+	limit  float64
+	isMin  bool
 }
 
 type budgetResult struct {
-	Metric string  `json:"metric"`
-	Max    float64 `json:"max"`
-	Actual float64 `json:"actual"`
-	OK     bool    `json:"ok"`
+	Metric string   `json:"metric"`
+	Max    *float64 `json:"max,omitempty"`
+	Min    *float64 `json:"min,omitempty"`
+	Actual float64  `json:"actual"`
+	OK     bool     `json:"ok"`
 }
 
 type report struct {
@@ -60,15 +65,46 @@ type maxFlags []budget
 func (m *maxFlags) String() string { return fmt.Sprint(*m) }
 
 func (m *maxFlags) Set(s string) error {
-	name, val, ok := strings.Cut(s, "=")
-	if !ok {
+	// Split on the LAST '=': sub-benchmark names embed '=' themselves
+	// (BenchmarkConcurrentTCPThroughput/C=64).
+	eq := strings.LastIndex(s, "=")
+	if eq < 0 {
 		return fmt.Errorf("want NAME=MAXALLOCS, got %q", s)
+	}
+	name, val := s[:eq], s[eq+1:]
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("bad budget %q: %w", val, err)
+	}
+	*m = append(*m, budget{name: name, metric: "allocs/op", limit: f})
+	return nil
+}
+
+// minFlags holds floor budgets: NAME:METRIC=V fails the gate when the
+// named benchmark reports METRIC below V. Where -max guards allocation
+// regressions, -min guards throughput regressions — e.g.
+// -min 'BenchmarkConcurrentTCPThroughput/C=64:calls/s=200000'.
+type minFlags []budget
+
+func (m *minFlags) String() string { return fmt.Sprint(*m) }
+
+func (m *minFlags) Set(s string) error {
+	// Last '=' splits off the value (names embed '='); first ':' before
+	// it splits name from metric (metrics embed '/', e.g. calls/s).
+	eq := strings.LastIndex(s, "=")
+	if eq < 0 {
+		return fmt.Errorf("want NAME:METRIC=MIN, got %q", s)
+	}
+	name, metric, ok := strings.Cut(s[:eq], ":")
+	val := s[eq+1:]
+	if !ok || metric == "" {
+		return fmt.Errorf("want NAME:METRIC=MIN, got %q", s)
 	}
 	f, err := strconv.ParseFloat(val, 64)
 	if err != nil {
 		return fmt.Errorf("bad budget %q: %w", val, err)
 	}
-	*m = append(*m, budget{name: name, max: f})
+	*m = append(*m, budget{name: name, metric: metric, limit: f, isMin: true})
 	return nil
 }
 
@@ -105,8 +141,10 @@ func run() int {
 		jsonPath string
 		inPath   string
 	)
+	var floors minFlags
 	fs := flag.NewFlagSet("corbalc-benchgate", flag.ContinueOnError)
 	fs.Var(&budgets, "max", "allocs/op budget as NAME=N (repeatable)")
+	fs.Var(&floors, "min", "metric floor as NAME:METRIC=V (repeatable)")
 	fs.StringVar(&jsonPath, "json", "", "write the JSON report to this file")
 	fs.StringVar(&inPath, "in", "", "read bench output from this file instead of stdin")
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -136,26 +174,48 @@ func run() int {
 
 	rep := report{Benchmarks: benches, Budgets: make(map[string]budgetResult)}
 	failed := false
-	for _, b := range budgets {
+	for _, b := range append(append([]budget(nil), budgets...), floors...) {
 		metrics, ok := benches[b.name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "corbalc-benchgate: budgeted benchmark %s missing from input\n", b.name)
 			failed = true
 			continue
 		}
-		actual, ok := metrics["allocs/op"]
+		actual, ok := metrics[b.metric]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "corbalc-benchgate: %s has no allocs/op (run with -benchmem)\n", b.name)
+			hint := ""
+			if b.metric == "allocs/op" {
+				hint = " (run with -benchmem)"
+			}
+			fmt.Fprintf(os.Stderr, "corbalc-benchgate: %s has no %s%s\n", b.name, b.metric, hint)
 			failed = true
 			continue
 		}
-		res := budgetResult{Metric: "allocs/op", Max: b.max, Actual: actual, OK: actual <= b.max}
-		rep.Budgets[b.name] = res
-		if !res.OK {
-			fmt.Fprintf(os.Stderr, "corbalc-benchgate: %s allocs/op = %g exceeds budget %g\n",
-				b.name, actual, b.max)
-			failed = true
+		limit := b.limit
+		res := budgetResult{Metric: b.metric, Actual: actual}
+		key := b.name
+		if b.isMin {
+			res.Min = &limit
+			res.OK = actual >= limit
+			// Floors can target any metric, so key the report entry by
+			// metric too; allocs/op ceilings keep their bare-name key
+			// for compatibility with earlier BENCH_*.json readers.
+			key = b.name + ":" + b.metric
+			if !res.OK {
+				fmt.Fprintf(os.Stderr, "corbalc-benchgate: %s %s = %g below floor %g\n",
+					b.name, b.metric, actual, limit)
+				failed = true
+			}
+		} else {
+			res.Max = &limit
+			res.OK = actual <= limit
+			if !res.OK {
+				fmt.Fprintf(os.Stderr, "corbalc-benchgate: %s %s = %g exceeds budget %g\n",
+					b.name, b.metric, actual, limit)
+				failed = true
+			}
 		}
+		rep.Budgets[key] = res
 	}
 
 	if jsonPath != "" {
@@ -178,11 +238,20 @@ func run() int {
 	sort.Strings(names)
 	for _, n := range names {
 		r := rep.Budgets[n]
-		verdict := "ok"
-		if !r.OK {
-			verdict = "OVER BUDGET"
+		verdict, bound := "ok", ""
+		switch {
+		case r.Max != nil:
+			bound = fmt.Sprintf("(max %g)", *r.Max)
+			if !r.OK {
+				verdict = "OVER BUDGET"
+			}
+		case r.Min != nil:
+			bound = fmt.Sprintf("(min %g)", *r.Min)
+			if !r.OK {
+				verdict = "BELOW FLOOR"
+			}
 		}
-		fmt.Fprintf(os.Stderr, "budget %-36s allocs/op %6g (max %g)  %s\n", n, r.Actual, r.Max, verdict)
+		fmt.Fprintf(os.Stderr, "budget %-52s %s %10g %s  %s\n", n, r.Metric, r.Actual, bound, verdict)
 	}
 	if failed {
 		return 1

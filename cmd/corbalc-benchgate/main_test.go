@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `
+goos: linux
+BenchmarkLocalNullInvoke-4    	  500000	      2100 ns/op	     320 B/op	      18 allocs/op
+BenchmarkConcurrentTCPThroughput/C=64-4 	  600000	      4000 ns/op	    250000 calls/s	     209 B/op	       6 allocs/op
+BenchmarkConcurrentTCPThroughput/C=1-single-4 	  200000	     12700 ns/op	     78000 calls/s	     208 B/op	       6 allocs/op
+PASS
+`
+
+func TestParseExtractsAllMetrics(t *testing.T) {
+	benches, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := benches["BenchmarkConcurrentTCPThroughput/C=64"]
+	if m == nil {
+		t.Fatalf("C=64 missing (GOMAXPROCS suffix not stripped?); have %v", benches)
+	}
+	if m["calls/s"] != 250000 || m["allocs/op"] != 6 {
+		t.Fatalf("C=64 metrics = %v", m)
+	}
+}
+
+func TestMaxFlagParsesEmbeddedEquals(t *testing.T) {
+	var m maxFlags
+	if err := m.Set("BenchmarkConcurrentTCPThroughput/C=64=10"); err != nil {
+		t.Fatal(err)
+	}
+	if b := m[0]; b.name != "BenchmarkConcurrentTCPThroughput/C=64" || b.limit != 10 || b.isMin {
+		t.Fatalf("parsed budget = %+v", b)
+	}
+}
+
+func TestMinFlagParsing(t *testing.T) {
+	var m minFlags
+	if err := m.Set("BenchmarkX/C=64:calls/s=200000"); err != nil {
+		t.Fatal(err)
+	}
+	b := m[0]
+	if b.name != "BenchmarkX/C=64" || b.metric != "calls/s" || b.limit != 200000 || !b.isMin {
+		t.Fatalf("parsed budget = %+v", b)
+	}
+	if err := m.Set("no-metric=5"); err == nil {
+		t.Fatal("NAME=V without :METRIC accepted")
+	}
+	if err := m.Set("name:metric"); err == nil {
+		t.Fatal("budget without value accepted")
+	}
+}
+
+// gate runs the real CLI entry point against sampleBench with extra
+// flags and returns its exit code and the JSON report.
+func gate(t *testing.T, flags ...string) (int, report) {
+	t.Helper()
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jsonPath := filepath.Join(dir, "out.json")
+	oldArgs := os.Args
+	defer func() { os.Args = oldArgs }()
+	os.Args = append([]string{"corbalc-benchgate", "-in", in, "-json", jsonPath}, flags...)
+	code := run()
+	var rep report
+	if buf, err := os.ReadFile(jsonPath); err == nil {
+		if err := json.Unmarshal(buf, &rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return code, rep
+}
+
+func TestGatePassesWithinBudgets(t *testing.T) {
+	code, rep := gate(t,
+		"-max", "BenchmarkLocalNullInvoke=20",
+		"-min", "BenchmarkConcurrentTCPThroughput/C=64:calls/s=200000")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	res, ok := rep.Budgets["BenchmarkConcurrentTCPThroughput/C=64:calls/s"]
+	if !ok || !res.OK || res.Min == nil || *res.Min != 200000 {
+		t.Fatalf("floor result = %+v (present %v)", res, ok)
+	}
+	if res := rep.Budgets["BenchmarkLocalNullInvoke"]; res.Max == nil || *res.Max != 20 || !res.OK {
+		t.Fatalf("ceiling result = %+v", res)
+	}
+}
+
+func TestGateFailsBelowFloor(t *testing.T) {
+	code, rep := gate(t, "-min", "BenchmarkConcurrentTCPThroughput/C=64:calls/s=300000")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 for a throughput regression", code)
+	}
+	if res := rep.Budgets["BenchmarkConcurrentTCPThroughput/C=64:calls/s"]; res.OK {
+		t.Fatalf("floor result = %+v, want failed", res)
+	}
+}
+
+func TestGateFailsOverCeilingAndMissingBench(t *testing.T) {
+	if code, _ := gate(t, "-max", "BenchmarkLocalNullInvoke=10"); code != 1 {
+		t.Fatalf("exit = %d, want 1 for an alloc regression", code)
+	}
+	if code, _ := gate(t, "-min", "BenchmarkAbsent:calls/s=1"); code != 1 {
+		t.Fatalf("exit = %d, want 1 for a missing budgeted benchmark", code)
+	}
+}

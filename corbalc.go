@@ -64,6 +64,36 @@ type Options struct {
 	Policy cohesion.SendPolicy
 	// Deploy tunes placement (default deploy.DefaultPolicy).
 	Deploy *deploy.Policy
+	// IIOP tunes the real TCP transport used by ServeIIOP/UseIIOP.
+	// Zero values select the documented defaults; peers on simnet
+	// ignore it.
+	IIOP IIOPOptions
+}
+
+// IIOPOptions carries the IIOP/TCP concurrency knobs through the
+// facade (DESIGN.md §10). Zero values select the defaults documented
+// in internal/iiop.
+type IIOPOptions struct {
+	// PoolSize is the striped connection-pool size kept per remote
+	// endpoint (default min(4, GOMAXPROCS); negative forces a single
+	// multiplexed connection).
+	PoolSize int
+	// CallTimeout bounds one two-way call (default
+	// iiop.DefaultCallTimeout; negative disables the limit).
+	CallTimeout time.Duration
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// CoalesceWindow is the group-commit window for write coalescing
+	// on both the client and server side of this peer (default
+	// iiop.DefaultCoalesceWindow; negative disables the timed window).
+	CoalesceWindow time.Duration
+	// MaxDispatch bounds concurrently-dispatched server requests — the
+	// worker-pool size (default iiop.DefaultMaxDispatch()).
+	MaxDispatch int
+	// DispatchQueue bounds requests accepted but not yet dispatched
+	// (default iiop.DefaultDispatchQueue; negative means no queue).
+	// Overflow is refused with a CORBA TRANSIENT system exception.
+	DispatchQueue int
 }
 
 // Peer is one CORBA-LC node with its protocol agent and deployment
@@ -72,6 +102,8 @@ type Peer struct {
 	Node   *node.Node
 	Agent  *cohesion.Agent
 	Engine *deploy.Engine
+
+	iiop IIOPOptions
 }
 
 // NewPeer assembles a peer (not yet part of any logical network).
@@ -97,7 +129,7 @@ func NewPeer(name string, opts Options) *Peer {
 	}
 	engine := deploy.NewEngine(n, agent, pol)
 	n.SetResolver(engine)
-	return &Peer{Node: n, Agent: agent, Engine: engine}
+	return &Peer{Node: n, Agent: agent, Engine: engine, iiop: opts.IIOP}
 }
 
 // Bootstrap starts a new logical network with this peer as its first
@@ -121,16 +153,30 @@ func (p *Peer) Close() {
 
 // ServeIIOP starts a real IIOP/TCP endpoint for the peer and registers
 // the client-side transport, so IORs minted by this peer are reachable
-// from other processes. It returns the listening server.
+// from other processes. The Options.IIOP knobs size the dispatch
+// worker pool and tune write coalescing. It returns the listening
+// server.
 func (p *Peer) ServeIIOP(addr string) (*iiop.Server, error) {
-	p.Node.ORB().RegisterTransport(&iiop.Transport{})
-	return iiop.ListenAndActivate(p.Node.ORB(), addr)
+	p.UseIIOP()
+	s := iiop.NewServer(p.Node.ORB())
+	s.MaxDispatch = p.iiop.MaxDispatch
+	s.DispatchQueue = p.iiop.DispatchQueue
+	s.CoalesceWindow = p.iiop.CoalesceWindow
+	if err := s.ListenActivate(p.Node.ORB(), addr); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // UseIIOP registers only the client-side IIOP transport (for peers that
-// call out but do not listen).
+// call out but do not listen), configured from the Options.IIOP knobs.
 func (p *Peer) UseIIOP() {
-	p.Node.ORB().RegisterTransport(&iiop.Transport{})
+	p.Node.ORB().RegisterTransport(&iiop.Transport{
+		DialTimeout:    p.iiop.DialTimeout,
+		CallTimeout:    p.iiop.CallTimeout,
+		PoolSize:       p.iiop.PoolSize,
+		CoalesceWindow: p.iiop.CoalesceWindow,
+	})
 }
 
 // Cluster is a set of peers joined into one logical network over an

@@ -130,6 +130,60 @@ func TestTwoPeersOverRealTCP(t *testing.T) {
 	}
 }
 
+// TestIIOPOptionsThreadThroughFacade proves the concurrency knobs in
+// Options.IIOP reach the listening server and still carry real calls.
+func TestIIOPOptionsThreadThroughFacade(t *testing.T) {
+	reg, spec := greeterSetup()
+	opts := corbalc.Options{
+		Impls:          reg,
+		UpdateInterval: 20 * time.Millisecond,
+		IIOP: corbalc.IIOPOptions{
+			PoolSize:       2,
+			CallTimeout:    5 * time.Second,
+			MaxDispatch:    4,
+			DispatchQueue:  64,
+			CoalesceWindow: -1,
+		},
+	}
+	a := corbalc.NewPeer("alpha", opts)
+	b := corbalc.NewPeer("beta", opts)
+	defer a.Close()
+	defer b.Close()
+
+	srvA, err := a.ServeIIOP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvA.Close()
+	if srvA.MaxDispatch != 4 || srvA.DispatchQueue != 64 || srvA.CoalesceWindow != -1 {
+		t.Fatalf("server knobs not applied: %+v", srvA)
+	}
+	srvB, err := b.ServeIIOP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvB.Close()
+
+	a.Bootstrap()
+	contact, err := b.Node.ORB().ResolveStr(a.Contact().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Join(contact.IOR()); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Node.InstallComponent(comp); err != nil {
+		t.Fatal(err)
+	}
+	if got := hello(t, b, "tuned"); got != "hello tuned from alpha" {
+		t.Fatalf("got %q", got)
+	}
+}
+
 func TestPeerLeaveShrinksDirectory(t *testing.T) {
 	reg, _ := greeterSetup()
 	c, err := corbalc.NewCluster(3, "lv%d", simnet.Link{}, corbalc.Options{

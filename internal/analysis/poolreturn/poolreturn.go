@@ -53,6 +53,10 @@ var acquirers = map[[2]string]string{
 	{"internal/giop", "NewMessage"}:         "call its Release method",
 	{"internal/giop", "MessageFromEncoder"}: "call its Release method",
 	{"internal/giop", "ReadMessagePooled"}:  "call its Release method",
+	// The bounded-dispatch refusal path builds a pooled TRANSIENT reply
+	// and hands its Header/Body to the write coalescer; field reads are
+	// not a transfer, so the caller keeps the release obligation.
+	{"internal/orb", "SystemExceptionReply"}: "call its Release method",
 }
 
 func run(pass *analysis.Pass) error {

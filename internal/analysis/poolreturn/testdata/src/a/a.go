@@ -9,6 +9,7 @@ import (
 	"corbalc/internal/bufpool"
 	"corbalc/internal/cdr"
 	"corbalc/internal/giop"
+	"corbalc/internal/orb"
 )
 
 type holder struct {
@@ -128,6 +129,30 @@ func goodReleaseInClosure(r io.Reader, done chan struct{}) error {
 		close(done)
 	}()
 	return nil
+}
+
+// Bad: a pooled refusal reply is written out via field reads but never
+// released. Handing reply.Header/reply.Body to the write coalescer is
+// not an ownership transfer — selector reads leave the obligation with
+// the caller.
+func badLeakRefusalReply(write func(giop.Header, []byte) error, v giop.Version, order cdr.ByteOrder, id uint32) {
+	reply, err := orb.SystemExceptionReply(v, order, id, orb.Transient()) // want `result of orb\.SystemExceptionReply is neither released nor transferred`
+	if err != nil {
+		return
+	}
+	_ = write(reply.Header, reply.Body)
+}
+
+// Good: the bounded-dispatch refuse() shape — the coalescer's write
+// blocks until the frame is flushed, so the caller still owns the
+// pooled reply afterwards and releases it.
+func goodRefusalReplyReleased(write func(giop.Header, []byte) error, v giop.Version, order cdr.ByteOrder, id uint32) {
+	reply, err := orb.SystemExceptionReply(v, order, id, orb.Transient())
+	if err != nil {
+		return
+	}
+	_ = write(reply.Header, reply.Body)
+	reply.Release()
 }
 
 // Suppressed: an acknowledged leak-to-GC stays silent.

@@ -426,6 +426,41 @@ func (d *Decoder) ReadString() (string, error) {
 	return string(b[:n-1]), nil
 }
 
+// maxInternedStrings bounds an intern cache so a peer cycling through
+// distinct values cannot grow it without limit; past the bound the cache
+// stops learning but reads stay correct.
+const maxInternedStrings = 256
+
+// ReadStringInterned is ReadString through a caller-owned intern cache:
+// a value already cached is returned without allocating. Dispatch loops
+// use it for operation names, which draw from a small fixed vocabulary,
+// so the per-request string allocation disappears after warm-up.
+func (d *Decoder) ReadStringInterned(cache map[string]string) (string, error) {
+	n, err := d.ReadULong()
+	if err != nil {
+		return "", err
+	}
+	if n == 0 {
+		return "", nil
+	}
+	if uint32(d.Remaining()) < n {
+		return "", ErrTooLong
+	}
+	b := d.buf[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	if b[n-1] != 0 {
+		return "", ErrBadString
+	}
+	if s, ok := cache[string(b[:n-1])]; ok { // keyed lookup: no conversion alloc
+		return s, nil
+	}
+	s := string(b[:n-1])
+	if len(cache) < maxInternedStrings {
+		cache[s] = s
+	}
+	return s, nil
+}
+
 // ReadOctets reads exactly n raw bytes. The returned slice aliases the
 // decoder's buffer.
 func (d *Decoder) ReadOctets(n int) ([]byte, error) {

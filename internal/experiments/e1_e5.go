@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"corbalc"
@@ -99,6 +100,99 @@ func E1Invocation(sc Scale) *Table {
 	clientORB.RegisterTransport(&iiop.Transport{})
 	defer clientORB.Shutdown()
 	measure("iiop/tcp", clientORB.NewRef(serverORB.Activate("echo", echoServant{})))
+
+	return t
+}
+
+// E1bConcurrency measures invocation throughput under caller fan-in —
+// the concurrency half of requirement 1. The pooled rows exercise the
+// whole concurrent-throughput layer (striped connection pool, write
+// coalescing, bounded dispatch — DESIGN.md §10); the "single" row pins
+// one multiplexed connection with the timed coalescing window off,
+// i.e. the pre-pool architecture, so the table shows what the layer
+// buys at the same fan-in.
+func E1bConcurrency(sc Scale) *Table {
+	total := 4000 * sc.nodes(1)
+	t := &Table{
+		ID:      "E1b",
+		Title:   "concurrent invocation throughput by caller fan-in",
+		Claim:   "Req.1: fan-in multiplies calls/s instead of serialising on the wire",
+		Columns: []string{"transport", "callers", "calls", "calls/s", "vs C=1"},
+	}
+
+	measure := func(transport string, ref *orb.ObjectRef, callers int, base float64) float64 {
+		// Warm the path (dial, pools, caches) before timing.
+		for i := 0; i < 8; i++ {
+			if err := ref.InvokeContext(context.Background(), "null_op", nil, nil); err != nil {
+				panic(fmt.Sprintf("E1b %s warm: %v", transport, err))
+			}
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		for g := 0; g < callers; g++ {
+			n := total / callers
+			if g < total%callers {
+				n++
+			}
+			wg.Add(1)
+			go func(n int) {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					if err := ref.InvokeContext(context.Background(), "null_op", nil, nil); err != nil {
+						panic(err)
+					}
+				}
+			}(n)
+		}
+		wg.Wait()
+		rate := float64(total) / time.Since(start).Seconds()
+		rel := "1.00x"
+		if base > 0 {
+			rel = fmt.Sprintf("%.2fx", rate/base)
+		}
+		t.Rows = append(t.Rows, []string{
+			transport, fmt.Sprint(callers), fmt.Sprint(total),
+			fmt.Sprintf("%.0f", rate), rel,
+		})
+		return rate
+	}
+
+	// Real IIOP over TCP loopback with the full layer on.
+	serverORB := orb.NewORB()
+	srv, err := iiop.ListenAndActivate(serverORB, "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+	key := serverORB.Activate("echo", echoServant{})
+
+	pooled := orb.NewORB()
+	pooled.RegisterTransport(&iiop.Transport{})
+	base := measure("iiop/tcp", pooled.NewRef(key), 1, 0)
+	measure("iiop/tcp", pooled.NewRef(key), 8, base)
+	measure("iiop/tcp", pooled.NewRef(key), 64, base)
+	pooled.Shutdown()
+
+	// Same server, one connection, timed coalescing off: the pre-pool
+	// architecture at the same fan-in.
+	single := orb.NewORB()
+	single.RegisterTransport(&iiop.Transport{PoolSize: -1, CoalesceWindow: -1})
+	measure("iiop/tcp-single", single.NewRef(key), 64, base)
+	single.Shutdown()
+
+	// Virtual network: the same fan-in with no socket underneath.
+	vnet := simnet.New(simnet.Link{})
+	so := orb.NewORB()
+	co := orb.NewORB()
+	if err := vnet.Attach("s", so); err != nil {
+		panic(err)
+	}
+	if err := vnet.Attach("c", co); err != nil {
+		panic(err)
+	}
+	nref := co.NewRef(so.Activate("echo", echoServant{}))
+	nbase := measure("simnet", nref, 1, 0)
+	measure("simnet", nref, 64, nbase)
 
 	return t
 }

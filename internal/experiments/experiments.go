@@ -102,6 +102,7 @@ func (s Scale) window(base time.Duration) time.Duration {
 func All(sc Scale) []*Table {
 	return []*Table{
 		E1Invocation(sc),
+		E1bConcurrency(sc),
 		E2Registry(sc),
 		E3Consistency(sc),
 		E4QueryHierarchy(sc),

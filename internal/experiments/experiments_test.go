@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"corbalc/internal/race"
 )
 
 // quick is the smallest scale: every experiment must still exhibit the
@@ -48,6 +50,33 @@ func TestE1InvocationShape(t *testing.T) {
 				t.Errorf("tcp %s = %v us", row[1], us)
 			}
 		}
+	}
+	t.Log("\n" + tab.Render())
+}
+
+func TestE1bConcurrencyShape(t *testing.T) {
+	tab := E1bConcurrency(Scale{Nodes: 1})
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The claimed shape: fan-in multiplies throughput. On one core the
+	// gain comes from batching syscalls (write coalescing) and keeping
+	// the wire full, so it survives GOMAXPROCS=1; the race detector
+	// serialises everything, so only direction is asserted there.
+	factor := 2.0
+	if race.Enabled {
+		factor = 1.1
+	}
+	c1 := num(t, cell(tab, 0, 3))
+	c64 := num(t, cell(tab, 2, 3))
+	if c64 < factor*c1 {
+		t.Errorf("tcp C=64 = %v calls/s, want >= %v x C=1 (%v)", c64, factor, c1)
+	}
+	if tab.Rows[2][0] != "iiop/tcp" || tab.Rows[2][1] != "64" {
+		t.Fatalf("row 2 = %v, want iiop/tcp C=64", tab.Rows[2])
+	}
+	if tab.Rows[3][0] != "iiop/tcp-single" {
+		t.Fatalf("row 3 = %v, want iiop/tcp-single", tab.Rows[3])
 	}
 	t.Log("\n" + tab.Render())
 }

@@ -454,6 +454,18 @@ func DecodeRequest(d *cdr.Decoder, v Version) (*RequestHeader, error) {
 // allocation-free form the ORB dispatch loop uses; anything retained
 // past the dispatch must copy.
 func DecodeRequestInto(d *cdr.Decoder, v Version, h *RequestHeader) error {
+	return DecodeRequestIntoInterned(d, v, h, nil)
+}
+
+// DecodeRequestIntoInterned is DecodeRequestInto with an intern cache
+// for the operation name (see cdr.ReadStringInterned); ops may be nil.
+func DecodeRequestIntoInterned(d *cdr.Decoder, v Version, h *RequestHeader, ops map[string]string) error {
+	readOp := func() (string, error) {
+		if ops != nil {
+			return d.ReadStringInterned(ops)
+		}
+		return d.ReadString()
+	}
 	var err error
 	h.ObjectKey = nil
 	h.Operation = ""
@@ -471,7 +483,7 @@ func DecodeRequestInto(d *cdr.Decoder, v Version, h *RequestHeader) error {
 		if h.ObjectKey, err = d.ReadOctetSeqAlias(); err != nil {
 			return err
 		}
-		if h.Operation, err = d.ReadString(); err != nil {
+		if h.Operation, err = readOp(); err != nil {
 			return err
 		}
 		if _, err = d.ReadOctetSeqAlias(); err != nil { // principal
@@ -500,7 +512,7 @@ func DecodeRequestInto(d *cdr.Decoder, v Version, h *RequestHeader) error {
 		if h.ObjectKey, err = d.ReadOctetSeqAlias(); err != nil {
 			return err
 		}
-		if h.Operation, err = d.ReadString(); err != nil {
+		if h.Operation, err = readOp(); err != nil {
 			return err
 		}
 		return decodeServiceContextsInto(d, &h.ServiceContexts)
@@ -562,36 +574,48 @@ func EncodeReplyPrelude(e *cdr.Encoder, v Version, reqID uint32, status ReplySta
 // DecodeReply parses a Reply header for the given version.
 func DecodeReply(d *cdr.Decoder, v Version) (*ReplyHeader, error) {
 	h := &ReplyHeader{}
+	if err := DecodeReplyInto(d, v, h); err != nil {
+		return nil, err
+	}
+	for i := range h.ServiceContexts {
+		h.ServiceContexts[i].Data = append([]byte(nil), h.ServiceContexts[i].Data...)
+	}
+	return h, nil
+}
+
+// DecodeReplyInto parses a Reply header into h, reusing h's service
+// context capacity. Every ServiceContext.Data ALIASES the decoder's
+// buffer (valid until the reply message is released); this is the
+// allocation-free form the client reply path uses.
+func DecodeReplyInto(d *cdr.Decoder, v Version, h *ReplyHeader) error {
 	var err error
+	h.ServiceContexts = h.ServiceContexts[:0]
 	switch v {
 	case V10:
-		if h.ServiceContexts, err = decodeServiceContexts(d); err != nil {
-			return nil, err
+		if err = decodeServiceContextsInto(d, &h.ServiceContexts); err != nil {
+			return err
 		}
 		if h.RequestID, err = d.ReadULong(); err != nil {
-			return nil, err
+			return err
 		}
 		s, err := d.ReadULong()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		h.Status = ReplyStatus(s)
-		return h, nil
+		return nil
 	case V12:
 		if h.RequestID, err = d.ReadULong(); err != nil {
-			return nil, err
+			return err
 		}
 		s, err := d.ReadULong()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		h.Status = ReplyStatus(s)
-		if h.ServiceContexts, err = decodeServiceContexts(d); err != nil {
-			return nil, err
-		}
-		return h, nil
+		return decodeServiceContextsInto(d, &h.ServiceContexts)
 	}
-	return nil, fmt.Errorf("%w: %v", ErrBadVersion, v)
+	return fmt.Errorf("%w: %v", ErrBadVersion, v)
 }
 
 // AlignBody pads to the 8-byte boundary that GIOP 1.2 requires between a

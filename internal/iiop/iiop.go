@@ -1,7 +1,10 @@
 // Package iiop carries GIOP messages over TCP, providing the server side
-// (a listener that dispatches inbound requests to an ORB) and the client
-// side (a connection pool transport that multiplexes concurrent requests
-// over one connection per endpoint, demultiplexing replies by request ID).
+// (a listener that dispatches inbound requests to an ORB through a
+// bounded worker pool) and the client side (a transport whose striped
+// connection pool multiplexes concurrent requests over a few connections
+// per endpoint, demultiplexing replies by request ID). Writes on both
+// sides flow through a group-committing coalescer (see coalesce.go) so
+// concurrent small frames share syscalls.
 package iiop
 
 import (
@@ -11,10 +14,12 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
 
+	"corbalc/internal/cdr"
 	"corbalc/internal/giop"
 	"corbalc/internal/ior"
 	"corbalc/internal/orb"
@@ -54,18 +59,50 @@ type Handler interface {
 // connections (package transfers can be megabytes).
 const DefaultMaxFragment = 256 << 10
 
-// Server accepts IIOP connections and dispatches their requests.
+// DefaultDispatchQueue bounds queued-but-not-dispatched requests when
+// Server.DispatchQueue is zero.
+const DefaultDispatchQueue = 1024
+
+// DefaultMaxDispatch is the dispatch worker-pool size used when
+// Server.MaxDispatch is zero: enough to keep every core busy with
+// headroom for servants that block briefly, while keeping the server's
+// goroutine count a small constant instead of O(in-flight requests).
+func DefaultMaxDispatch() int {
+	return max(32, 4*runtime.GOMAXPROCS(0))
+}
+
+// Server accepts IIOP connections and dispatches their requests through
+// a bounded worker pool.
 type Server struct {
 	handler Handler
 	ln      net.Listener
 	// MaxFragment bounds outgoing GIOP 1.2 bodies; larger replies are
 	// fragmented. Zero disables fragmentation.
 	MaxFragment int
+	// MaxDispatch bounds concurrently-dispatched requests (the worker
+	// pool size). Zero means DefaultMaxDispatch(); values below 1 mean a
+	// single worker. Set before Listen.
+	MaxDispatch int
+	// DispatchQueue bounds requests accepted from connections but not
+	// yet picked up by a worker. Zero means DefaultDispatchQueue;
+	// negative means no queue (a request either reaches an idle worker
+	// immediately or is refused). Overflow is answered with a CORBA
+	// TRANSIENT system exception when a response is expected, else
+	// dropped. Set before Listen.
+	DispatchQueue int
+	// CoalesceWindow tunes reply write coalescing, with the same
+	// convention as Transport.CoalesceWindow: zero means
+	// DefaultCoalesceWindow, negative disables the timed window. Set
+	// before Listen.
+	CoalesceWindow time.Duration
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+
+	tasks    chan dispatchTask
+	workerWG sync.WaitGroup
 }
 
 // NewServer returns a server dispatching to h.
@@ -76,8 +113,8 @@ func NewServer(h Handler) *Server {
 // writeMaybeFragmented writes a message through the connection's
 // vectored writer, fragmenting eligible large GIOP 1.2 bodies
 // (Request, Reply, LocateRequest, LocateReply — see giop.Fragmentable).
-// The caller holds the connection's write mutex, which also serialises
-// the writer's scratch state.
+// The caller holds the connection coalescer's flush token, which also
+// serialises the writer's scratch state.
 func writeMaybeFragmented(mw *giop.Writer, h giop.Header, body []byte, max int) error {
 	if max > 0 && len(body) > max && h.Version == giop.V12 && giop.Fragmentable(h.Type) {
 		return mw.WriteMessageFragmented(h, body, max)
@@ -94,30 +131,68 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	}
 	s.mu.Lock()
 	s.ln = ln
+	s.startWorkers()
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
 	return ln.Addr(), nil
 }
 
+// startWorkers builds the dispatch queue and worker pool once, sized
+// from the MaxDispatch/DispatchQueue knobs. Caller holds s.mu.
+func (s *Server) startWorkers() {
+	if s.tasks != nil {
+		return
+	}
+	n := s.MaxDispatch
+	if n == 0 {
+		n = DefaultMaxDispatch()
+	}
+	if n < 1 {
+		n = 1
+	}
+	q := s.DispatchQueue
+	if q == 0 {
+		q = DefaultDispatchQueue
+	}
+	if q < 0 {
+		q = 0
+	}
+	s.tasks = make(chan dispatchTask, q)
+	for i := 0; i < n; i++ {
+		s.workerWG.Add(1)
+		go s.worker(s.tasks)
+	}
+}
+
 // ListenAndActivate binds the server and records the resulting endpoint
 // on o so subsequently minted IORs point at this server.
 func ListenAndActivate(o *orb.ORB, addr string) (*Server, error) {
 	s := NewServer(o)
+	if err := s.ListenActivate(o, addr); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ListenActivate binds an already-constructed (and possibly tuned)
+// server and records the resulting endpoint on o. Set the concurrency
+// knobs (MaxDispatch, DispatchQueue, CoalesceWindow) before calling.
+func (s *Server) ListenActivate(o *orb.ORB, addr string) error {
 	bound, err := s.Listen(addr)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	host, portStr, err := net.SplitHostPort(bound.String())
 	if err != nil {
-		return nil, err
+		return err
 	}
 	port, err := strconv.ParseUint(portStr, 10, 16)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	o.SetEndpoint(host, uint16(port))
-	return s, nil
+	return nil
 }
 
 // track registers a live connection, or reports that the server is
@@ -139,6 +214,11 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			// The coalescer owns write batching; Nagle would stack a
+			// second, uncontrolled delay on top of the commit window.
+			_ = tc.SetNoDelay(true)
+		}
 		if !s.track(conn) {
 			_ = conn.Close()
 			return
@@ -152,6 +232,33 @@ func (s *Server) acceptLoop(ln net.Listener) {
 // GIOP CancelRequest aborts an in-flight request.
 var errCancelledByPeer = errors.New("iiop: request cancelled by peer")
 
+// serverConn is the per-connection state shared between the read loop
+// and the workers dispatching its requests.
+type serverConn struct {
+	srv  *Server
+	conn net.Conn
+	co   *coalescer
+
+	// inflight maps the request IDs currently queued or being handled to
+	// their cancel functions, so a CancelRequest can abort them.
+	inflightMu sync.Mutex
+	inflight   map[uint32]context.CancelCauseFunc
+
+	connCtx context.Context
+	reqWG   sync.WaitGroup
+}
+
+// dispatchTask is one inbound message handed to the worker pool. It is
+// passed by value through the dispatch channel, so queueing a request
+// costs no allocation beyond its (pre-existing) cancel context.
+type dispatchTask struct {
+	sc     *serverConn
+	m      *giop.Message
+	ctx    context.Context
+	cancel context.CancelCauseFunc // nil when the message carries no request ID
+	id     uint32
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -160,22 +267,20 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
-	// inflight maps the request IDs currently being handled to their
-	// cancel functions, so a CancelRequest can abort them.
-	var (
-		inflightMu sync.Mutex
-		inflight   = make(map[uint32]context.CancelCauseFunc)
-	)
-	var wmu sync.Mutex // serialises interleaved reply writes
-	mw := giop.NewWriter(conn)
-	var reqWG sync.WaitGroup
-	defer reqWG.Wait()
+	sc := &serverConn{
+		srv:      s,
+		conn:     conn,
+		co:       newCoalescer(conn, resolveWindow(s.CoalesceWindow)),
+		inflight: make(map[uint32]context.CancelCauseFunc),
+	}
+	defer sc.reqWG.Wait()
 	// connCtx parents every request dispatched from this connection, so
 	// in-flight servants observe cancellation when the connection dies.
 	// Registered AFTER the reqWG.Wait defer (defers run LIFO): the loop
 	// must cancel in-flight dispatches before waiting for them, or a
 	// parked servant would stall connection teardown.
 	connCtx, connCancel := context.WithCancel(context.Background())
+	sc.connCtx = connCtx
 	defer connCancel()
 	br := getReader(conn)
 	defer putReader(br)
@@ -187,9 +292,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			if errors.Is(err, giop.ErrMessageSize) {
 				// Oversized frame: the header decoded fine, so tell the
 				// peer why it is being dropped before closing.
-				wmu.Lock()
-				_ = mw.WriteMessage(giop.Header{Version: giop.V12, Type: giop.MsgMessageError}, nil)
-				wmu.Unlock()
+				_ = sc.co.write(giop.Header{Version: giop.V12, Type: giop.MsgMessageError}, nil, 0)
 			}
 			return
 		}
@@ -201,7 +304,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if m != raw {
 			// Add copied (or rejected) the fragment; the wire buffer is
 			// ours to recycle. When m == raw the message passes through
-			// and the dispatch goroutine owns it.
+			// and the dispatch task owns it.
 			raw.Release()
 		}
 		if err != nil {
@@ -212,64 +315,130 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		if m.Header.Type == giop.MsgCancelRequest {
 			if id, ok := giop.PeekRequestID(m); ok {
-				inflightMu.Lock()
-				cancel := inflight[id]
-				inflightMu.Unlock()
-				if cancel != nil {
-					cancel(errCancelledByPeer)
-				}
+				sc.cancelInflight(id)
 			}
 			m.Release()
 			continue
 		}
-		reqWG.Add(1)
-		go func(m *giop.Message) {
-			defer reqWG.Done()
-			// The request buffer is released when this dispatch is fully
-			// done with it: after the handler returns and the reply (which
-			// never aliases the request) has been written.
-			defer m.Release()
-			reqCtx := connCtx
-			cancelled := func() bool { return false }
-			if m.Header.Type == giop.MsgRequest || m.Header.Type == giop.MsgLocateRequest {
-				if id, ok := giop.PeekRequestID(m); ok {
-					ctx, cancel := context.WithCancelCause(connCtx)
-					reqCtx = ctx
-					cancelled = func() bool { return context.Cause(ctx) == errCancelledByPeer }
-					inflightMu.Lock()
-					inflight[id] = cancel
-					inflightMu.Unlock()
-					defer func() {
-						inflightMu.Lock()
-						delete(inflight, id)
-						inflightMu.Unlock()
-						cancel(nil)
-					}()
-				}
-			}
-			reply, err := s.handler.HandleMessage(reqCtx, m)
-			if err != nil || reply == nil {
-				if err != nil {
-					// Protocol-level failure: tell the peer and drop.
-					wmu.Lock()
-					_ = mw.WriteMessage(giop.Header{
-						Version: m.Header.Version, Order: m.Header.Order, Type: giop.MsgMessageError,
-					}, nil)
-					wmu.Unlock()
-				}
-				return
-			}
-			defer reply.Release()
-			if cancelled() {
-				// The client sent CancelRequest: it no longer awaits this
-				// reply, so writing it would only burn bandwidth.
-				return
-			}
-			wmu.Lock()
-			_ = writeMaybeFragmented(mw, reply.Header, reply.Body, s.MaxFragment)
-			wmu.Unlock()
-		}(m)
+		s.enqueue(sc, m)
 	}
+}
+
+// cancelInflight aborts the queued or running request with the given ID
+// on behalf of a peer CancelRequest.
+func (sc *serverConn) cancelInflight(id uint32) {
+	sc.inflightMu.Lock()
+	cancel := sc.inflight[id]
+	sc.inflightMu.Unlock()
+	if cancel != nil {
+		cancel(errCancelledByPeer)
+	}
+}
+
+// enqueue registers cancellation state for m and hands it to the worker
+// pool. A full queue refuses the request instead of growing goroutines
+// or memory without bound.
+func (s *Server) enqueue(sc *serverConn, m *giop.Message) {
+	t := dispatchTask{sc: sc, m: m, ctx: sc.connCtx}
+	if m.Header.Type == giop.MsgRequest || m.Header.Type == giop.MsgLocateRequest {
+		if id, ok := giop.PeekRequestID(m); ok {
+			// Register before queueing so a CancelRequest overtaking the
+			// dispatch still lands on the queued request.
+			ctx, cancel := context.WithCancelCause(sc.connCtx)
+			t.ctx, t.cancel, t.id = ctx, cancel, id
+			sc.inflightMu.Lock()
+			sc.inflight[id] = cancel
+			sc.inflightMu.Unlock()
+		}
+	}
+	sc.reqWG.Add(1)
+	select {
+	case s.tasks <- t:
+	default:
+		s.refuse(t)
+	}
+}
+
+// refuse answers an overflowed request with a CORBA TRANSIENT system
+// exception — the standard "retry later/elsewhere" signal — when a
+// response is expected; oneways and locate probes are simply dropped.
+func (s *Server) refuse(t dispatchTask) {
+	defer t.sc.reqWG.Done()
+	defer t.m.Release()
+	t.finish()
+	if t.m.Header.Type != giop.MsgRequest {
+		return
+	}
+	var h giop.RequestHeader
+	var d cdr.Decoder
+	t.m.ResetBodyDecoder(&d)
+	if err := giop.DecodeRequestInto(&d, t.m.Header.Version, &h); err != nil || !h.ResponseExpected {
+		return
+	}
+	reply, err := orb.SystemExceptionReply(t.m.Header.Version, t.m.Header.Order, h.RequestID, orb.Transient())
+	if err != nil {
+		return
+	}
+	_ = t.sc.co.write(reply.Header, reply.Body, s.MaxFragment)
+	reply.Release()
+}
+
+// worker drains the dispatch queue. The channel is a parameter rather
+// than a field read so Close may nil out s.tasks without racing the
+// loop's range expression.
+func (s *Server) worker(tasks chan dispatchTask) {
+	defer s.workerWG.Done()
+	for t := range tasks {
+		t.run()
+	}
+}
+
+// finish unregisters the task's cancel slot and releases its context.
+func (t *dispatchTask) finish() {
+	if t.cancel == nil {
+		return
+	}
+	t.sc.inflightMu.Lock()
+	delete(t.sc.inflight, t.id)
+	t.sc.inflightMu.Unlock()
+	t.cancel(nil)
+}
+
+// cancelled reports whether the peer sent a CancelRequest for this task.
+func (t *dispatchTask) cancelled() bool {
+	return t.cancel != nil && context.Cause(t.ctx) == errCancelledByPeer
+}
+
+// run dispatches one queued message: the worker-pool body mirroring the
+// old per-request goroutine, preserving the release discipline — the
+// request buffer is released when the dispatch is fully done with it,
+// after the handler returns and the reply (which never aliases the
+// request) has been written.
+func (t *dispatchTask) run() {
+	sc := t.sc
+	defer sc.reqWG.Done()
+	defer t.m.Release()
+	defer t.finish()
+	if sc.connCtx.Err() != nil {
+		return // connection torn down while this request sat queued
+	}
+	reply, err := sc.srv.handler.HandleMessage(t.ctx, t.m)
+	if err != nil || reply == nil {
+		if err != nil {
+			// Protocol-level failure: tell the peer and drop.
+			_ = sc.co.write(giop.Header{
+				Version: t.m.Header.Version, Order: t.m.Header.Order, Type: giop.MsgMessageError,
+			}, nil, 0)
+		}
+		return
+	}
+	defer reply.Release()
+	if t.cancelled() {
+		// The client sent CancelRequest: it no longer awaits this
+		// reply, so writing it would only burn bandwidth.
+		return
+	}
+	_ = sc.co.write(reply.Header, reply.Body, sc.srv.MaxFragment)
 }
 
 // shutdown marks the server closed and hands back the listener and live
@@ -302,6 +471,17 @@ func (s *Server) Close() error {
 		_ = c.Close()
 	}
 	s.wg.Wait()
+	// Every read loop has drained its own in-flight tasks (serveConn
+	// waits on its reqWG before returning), so the queue is empty and
+	// the workers can be released.
+	s.mu.Lock()
+	tasks := s.tasks
+	s.tasks = nil
+	s.mu.Unlock()
+	if tasks != nil {
+		close(tasks)
+		s.workerWG.Wait()
+	}
 	return err
 }
 
@@ -322,6 +502,46 @@ type Transport struct {
 	// MaxFragment bounds outgoing GIOP 1.2 bodies (default
 	// DefaultMaxFragment; negative disables fragmentation).
 	MaxFragment int
+	// PoolSize is the number of striped connections the ORB keeps per
+	// endpoint (see orb.PoolSizer). Zero means DefaultPoolSize();
+	// negative means a single connection.
+	PoolSize int
+	// CoalesceWindow is the group-commit window for write coalescing
+	// under caller fan-in. Zero means DefaultCoalesceWindow; negative
+	// disables the timed window (concurrent frames still piggyback on
+	// in-flight flushes).
+	CoalesceWindow time.Duration
+}
+
+// DefaultPoolSize is the per-endpoint connection-pool size when
+// Transport.PoolSize is zero: one stripe per core up to four. More
+// stripes than cores cannot be written concurrently anyway, and four
+// keeps the reply-demux maps sharded enough under fan-in.
+func DefaultPoolSize() int {
+	return min(4, runtime.GOMAXPROCS(0))
+}
+
+// ChannelPoolSize implements orb.PoolSizer, resolving the PoolSize knob.
+func (t *Transport) ChannelPoolSize() int {
+	switch {
+	case t.PoolSize > 0:
+		return t.PoolSize
+	case t.PoolSize < 0:
+		return 1
+	}
+	return DefaultPoolSize()
+}
+
+// resolveWindow maps the CoalesceWindow knob convention (zero means
+// default, negative means disabled) onto a concrete duration.
+func resolveWindow(w time.Duration) time.Duration {
+	switch {
+	case w == 0:
+		return DefaultCoalesceWindow
+	case w < 0:
+		return 0
+	}
+	return w
 }
 
 // effectiveCallTimeout resolves the CallTimeout knob: zero means the
@@ -364,6 +584,11 @@ func (t *Transport) Dial(ctx context.Context, profile []byte) (orb.Channel, erro
 	if err != nil {
 		return nil, fmt.Errorf("iiop: dial %s: %w", addr, err)
 	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		// The coalescer owns write batching; Nagle would stack a second,
+		// uncontrolled delay on top of the commit window.
+		_ = tc.SetNoDelay(true)
+	}
 	maxFrag := t.MaxFragment
 	if maxFrag == 0 {
 		maxFrag = DefaultMaxFragment
@@ -373,31 +598,125 @@ func (t *Transport) Dial(ctx context.Context, profile []byte) (orb.Channel, erro
 	}
 	c := &clientConn{
 		conn:        conn,
-		mw:          giop.NewWriter(conn),
-		pending:     make(map[uint32]chan *giop.Message),
+		co:          newCoalescer(conn, resolveWindow(t.CoalesceWindow)),
+		pending:     make(map[uint32]pendingCall),
 		callTimeout: t.effectiveCallTimeout(),
 		maxFragment: maxFrag,
+		reapStop:    make(chan struct{}),
 	}
 	go c.readLoop()
+	if c.callTimeout > 0 {
+		go c.reaper()
+	}
 	return c, nil
 }
 
-// clientConn multiplexes concurrent calls over one TCP connection.
+// pendingCall is one in-flight two-way request awaiting its reply. gen
+// is the reaper sweep generation at registration: the CallTimeout
+// safety net is enforced by the connection's reaper counting sweeps
+// rather than a per-call timer, so the per-call cost of the net is one
+// map field instead of a clock read plus two timer-heap operations.
+type pendingCall struct {
+	ch  chan *giop.Message
+	gen uint64
+}
+
+// clientConn multiplexes concurrent calls over one TCP connection. The
+// ORB stripes an endpoint's traffic over a small pool of these, so each
+// carries its own pending map — the reply-demux state is sharded
+// per-stripe rather than contended globally.
 type clientConn struct {
 	conn        net.Conn
-	wmu         sync.Mutex
-	mw          *giop.Writer // guarded by wmu
+	co          *coalescer
 	callTimeout time.Duration
 	maxFragment int
 
 	mu      sync.Mutex
-	pending map[uint32]chan *giop.Message
+	pending map[uint32]pendingCall
+	reapGen uint64 // completed reaper sweeps
 	err     error
 	closed  bool
+
+	reapStop chan struct{}
+	reapOnce sync.Once
 }
 
 // errConnClosed reports a connection torn down mid-call.
 var errConnClosed = errors.New("iiop: connection closed")
+
+// reapSweeps is the number of reaper sweeps that make up one
+// CallTimeout period.
+const reapSweeps = 4
+
+// reaper enforces the CallTimeout safety net for every pending call on
+// the connection with a single ticker, sweeping the pending map at a
+// quarter of the timeout. A call expires on the first sweep at which a
+// full timeout has provably elapsed, so a timeout fires within
+// [T, 1.25T] — acceptable slack for a last-resort net (callers needing
+// precision use ctx deadlines) in exchange for removing a clock read,
+// two timer-heap operations and a three-way select from every call.
+func (c *clientConn) reaper() {
+	period := c.callTimeout / reapSweeps
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	if period > time.Second {
+		period = time.Second
+	}
+	tk := time.NewTicker(period)
+	defer tk.Stop()
+	for {
+		select {
+		case <-c.reapStop:
+			return
+		case <-tk.C:
+			c.reap()
+		}
+	}
+}
+
+// stopReaper releases the reaper goroutine; safe to call repeatedly.
+func (c *clientConn) stopReaper() {
+	c.reapOnce.Do(func() { close(c.reapStop) })
+}
+
+// reap expires pending calls registered at least reapSweeps+1 sweeps
+// ago — a call registered mid-period needs one extra sweep before a
+// full timeout has provably elapsed. Deleting the slot under the lock
+// makes the reaper the channel's only sender (the same ownership
+// handoff readLoop uses), so the nil send below cannot race a reply;
+// the waiter maps nil to CORBA::TIMEOUT.
+func (c *clientConn) reap() {
+	var expired []chan *giop.Message
+	c.mu.Lock()
+	c.reapGen++
+	for id, pc := range c.pending {
+		if c.reapGen-pc.gen > reapSweeps {
+			delete(c.pending, id)
+			expired = append(expired, pc.ch)
+		}
+	}
+	c.mu.Unlock()
+	for _, ch := range expired {
+		ch <- nil
+	}
+}
+
+// replyChanPool recycles the one-shot reply channels Call registers in
+// the pending map. A channel may be recycled only on a path where the
+// waiter's receive is known to be the channel's last traffic: the
+// clean-reply and reaper-timeout paths, where the sender removed the
+// pending slot before sending. On the ctx-abandon path a racing send may
+// still be in flight, and on connection failure the channel is closed —
+// those channels are left to the GC.
+var replyChanPool sync.Pool
+
+func getReplyChan() chan *giop.Message {
+	if ch, _ := replyChanPool.Get().(chan *giop.Message); ch != nil {
+		return ch
+	}
+	return make(chan *giop.Message, 1)
+}
 
 func (c *clientConn) readLoop() {
 	br := getReader(c.conn)
@@ -430,13 +749,13 @@ func (c *clientConn) readLoop() {
 				return
 			}
 			c.mu.Lock()
-			ch := c.pending[id]
+			pc := c.pending[id]
 			delete(c.pending, id)
 			c.mu.Unlock()
-			if ch != nil {
+			if pc.ch != nil {
 				// Ownership moves to the Call waiter, who releases the
 				// reply once decoded.
-				ch <- m
+				pc.ch <- m
 			} else {
 				// Abandoned call (timeout/cancel): nobody awaits this.
 				m.Release()
@@ -463,11 +782,12 @@ func (c *clientConn) fail(err error) {
 		c.err = err
 	}
 	pending := c.pending
-	c.pending = make(map[uint32]chan *giop.Message)
+	c.pending = make(map[uint32]pendingCall)
 	c.mu.Unlock()
-	for _, ch := range pending {
-		close(ch)
+	for _, pc := range pending {
+		close(pc.ch)
 	}
+	c.stopReaper()
 	_ = c.conn.Close()
 }
 
@@ -479,7 +799,7 @@ func (c *clientConn) register(requestID uint32, ch chan *giop.Message) error {
 	if c.err != nil {
 		return c.err
 	}
-	c.pending[requestID] = ch
+	c.pending[requestID] = pendingCall{ch: ch, gen: c.reapGen}
 	return nil
 }
 
@@ -490,43 +810,54 @@ func (c *clientConn) register(requestID uint32, ch chan *giop.Message) error {
 // discarded by readLoop (no pending channel), leaving the multiplexed
 // connection usable.
 func (c *clientConn) Call(ctx context.Context, req *giop.Message, requestID uint32) (*giop.Message, error) {
-	ch := make(chan *giop.Message, 1)
+	ch := getReplyChan()
 	if err := c.register(requestID, ch); err != nil {
 		return nil, err
 	}
 
 	if err := c.write(req); err != nil {
+		// Not recycled: a concurrent fail() may already have snapshotted
+		// (and be closing) this channel.
 		c.mu.Lock()
 		delete(c.pending, requestID)
 		c.mu.Unlock()
 		return nil, err
 	}
 
-	var timeout <-chan time.Time
-	if c.callTimeout > 0 {
-		tm := time.NewTimer(c.callTimeout)
-		defer tm.Stop()
-		timeout = tm.C
-	}
-	select {
-	case m, ok := <-ch:
-		if !ok {
-			c.mu.Lock()
-			err := c.err
-			c.mu.Unlock()
-			if err == nil {
-				err = errConnClosed
-			}
-			return nil, err
+	// The CallTimeout net is enforced by the connection's reaper, so a
+	// call without a ctx deadline waits on a bare channel receive — no
+	// per-call timer, no select.
+	var m *giop.Message
+	var ok bool
+	if done := ctx.Done(); done == nil {
+		m, ok = <-ch
+	} else {
+		select {
+		case m, ok = <-ch:
+		case <-done:
+			c.abandon(requestID, req)
+			return nil, ctx.Err()
 		}
-		return m, nil
-	case <-ctx.Done():
+	}
+	switch {
+	case !ok:
+		// fail closed the channel; it cannot be recycled.
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = errConnClosed
+		}
+		return nil, err
+	case m == nil:
+		// The reaper expired the call; it already freed the pending
+		// slot, so the channel saw its last send and can be recycled.
 		c.abandon(requestID, req)
-		return nil, ctx.Err()
-	case <-timeout:
-		c.abandon(requestID, req)
+		replyChanPool.Put(ch)
 		return nil, orb.Timeout()
 	}
+	replyChanPool.Put(ch)
+	return m, nil
 }
 
 // abandon frees the pending slot of a call the client gave up on and
@@ -553,9 +884,16 @@ func (c *clientConn) Send(ctx context.Context, req *giop.Message) error {
 }
 
 func (c *clientConn) write(m *giop.Message) error {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	return writeMaybeFragmented(c.mw, m.Header, m.Body, c.maxFragment)
+	return c.co.write(m.Header, m.Body, c.maxFragment)
+}
+
+// Unusable reports whether the connection has failed, letting the ORB's
+// channel pool evict this stripe (redialling lazily) instead of handing
+// out calls that can only error.
+func (c *clientConn) Unusable() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err != nil
 }
 
 // markClosed flips the closed flag, reporting whether this caller won.

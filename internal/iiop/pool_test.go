@@ -18,6 +18,7 @@ import (
 	"corbalc/internal/cdr"
 	"corbalc/internal/giop"
 	"corbalc/internal/ior"
+	"corbalc/internal/leak"
 	"corbalc/internal/orb"
 )
 
@@ -232,6 +233,7 @@ func TestRetainingServantSurvivesBufferRecycling(t *testing.T) {
 // CI race gate does) this is the pool layer's aliasing/race test: every
 // message body cycles through the pools while neighbours are in flight.
 func TestConcurrentCallSendStorm(t *testing.T) {
+	leak.Check(t)
 	serverORB, _ := startServer(t, "calc", calcServant{})
 	client := newClient(t)
 	ref := client.NewRef(serverORB.NewIOR("IDL:corbalc/test/Calc:1.0", "calc"))

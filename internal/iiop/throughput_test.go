@@ -1,0 +1,120 @@
+package iiop
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"corbalc/internal/cdr"
+	"corbalc/internal/orb"
+)
+
+func benchThroughput(b *testing.B, callers int, tr *Transport) {
+	benchThroughputSrv(b, callers, tr, 0)
+}
+
+func benchThroughputSrv(b *testing.B, callers int, tr *Transport, srvWindow time.Duration) {
+	serverORB := orb.NewORB()
+	srv := NewServer(serverORB)
+	srv.CoalesceWindow = srvWindow
+	bound, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := activate(serverORB, bound); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	serverORB.Activate("calc", calcServant{})
+
+	client := orb.NewORB()
+	client.RegisterTransport(tr)
+	defer client.Shutdown()
+	ref := client.NewRef(serverORB.NewIOR("IDL:corbalc/test/Calc:1.0", "calc"))
+
+	square := func(n int32) error {
+		var sq int32
+		err := ref.Invoke("square",
+			func(e *cdr.Encoder) { e.WriteLong(n) },
+			func(d *cdr.Decoder) error {
+				var err error
+				sq, err = d.ReadLong()
+				return err
+			})
+		if err == nil && sq != n*n {
+			return fmt.Errorf("square(%d) = %d: cross-caller corruption", n, sq)
+		}
+		return err
+	}
+	// Warm the path: dial every stripe once.
+	for i := 0; i < 8; i++ {
+		if err := square(3); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for g := 0; g < callers; g++ {
+		n := b.N / callers
+		if g < b.N%callers {
+			n++
+		}
+		wg.Add(1)
+		go func(g, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if err := square(int32(g%100 + 2)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g, n)
+	}
+	wg.Wait()
+	el := time.Since(start)
+	close(errs)
+	for err := range errs {
+		b.Fatal(err)
+	}
+	if sec := el.Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "calls/s")
+	}
+}
+
+func BenchmarkConcurrentTCPThroughput(b *testing.B) {
+	for _, c := range []int{1, 8, 64, 256} {
+		b.Run(fmt.Sprintf("C=%d", c), func(b *testing.B) {
+			benchThroughput(b, c, &Transport{})
+		})
+	}
+	// The pre-pool architecture, for the speedup ratio the benchgate
+	// records: one connection per endpoint, no write coalescing on
+	// either side. C=1/single is the seed-equivalent configuration.
+	for _, c := range []int{1, 64} {
+		b.Run(fmt.Sprintf("C=%d-single", c), func(b *testing.B) {
+			benchThroughputSrv(b, c, &Transport{PoolSize: -1, CoalesceWindow: -1}, -1)
+		})
+	}
+}
+
+// activate mirrors ListenAndActivate's endpoint registration for a
+// server whose knobs were set before Listen.
+func activate(o *orb.ORB, bound net.Addr) error {
+	host, portStr, err := net.SplitHostPort(bound.String())
+	if err != nil {
+		return err
+	}
+	port, err := strconv.ParseUint(portStr, 10, 16)
+	if err != nil {
+		return err
+	}
+	o.SetEndpoint(host, uint16(port))
+	return nil
+}

@@ -1,0 +1,51 @@
+// Package leak provides a goroutine-leak settle check for tests.
+//
+// Concurrency machinery added for throughput — connection pools,
+// dispatch workers, write coalescers, reapers — earns its keep only if
+// every goroutine it spawns is reclaimed on Close. Check pins that
+// property per test: it records the goroutine count up front and, at
+// cleanup time, polls until the count settles back, failing with a full
+// stack dump when it does not.
+//
+// Call Check first in the test body so its cleanup runs last, after the
+// cleanups that tear down servers and ORBs registered afterwards.
+package leak
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// settleTimeout bounds how long Check waits for goroutines started by
+// the test to wind down. Teardown is asynchronous in places (read loops
+// observe a closed socket, reapers observe their stop channel), so the
+// count settles shortly after, not at, the Close call.
+const settleTimeout = 5 * time.Second
+
+// Check records the current goroutine count and registers a cleanup
+// failing the test if the count has not settled back to the baseline by
+// the end of the test (after waiting up to settleTimeout). The test
+// must not run in parallel with tests that spawn goroutines, and Check
+// should be the first call in the test body.
+func Check(t testing.TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(settleTimeout)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d at test end, %d at test start; stacks:\n%s", n, base, buf)
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"corbalc/internal/cdr"
+	"corbalc/internal/giop"
 )
 
 // CompletionStatus tells a client how far an operation got before a
@@ -121,4 +122,19 @@ func (e *UserException) Error() string { return "user exception " + e.ID }
 func IsUserException(err error, repoID string) bool {
 	var ue *UserException
 	return errors.As(err, &ue) && ue.ID == repoID
+}
+
+// SystemExceptionReply builds a complete GIOP Reply carrying se, for
+// transports that must answer a request they will not dispatch (e.g. a
+// dispatch-queue overflow refused with TRANSIENT). The returned message
+// is pooled: the caller owns it and must Release it once written.
+func SystemExceptionReply(v giop.Version, order cdr.ByteOrder, reqID uint32, se *SystemException) (*giop.Message, error) {
+	out := giop.GetBodyEncoder(order)
+	if _, err := giop.EncodeReplyPrelude(out, v, reqID, giop.ReplySystemException); err != nil {
+		out.Release()
+		return nil, err
+	}
+	giop.AlignBody(out, v)
+	marshalSystemException(out, se)
+	return giop.MessageFromEncoder(giop.Header{Version: v, Order: order, Type: giop.MsgReply}, out), nil
 }

@@ -85,6 +85,10 @@ type ORB struct {
 
 	reqID atomic.Uint32
 
+	// chanGen versions the channel cache: Shutdown bumps it so
+	// ObjectRef-level resolved-channel caches invalidate themselves.
+	chanGen atomic.Uint64
+
 	// stats is the always-registered stats/latency interceptor backing
 	// RequestsServed/RequestsSent (exported for the E1 benchmarks).
 	stats *Stats
@@ -126,8 +130,10 @@ func NewORB(opts ...Option) *ORB {
 		channels:   make(map[string]Channel),
 		stats:      &Stats{},
 	}
-	o.clientInterceptors = []ClientInterceptor{o.stats}
-	o.serverInterceptors = []ServerInterceptor{DeadlineEnforcer{}, o.stats}
+	// Stats accounting and deadline enforcement are intrinsic to the
+	// dispatch loops (see invoke and handleRequest), not chain members:
+	// an empty chain lets the hot path skip building the RequestInfo
+	// nothing would observe.
 	for _, opt := range opts {
 		opt(o)
 	}
@@ -235,15 +241,21 @@ func (o *ORB) HandleMessage(ctx context.Context, m *giop.Message) (*giop.Message
 }
 
 // serverScratch is the pooled per-dispatch decode state: the body
-// decoder and the request header (whose service-context slice keeps its
-// capacity across dispatches). The RequestInfo handed to interceptors is
-// NOT pooled — interceptors may legitimately retain it.
+// decoder, the request header (whose service-context slice keeps its
+// capacity across dispatches), and the operation-name intern cache
+// (dispatched operations draw from a small fixed vocabulary, so after
+// warm-up the per-request name string stops allocating). The RequestInfo
+// handed to interceptors is NOT pooled — interceptors may legitimately
+// retain it.
 type serverScratch struct {
 	dec cdr.Decoder
 	req giop.RequestHeader
+	ops map[string]string
 }
 
-var scratchPool = sync.Pool{New: func() any { return new(serverScratch) }}
+var scratchPool = sync.Pool{New: func() any {
+	return &serverScratch{ops: make(map[string]string)}
+}}
 
 func (o *ORB) handleRequest(ctx context.Context, m *giop.Message) (*giop.Message, error) {
 	v := m.Header.Version
@@ -252,7 +264,7 @@ func (o *ORB) handleRequest(ctx context.Context, m *giop.Message) (*giop.Message
 	d := &sc.dec
 	m.ResetBodyDecoder(d)
 	req := &sc.req
-	if err := giop.DecodeRequestInto(d, v, req); err != nil {
+	if err := giop.DecodeRequestIntoInterned(d, v, req, sc.ops); err != nil {
 		return nil, fmt.Errorf("orb: bad request header: %w", err)
 	}
 	if err := giop.AlignBodyDecode(d, v); err != nil {
@@ -261,18 +273,24 @@ func (o *ORB) handleRequest(ctx context.Context, m *giop.Message) (*giop.Message
 
 	// Derive the request context from the propagated service contexts:
 	// deadline applied, call ID attached.
-	ctx, cancel := svcctx.NewContext(ctx, req.ServiceContexts)
-	defer cancel()
 	scInfo := svcctx.Extract(req.ServiceContexts)
-	info := &RequestInfo{
-		Operation: req.Operation,
-		ObjectKey: req.ObjectKey,
-		RequestID: req.RequestID,
-		CallID:    scInfo.CallID,
-		Oneway:    !req.ResponseExpected,
-	}
-	if scInfo.HasDeadline {
-		info.Deadline = scInfo.Deadline
+	ctx, cancel := svcctx.NewContextInfo(ctx, scInfo)
+	defer cancel()
+	chain := o.serverChain()
+	var info *RequestInfo
+	if len(chain) > 0 {
+		// Only interceptors observe the RequestInfo (and the clock reads
+		// feeding its Elapsed); with none registered, skip both.
+		info = &RequestInfo{
+			Operation: req.Operation,
+			ObjectKey: req.ObjectKey,
+			RequestID: req.RequestID,
+			CallID:    scInfo.CallID,
+			Oneway:    !req.ResponseExpected,
+		}
+		if scInfo.HasDeadline {
+			info.Deadline = scInfo.Deadline
+		}
 	}
 
 	// The reply is built optimistically in its final wire form: header
@@ -293,12 +311,25 @@ func (o *ORB) handleRequest(ctx context.Context, m *giop.Message) (*giop.Message
 	giop.AlignBody(out, v)
 	bodyStart := out.Len()
 
-	start := time.Now()
+	// The chain path needs real timing for RequestInfo.Elapsed; the
+	// intrinsic path samples the latency clock 1-in-8.
+	var start time.Time
+	if info != nil {
+		start = time.Now()
+	} else {
+		start = o.stats.servedStart()
+	}
 	var invokeErr error
-	for _, si := range o.serverChain() {
-		if invokeErr = si.ReceiveRequest(ctx, info); invokeErr != nil {
+	// The shipped deadline gate, applied before any registered
+	// interceptor: work the client already gave up on is not dispatched.
+	if scInfo.HasDeadline && !time.Now().Before(scInfo.Deadline) {
+		invokeErr = Timeout()
+	}
+	for _, si := range chain {
+		if invokeErr != nil {
 			break
 		}
+		invokeErr = si.ReceiveRequest(ctx, info)
 	}
 	if invokeErr == nil {
 		servant, ok := o.adapter.Resolve(req.ObjectKey)
@@ -308,9 +339,15 @@ func (o *ORB) handleRequest(ctx context.Context, m *giop.Message) (*giop.Message
 			invokeErr = safeInvoke(ctx, servant, req.Operation, d, out)
 		}
 	}
-	info.Elapsed = time.Since(start)
-	info.Err = invokeErr
-	for _, si := range o.serverChain() {
+	if info != nil {
+		elapsed := time.Since(start)
+		o.stats.recordServedTimed(elapsed, invokeErr)
+		info.Elapsed = elapsed
+		info.Err = invokeErr
+	} else {
+		o.stats.recordServed(start, invokeErr)
+	}
+	for _, si := range chain {
 		si.SendReply(ctx, info)
 	}
 
@@ -322,15 +359,8 @@ func (o *ORB) handleRequest(ctx context.Context, m *giop.Message) (*giop.Message
 	status := giop.ReplyNoException
 	var se *SystemException
 	var ue *UserException
-	switch {
-	case invokeErr == nil:
-	case errors.As(invokeErr, &ue):
-		status = giop.ReplyUserException
-	case errors.As(invokeErr, &se):
-		status = giop.ReplySystemException
-	default:
-		status = giop.ReplySystemException
-		se = Unknown()
+	if invokeErr != nil {
+		status, se, ue = classifyInvokeErr(invokeErr)
 	}
 
 	if status != giop.ReplyNoException {
@@ -350,6 +380,21 @@ func (o *ORB) handleRequest(ctx context.Context, m *giop.Message) (*giop.Message
 	return giop.MessageFromEncoder(giop.Header{
 		Version: v, Order: m.Header.Order, Type: giop.MsgReply,
 	}, out), nil
+}
+
+// classifyInvokeErr maps a servant error to its reply status. Split out
+// of handleRequest so the errors.As targets (whose addresses escape to
+// the heap) cost their cells only on the error path, not per request.
+func classifyInvokeErr(err error) (giop.ReplyStatus, *SystemException, *UserException) {
+	var se *SystemException
+	var ue *UserException
+	switch {
+	case errors.As(err, &ue):
+		return giop.ReplyUserException, nil, ue
+	case errors.As(err, &se):
+		return giop.ReplySystemException, se, nil
+	}
+	return giop.ReplySystemException, Unknown(), nil
 }
 
 // safeInvoke shields the dispatch loop from servant panics, converting
@@ -385,9 +430,11 @@ func (o *ORB) handleLocateRequest(m *giop.Message) (*giop.Message, error) {
 	}, out), nil
 }
 
-// channelFor returns (possibly opening) a channel to the endpoint
-// described by the given profile via the transport registered for tag;
-// ctx bounds a dial if one is needed.
+// channelFor returns the endpoint's channel pool via the transport
+// registered for tag, creating it on first use. Pools dial lazily, so
+// this never blocks on the network; dial failures surface from
+// Call/Send, where the pool evicts just the failed stripe instead of
+// the whole endpoint.
 func (o *ORB) channelFor(ctx context.Context, tag uint32, profile []byte) (Channel, error) {
 	o.mu.RLock()
 	t, ok := o.transports[tag]
@@ -408,13 +455,10 @@ func (o *ORB) channelFor(ctx context.Context, tag uint32, profile []byte) (Chann
 		return ch, nil
 	}
 
-	ch, err = t.Dial(ctx, profile)
-	if err != nil {
-		return nil, err
-	}
-	winner, adopted := o.adoptChannel(key, ch)
+	pool := newChannelPool(t, profile)
+	winner, adopted := o.adoptChannel(key, pool)
 	if !adopted {
-		_ = ch.Close()
+		_ = pool.Close()
 	}
 	return winner, nil
 }
@@ -432,33 +476,12 @@ func (o *ORB) adoptChannel(key string, ch Channel) (Channel, bool) {
 	return ch, true
 }
 
-// dropChannel forgets a cached channel after a failure so the next call
-// re-dials.
-func (o *ORB) dropChannel(tag uint32, profile []byte) {
-	o.mu.RLock()
-	t, ok := o.transports[tag]
-	o.mu.RUnlock()
-	if !ok {
-		return
-	}
-	ep, err := t.Endpoint(profile)
-	if err != nil {
-		return
-	}
-	key := fmt.Sprintf("%#x/%s", tag, ep)
-	o.mu.Lock()
-	ch, ok := o.channels[key]
-	if ok {
-		delete(o.channels, key)
-	}
-	o.mu.Unlock()
-	if ok {
-		_ = ch.Close()
-	}
-}
-
-// Shutdown closes all cached client channels.
+// Shutdown closes all cached client channels. Bumping chanGen first
+// invalidates every ObjectRef's resolved-channel cache, so refs used
+// after (or across a racing) Shutdown re-resolve instead of holding
+// closed pools.
 func (o *ORB) Shutdown() {
+	o.chanGen.Add(1)
 	o.mu.Lock()
 	chans := o.channels
 	o.channels = make(map[string]Channel)

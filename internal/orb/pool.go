@@ -1,0 +1,210 @@
+// Striped per-endpoint connection pools. The ORB's channel cache used
+// to hold exactly one Channel per endpoint, so every concurrent caller
+// funneled through one connection's write path and one reply-demux map.
+// It now holds a channelPool: N independently-dialed stripes that calls
+// round-robin across, giving the transport N write paths and N sharded
+// pending maps, while failure handling narrows from "drop the endpoint"
+// to "evict one stripe" — the surviving stripes keep serving during the
+// lazy redial.
+package orb
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"corbalc/internal/giop"
+)
+
+// PoolSizer is optionally implemented by a Transport to set how many
+// channels the ORB pools per endpoint. Transports that do not implement
+// it (or return a value below 1) get a single channel, which keeps the
+// pool transparent for stateless transports like simnet.
+type PoolSizer interface {
+	ChannelPoolSize() int
+}
+
+// unusable is optionally implemented by channels that can report a dead
+// connection before a call is wasted on it (e.g. iiop's clientConn after
+// its read loop failed). The pool evicts such stripes eagerly.
+type unusable interface {
+	Unusable() bool
+}
+
+// errPoolClosed reports a call raced with ORB shutdown.
+var errPoolClosed = errors.New("orb: channel pool closed")
+
+// channelPool is the Channel the ORB caches per endpoint: a fixed set
+// of lazily-dialed stripes. It implements Channel itself, so the rest
+// of the invocation path is unchanged.
+type channelPool struct {
+	transport Transport
+	profile   []byte
+	size      int
+	rr        atomic.Uint32
+
+	mu      sync.RWMutex
+	stripes []Channel
+	closed  bool
+}
+
+func newChannelPool(t Transport, profile []byte) *channelPool {
+	size := 1
+	if ps, ok := t.(PoolSizer); ok {
+		if n := ps.ChannelPoolSize(); n > 0 {
+			size = n
+		}
+	}
+	return &channelPool{
+		transport: t,
+		profile:   append([]byte(nil), profile...),
+		size:      size,
+		stripes:   make([]Channel, size),
+	}
+}
+
+// stripe returns the live channel at index i, dialing lazily and
+// evicting a channel that reports itself unusable (its replacement is
+// dialed immediately). Dials happen outside the pool lock; a lost dial
+// race closes the loser.
+func (p *channelPool) stripe(ctx context.Context, i int) (Channel, error) {
+	ch, closed := p.peek(i)
+	if closed {
+		return nil, errPoolClosed
+	}
+	if ch != nil {
+		if u, ok := ch.(unusable); !ok || !u.Unusable() {
+			return ch, nil
+		}
+		p.evict(i, ch)
+	}
+	nc, err := p.transport.Dial(ctx, p.profile)
+	if err != nil {
+		return nil, err
+	}
+	winner, adopted := p.adopt(i, nc)
+	if !adopted {
+		_ = nc.Close()
+		if winner == nil {
+			return nil, errPoolClosed
+		}
+	}
+	return winner, nil
+}
+
+// peek reads slot i and the closed flag.
+func (p *channelPool) peek(i int) (ch Channel, closed bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.stripes[i], p.closed
+}
+
+// adopt installs nc in slot i unless a concurrent dial won the race (the
+// racing winner is returned) or the pool closed (nil winner); adopted
+// reports whether nc was installed.
+func (p *channelPool) adopt(i int, nc Channel) (winner Channel, adopted bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, false
+	}
+	if cur := p.stripes[i]; cur != nil {
+		return cur, false
+	}
+	p.stripes[i] = nc
+	return nc, true
+}
+
+// evict forgets ch if it still occupies slot i and closes it. Identity
+// comparison makes eviction idempotent and keeps a racing redial's
+// fresh channel safe.
+func (p *channelPool) evict(i int, ch Channel) {
+	p.mu.Lock()
+	if p.stripes[i] == ch {
+		p.stripes[i] = nil
+	}
+	p.mu.Unlock()
+	_ = ch.Close()
+}
+
+// pick selects the next stripe round-robin, skipping stripes whose dial
+// fails. The first dial error is reported only when every stripe is
+// down; a context failure aborts immediately (the caller gave up, not
+// the stripes).
+func (p *channelPool) pick(ctx context.Context) (Channel, int, error) {
+	start := p.rr.Add(1)
+	var firstErr error
+	for a := 0; a < p.size; a++ {
+		i := int((start + uint32(a)) % uint32(p.size))
+		ch, err := p.stripe(ctx, i)
+		if err != nil {
+			if ctxDone(ctx, err) || errors.Is(err, errPoolClosed) {
+				return nil, 0, err
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		return ch, i, nil
+	}
+	return nil, 0, firstErr
+}
+
+// Call implements Channel. A failed call evicts its stripe (the other
+// stripes keep serving) and returns the error to the caller: in-flight
+// work on a dead connection is not transparently retried — at-most-once
+// semantics stay with the caller — but the next call redistributes over
+// the surviving stripes while the evicted one redials lazily.
+func (p *channelPool) Call(ctx context.Context, req *giop.Message, requestID uint32) (*giop.Message, error) {
+	ch, i, err := p.pick(ctx)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := ch.Call(ctx, req, requestID)
+	if err != nil && !ctxDone(ctx, err) {
+		p.evict(i, ch)
+	}
+	return reply, err
+}
+
+// Send implements Channel (oneway requests), with Call's eviction
+// discipline.
+func (p *channelPool) Send(ctx context.Context, req *giop.Message) error {
+	ch, i, err := p.pick(ctx)
+	if err != nil {
+		return err
+	}
+	if err := ch.Send(ctx, req); err != nil {
+		if !ctxDone(ctx, err) {
+			p.evict(i, ch)
+		}
+		return err
+	}
+	return nil
+}
+
+// takeAll marks the pool closed and hands back the live stripes; nil
+// when already closed.
+func (p *channelPool) takeAll() []Channel {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	stripes := p.stripes
+	p.stripes = make([]Channel, p.size)
+	return stripes
+}
+
+// Close implements Channel, closing every dialed stripe.
+func (p *channelPool) Close() error {
+	for _, ch := range p.takeAll() {
+		if ch != nil {
+			_ = ch.Close()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,298 @@
+package orb
+
+// Unit tests for the striped channel pool, driven by a scripted fake
+// transport: lazy dialing, round-robin distribution, eviction and
+// redial of failed or unusable stripes, context-attributed errors
+// leaving stripes alone, PoolSizer sizing, and Close semantics.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"corbalc/internal/giop"
+	"corbalc/internal/leak"
+)
+
+// fakeChannel is a scriptable Channel stripe.
+type fakeChannel struct {
+	id       int
+	calls    atomic.Int32
+	closed   atomic.Bool
+	dead     atomic.Bool // Unusable() reports this
+	callErr  error       // returned by every Call when non-nil
+	onceFail atomic.Bool // fail exactly the next Call
+}
+
+func (f *fakeChannel) Call(ctx context.Context, req *giop.Message, requestID uint32) (*giop.Message, error) {
+	f.calls.Add(1)
+	if f.onceFail.CompareAndSwap(true, false) {
+		return nil, fmt.Errorf("fake: stripe %d write failed", f.id)
+	}
+	if f.callErr != nil {
+		return nil, f.callErr
+	}
+	return nil, nil
+}
+
+func (f *fakeChannel) Send(ctx context.Context, req *giop.Message) error {
+	_, err := f.Call(ctx, req, 0)
+	return err
+}
+
+func (f *fakeChannel) Close() error {
+	f.closed.Store(true)
+	return nil
+}
+
+func (f *fakeChannel) Unusable() bool { return f.dead.Load() }
+
+// fakeTransport dials fakeChannels and records them in dial order.
+type fakeTransport struct {
+	poolSize int
+	dialErr  error
+
+	mu      sync.Mutex
+	dialed  []*fakeChannel
+	nextErr error // fail exactly the next Dial
+}
+
+func (t *fakeTransport) Tag() uint32                             { return 0xFA4E }
+func (t *fakeTransport) Endpoint(profile []byte) (string, error) { return string(profile), nil }
+func (t *fakeTransport) ChannelPoolSize() int                    { return t.poolSize }
+
+func (t *fakeTransport) Dial(ctx context.Context, profile []byte) (Channel, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.nextErr != nil {
+		err := t.nextErr
+		t.nextErr = nil
+		return nil, err
+	}
+	if t.dialErr != nil {
+		return nil, t.dialErr
+	}
+	ch := &fakeChannel{id: len(t.dialed)}
+	t.dialed = append(t.dialed, ch)
+	return ch, nil
+}
+
+func (t *fakeTransport) dials() []*fakeChannel {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*fakeChannel(nil), t.dialed...)
+}
+
+func TestPoolLazyDialAndRoundRobin(t *testing.T) {
+	leak.Check(t)
+	tr := &fakeTransport{poolSize: 4}
+	p := newChannelPool(tr, []byte("ep"))
+	defer p.Close()
+	ctx := context.Background()
+
+	// Stripes dial lazily: the first call opens one connection, not four.
+	if _, err := p.Call(ctx, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(tr.dials()); n != 1 {
+		t.Fatalf("dials after first call = %d, want 1 (lazy)", n)
+	}
+	for i := 0; i < 7; i++ {
+		if _, err := p.Call(ctx, nil, uint32(i+2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chans := tr.dials()
+	if len(chans) != 4 {
+		t.Fatalf("dials after 8 calls = %d, want 4 (one per stripe)", len(chans))
+	}
+	// Round-robin: 8 calls over 4 stripes land 2 each.
+	for _, ch := range chans {
+		if got := ch.calls.Load(); got != 2 {
+			t.Fatalf("stripe %d served %d calls, want 2 (round-robin)", ch.id, got)
+		}
+	}
+}
+
+func TestPoolEvictsFailedStripeAndRedials(t *testing.T) {
+	leak.Check(t)
+	tr := &fakeTransport{poolSize: 2}
+	p := newChannelPool(tr, []byte("ep"))
+	defer p.Close()
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		if _, err := p.Call(ctx, nil, uint32(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := tr.dials()[0]
+	victim.onceFail.Store(true)
+
+	// Drive calls until the scripted failure surfaces; the error must
+	// reach the caller (no transparent retry) and evict the stripe.
+	var failed bool
+	for i := 0; i < 2 && !failed; i++ {
+		_, err := p.Call(ctx, nil, uint32(10+i))
+		failed = err != nil
+	}
+	if !failed {
+		t.Fatal("scripted stripe failure never surfaced to the caller")
+	}
+	if !victim.closed.Load() {
+		t.Fatal("failed stripe was not evicted (Close not called)")
+	}
+
+	// Survivor keeps serving; the evicted slot redials lazily.
+	for i := 0; i < 4; i++ {
+		if _, err := p.Call(ctx, nil, uint32(20+i)); err != nil {
+			t.Fatalf("call after eviction: %v", err)
+		}
+	}
+	if n := len(tr.dials()); n != 3 {
+		t.Fatalf("dials after redial = %d, want 3 (2 initial + 1 replacement)", n)
+	}
+}
+
+func TestPoolUnusableStripeEvictedWithoutWastingACall(t *testing.T) {
+	leak.Check(t)
+	tr := &fakeTransport{poolSize: 2}
+	p := newChannelPool(tr, []byte("ep"))
+	defer p.Close()
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		if _, err := p.Call(ctx, nil, uint32(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dead := tr.dials()[0]
+	served := dead.calls.Load()
+	dead.dead.Store(true) // e.g. its read loop noticed the peer vanish
+
+	for i := 0; i < 4; i++ {
+		if _, err := p.Call(ctx, nil, uint32(10+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := dead.calls.Load(); got != served {
+		t.Fatalf("unusable stripe served %d more calls, want 0 (eager eviction)", got-served)
+	}
+	if !dead.closed.Load() {
+		t.Fatal("unusable stripe not closed on eviction")
+	}
+	if n := len(tr.dials()); n != 3 {
+		t.Fatalf("dials = %d, want 3 (replacement dialed)", n)
+	}
+}
+
+func TestPoolContextErrorDoesNotEvict(t *testing.T) {
+	leak.Check(t)
+	tr := &fakeTransport{poolSize: 1}
+	p := newChannelPool(tr, []byte("ep"))
+	defer p.Close()
+
+	if _, err := p.Call(context.Background(), nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	ch := tr.dials()[0]
+	ch.callErr = context.Canceled
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Call(ctx, nil, 2); err == nil {
+		t.Fatal("cancelled call reported success")
+	}
+	// The caller gave up; the connection is healthy and must survive.
+	if ch.closed.Load() {
+		t.Fatal("healthy stripe evicted on a context-attributed error")
+	}
+	ch.callErr = nil
+	if _, err := p.Call(context.Background(), nil, 3); err != nil {
+		t.Fatalf("call after ctx cancel: %v", err)
+	}
+	if n := len(tr.dials()); n != 1 {
+		t.Fatalf("dials = %d, want 1 (no eviction, no redial)", n)
+	}
+}
+
+func TestPoolDialFailureSkipsToSurvivor(t *testing.T) {
+	leak.Check(t)
+	tr := &fakeTransport{poolSize: 2}
+	p := newChannelPool(tr, []byte("ep"))
+	defer p.Close()
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		if _, err := p.Call(ctx, nil, uint32(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kill stripe 0 and make its redial fail once: pick must fall
+	// through to the survivor instead of failing the call.
+	tr.dials()[0].dead.Store(true)
+	tr.mu.Lock()
+	tr.nextErr = errors.New("fake: endpoint briefly unreachable")
+	tr.mu.Unlock()
+	for i := 0; i < 4; i++ {
+		if _, err := p.Call(ctx, nil, uint32(10+i)); err != nil {
+			t.Fatalf("call with one stripe down: %v", err)
+		}
+	}
+}
+
+func TestPoolAllStripesDownReportsDialError(t *testing.T) {
+	leak.Check(t)
+	dialErr := errors.New("fake: endpoint down")
+	tr := &fakeTransport{poolSize: 3, dialErr: dialErr}
+	p := newChannelPool(tr, []byte("ep"))
+	defer p.Close()
+
+	if _, err := p.Call(context.Background(), nil, 1); !errors.Is(err, dialErr) {
+		t.Fatalf("err = %v, want the dial error when every stripe is down", err)
+	}
+}
+
+func TestPoolSizerHonored(t *testing.T) {
+	leak.Check(t)
+	if p := newChannelPool(&fakeTransport{poolSize: 6}, nil); p.size != 6 {
+		t.Fatalf("size = %d, want 6 from PoolSizer", p.size)
+	}
+	// Below-1 answers and transports without the interface pool a
+	// single channel (pool-transparent).
+	if p := newChannelPool(&fakeTransport{poolSize: -1}, nil); p.size != 1 {
+		t.Fatalf("size = %d, want 1 for PoolSizer < 1", p.size)
+	}
+}
+
+func TestPoolCloseClosesStripesAndFailsFast(t *testing.T) {
+	leak.Check(t)
+	tr := &fakeTransport{poolSize: 3}
+	p := newChannelPool(tr, []byte("ep"))
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := p.Call(ctx, nil, uint32(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range tr.dials() {
+		if !ch.closed.Load() {
+			t.Fatalf("stripe %d not closed by pool Close", ch.id)
+		}
+	}
+	if _, err := p.Call(ctx, nil, 9); !errors.Is(err, errPoolClosed) {
+		t.Fatalf("call after Close = %v, want errPoolClosed", err)
+	}
+	if err := p.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if n := len(tr.dials()); n != 3 {
+		t.Fatalf("dials = %d, want 3 (no post-Close redial)", n)
+	}
+}

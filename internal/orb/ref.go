@@ -5,6 +5,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"corbalc/internal/cdr"
@@ -19,6 +21,64 @@ import (
 type ObjectRef struct {
 	orb *ORB
 	ior *ior.IOR
+
+	// resolvedChans caches the per-profile channel pools: the IOR is
+	// immutable and pools live for the ORB's lifetime (failures evict
+	// stripes inside a pool, never the pool itself), so re-deriving the
+	// endpoint key and profile ordering on every call would be pure
+	// overhead on the invocation hot path.
+	resolvedChans atomic.Pointer[refChannels]
+
+	// iiopKey caches the object key decoded from the (immutable) IOR's
+	// IIOP profile — decoding it per call costs several allocations.
+	iiopKeyOnce sync.Once
+	iiopKey     []byte
+	iiopKeyErr  error
+}
+
+// iiopObjectKey returns the object key from the ref's IIOP profile, nil
+// when the IOR carries none.
+func (r *ObjectRef) iiopObjectKey() ([]byte, error) {
+	r.iiopKeyOnce.Do(func() {
+		if p := r.ior.Profile(ior.TagInternetIOP); p != nil {
+			ip, err := ior.DecodeIIOPProfile(p)
+			if err != nil {
+				r.iiopKeyErr = err
+				return
+			}
+			r.iiopKey = ip.ObjectKey
+		}
+	})
+	return r.iiopKey, r.iiopKeyErr
+}
+
+// refChannels is one generation of an ObjectRef's resolved transport
+// channels, aligned index-for-index with its ordered profiles. A nil
+// channel marks a profile whose transport could not resolve at caching
+// time (e.g. not registered yet); those fall back to per-call lookup.
+type refChannels struct {
+	gen      uint64
+	profiles []ior.TaggedProfile
+	chans    []Channel
+}
+
+// resolved returns the ref's cached channels, (re)building the cache
+// when absent or invalidated by ORB Shutdown.
+func (r *ObjectRef) resolved(ctx context.Context) *refChannels {
+	gen := r.orb.chanGen.Load()
+	if rc := r.resolvedChans.Load(); rc != nil && rc.gen == gen {
+		return rc
+	}
+	profiles := orderedProfiles(r.ior)
+	chans := make([]Channel, len(profiles))
+	for i, tp := range profiles {
+		if ch, err := r.orb.channelFor(ctx, tp.Tag, tp.Data); err == nil {
+			chans[i] = ch
+		}
+	}
+	rc := &refChannels{gen: gen, profiles: profiles, chans: chans}
+	r.resolvedChans.Store(rc)
+	return rc
 }
 
 // NewRef wraps an IOR in an invocable reference bound to this ORB.
@@ -92,12 +152,10 @@ func (r *ObjectRef) ExistsContext(ctx context.Context) (bool, error) {
 		_, found := o.adapter.Resolve(k)
 		return found, nil
 	}
-	if p := r.ior.Profile(ior.TagInternetIOP); p != nil {
-		ip, err := ior.DecodeIIOPProfile(p)
-		if err != nil {
-			return false, err
-		}
-		objectKey = ip.ObjectKey
+	if k, err := r.iiopObjectKey(); err != nil {
+		return false, err
+	} else if k != nil {
+		objectKey = k
 	}
 
 	e := giop.NewBodyEncoder(o.order)
@@ -111,7 +169,8 @@ func (r *ObjectRef) ExistsContext(ctx context.Context) (bool, error) {
 		Body:   e.Bytes(),
 	}
 	var lastErr error
-	for _, tp := range orderedProfiles(r.ior) {
+	rc := r.resolved(ctx)
+	for i, tp := range rc.profiles {
 		if objectKey == nil {
 			o.mu.RLock()
 			tr, ok := o.transports[tp.Tag]
@@ -128,17 +187,21 @@ func (r *ObjectRef) ExistsContext(ctx context.Context) (bool, error) {
 				}
 			}
 		}
-		ch, err := o.channelFor(ctx, tp.Tag, tp.Data)
-		if err != nil {
-			lastErr = err
-			continue
+		ch := rc.chans[i]
+		if ch == nil {
+			var err error
+			if ch, err = o.channelFor(ctx, tp.Tag, tp.Data); err != nil {
+				lastErr = err
+				continue
+			}
 		}
 		reply, err := ch.Call(ctx, msg, reqID)
 		if err != nil {
 			if ctxDone(ctx, err) {
 				return false, ctxError(ctx, err)
 			}
-			o.dropChannel(tp.Tag, tp.Data)
+			// The pool already evicted the failed stripe; survivors
+			// keep serving, so the endpoint stays cached.
 			lastErr = err
 			continue
 		}
@@ -226,7 +289,19 @@ func (r *ObjectRef) invoke(ctx context.Context, op string, args Marshaller, resu
 		// Expired before any wire activity: nothing to cancel.
 		return ctxError(ctx, err)
 	}
-	ctx, callID := svcctx.EnsureCallID(ctx)
+	chain := o.clientChain()
+	callID := svcctx.CallID(ctx)
+	if callID == "" {
+		if len(chain) > 0 {
+			// Interceptors observe ctx, so the minted ID must be
+			// attached there, not just put on the wire.
+			ctx, callID = svcctx.EnsureCallID(ctx)
+		} else {
+			// No observer: skip the context wrapping, the ID travels
+			// only in the request's service contexts.
+			callID = svcctx.NewCallID()
+		}
+	}
 
 	// Build the request message once, independent of transport.
 	reqID := o.nextRequestID()
@@ -234,12 +309,10 @@ func (r *ObjectRef) invoke(ctx context.Context, op string, args Marshaller, resu
 	local := false
 	if k, ok := r.localKey(); ok {
 		objectKey, local = k, true
-	} else if p := r.ior.Profile(ior.TagInternetIOP); p != nil {
-		ip, err := ior.DecodeIIOPProfile(p)
-		if err != nil {
-			return fmt.Errorf("orb: bad IIOP profile: %w", err)
-		}
-		objectKey = ip.ObjectKey
+	} else if k, err := r.iiopObjectKey(); err != nil {
+		return fmt.Errorf("orb: bad IIOP profile: %w", err)
+	} else if k != nil {
+		objectKey = k
 	} else {
 		// Fall back to any profile whose transport is registered and can
 		// extract the object key (vendor profiles embed it).
@@ -265,7 +338,9 @@ func (r *ObjectRef) invoke(ctx context.Context, op string, args Marshaller, resu
 		}
 	}
 
-	msg, err := o.buildRequest(ctx, reqID, objectKey, op, args, twoway)
+	sc := clientScratchPool.Get().(*clientScratch)
+	defer clientScratchPool.Put(sc)
+	msg, err := o.buildRequest(ctx, sc, callID, reqID, objectKey, op, args, twoway)
 	if err != nil {
 		return err
 	}
@@ -273,6 +348,15 @@ func (r *ObjectRef) invoke(ctx context.Context, op string, args Marshaller, resu
 	// contract), and the collocated path decodes within HandleMessage,
 	// so once dispatch returns the request buffer can be recycled.
 	defer msg.Release()
+
+	if len(chain) == 0 {
+		// No interceptor to notify: stats are fed directly, without the
+		// RequestInfo nothing would observe (latency sampled 1-in-8).
+		start := o.stats.sentStart()
+		err = r.dispatch(ctx, sc, msg, reqID, result, twoway, local)
+		o.stats.recordSent(start, err)
+		return err
+	}
 
 	info := &RequestInfo{
 		Operation: op,
@@ -285,14 +369,14 @@ func (r *ObjectRef) invoke(ctx context.Context, op string, args Marshaller, resu
 	if dl, ok := ctx.Deadline(); ok {
 		info.Deadline = dl
 	}
-	chain := o.clientChain()
 	start := time.Now()
 	for _, ci := range chain {
 		ci.SendRequest(ctx, info)
 	}
-	err = r.dispatch(ctx, msg, reqID, result, twoway, local)
+	err = r.dispatch(ctx, sc, msg, reqID, result, twoway, local)
 	info.Elapsed = time.Since(start)
 	info.Err = err
+	o.stats.recordSentTimed(info.Elapsed, err)
 	for _, ci := range chain {
 		ci.ReceiveReply(ctx, info)
 	}
@@ -301,7 +385,7 @@ func (r *ObjectRef) invoke(ctx context.Context, op string, args Marshaller, resu
 
 // dispatch moves the built request over the collocated fast path or the
 // reference's profiles and decodes the reply.
-func (r *ObjectRef) dispatch(ctx context.Context, msg *giop.Message, reqID uint32, result Unmarshaller, twoway, local bool) error {
+func (r *ObjectRef) dispatch(ctx context.Context, sc *clientScratch, msg *giop.Message, reqID uint32, result Unmarshaller, twoway, local bool) error {
 	o := r.orb
 	if local {
 		reply, err := o.HandleMessage(ctx, msg)
@@ -311,7 +395,7 @@ func (r *ObjectRef) dispatch(ctx context.Context, msg *giop.Message, reqID uint3
 		if !twoway {
 			return nil
 		}
-		return o.decodeReply(reply, reqID, result)
+		return o.decodeReply(sc, reply, reqID, result)
 	}
 
 	// Remote: pick the first profile with a registered transport,
@@ -320,21 +404,26 @@ func (r *ObjectRef) dispatch(ctx context.Context, msg *giop.Message, reqID uint3
 	// channel) and keeps the channel cached — other multiplexed calls on
 	// it are unaffected.
 	var lastErr error
-	for _, tp := range orderedProfiles(r.ior) {
-		ch, err := o.channelFor(ctx, tp.Tag, tp.Data)
-		if err != nil {
-			if ctxDone(ctx, err) {
-				return ctxError(ctx, err)
+	rc := r.resolved(ctx)
+	for i := range rc.profiles {
+		ch := rc.chans[i]
+		if ch == nil {
+			var err error
+			tp := rc.profiles[i]
+			if ch, err = o.channelFor(ctx, tp.Tag, tp.Data); err != nil {
+				if ctxDone(ctx, err) {
+					return ctxError(ctx, err)
+				}
+				lastErr = err
+				continue
 			}
-			lastErr = err
-			continue
 		}
 		if !twoway {
 			if err := ch.Send(ctx, msg); err != nil {
 				if ctxDone(ctx, err) {
 					return ctxError(ctx, err)
 				}
-				o.dropChannel(tp.Tag, tp.Data)
+				// Stripe-level eviction already happened inside the pool.
 				lastErr = err
 				continue
 			}
@@ -345,11 +434,10 @@ func (r *ObjectRef) dispatch(ctx context.Context, msg *giop.Message, reqID uint3
 			if ctxDone(ctx, err) {
 				return ctxError(ctx, err)
 			}
-			o.dropChannel(tp.Tag, tp.Data)
 			lastErr = err
 			continue
 		}
-		return o.decodeReply(reply, reqID, result)
+		return o.decodeReply(sc, reply, reqID, result)
 	}
 	if lastErr == nil {
 		return NoImplement()
@@ -378,17 +466,31 @@ func orderedProfiles(r *ior.IOR) []ior.TaggedProfile {
 	return out
 }
 
+// clientScratch is the pooled per-invocation encode/decode state: the
+// request header (service-context slice and call-ID buffer keep their
+// capacity across calls) and the reply decoder + header. Nothing in it
+// escapes an invocation: EncodeRequest copies header fields into the
+// encoder, and every reply value that outlives decodeReply is detached.
+type clientScratch struct {
+	req   giop.RequestHeader
+	idbuf []byte
+	dec   cdr.Decoder
+	rh    giop.ReplyHeader
+}
+
+var clientScratchPool = sync.Pool{New: func() any { return new(clientScratch) }}
+
 // buildRequest encodes a request into a pooled message; the caller owns
 // it and must Release it once every transport attempt is done with it.
-func (o *ORB) buildRequest(ctx context.Context, reqID uint32, objectKey []byte, op string, args Marshaller, twoway bool) (*giop.Message, error) {
+func (o *ORB) buildRequest(ctx context.Context, sc *clientScratch, callID string, reqID uint32, objectKey []byte, op string, args Marshaller, twoway bool) (*giop.Message, error) {
 	e := giop.GetBodyEncoder(o.order)
-	hdr := &giop.RequestHeader{
-		RequestID:        reqID,
-		ResponseExpected: twoway,
-		ObjectKey:        objectKey,
-		Operation:        op,
-		ServiceContexts:  svcctx.Inject(ctx, nil),
-	}
+	sc.idbuf = append(sc.idbuf[:0], callID...)
+	hdr := &sc.req
+	hdr.RequestID = reqID
+	hdr.ResponseExpected = twoway
+	hdr.ObjectKey = objectKey
+	hdr.Operation = op
+	hdr.ServiceContexts = svcctx.InjectIDBytes(ctx, sc.idbuf, hdr.ServiceContexts[:0])
 	if err := giop.EncodeRequest(e, o.version, hdr); err != nil {
 		e.Release()
 		return nil, err
@@ -405,7 +507,7 @@ func (o *ORB) buildRequest(ctx context.Context, reqID uint32, objectKey []byte, 
 // decodeReply consumes a reply message: whatever the outcome, the
 // (pooled) reply is released before returning, so every value that
 // escapes — decoded results, exception members — is copied out first.
-func (o *ORB) decodeReply(reply *giop.Message, reqID uint32, result Unmarshaller) error {
+func (o *ORB) decodeReply(sc *clientScratch, reply *giop.Message, reqID uint32, result Unmarshaller) error {
 	if reply == nil {
 		return fmt.Errorf("%w: empty reply", CommFailure())
 	}
@@ -413,9 +515,10 @@ func (o *ORB) decodeReply(reply *giop.Message, reqID uint32, result Unmarshaller
 	if reply.Header.Type != giop.MsgReply {
 		return fmt.Errorf("%w: unexpected %v", CommFailure(), reply.Header.Type)
 	}
-	d := reply.BodyDecoder()
-	h, err := giop.DecodeReply(d, reply.Header.Version)
-	if err != nil {
+	d := &sc.dec
+	reply.ResetBodyDecoder(d)
+	h := &sc.rh
+	if err := giop.DecodeReplyInto(d, reply.Header.Version, h); err != nil {
 		return fmt.Errorf("orb: bad reply header: %w", err)
 	}
 	if h.RequestID != reqID {

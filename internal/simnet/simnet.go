@@ -320,6 +320,14 @@ func (t *Transport) ObjectKey(profile []byte) ([]byte, error) {
 	return key, err
 }
 
+// ChannelPoolSize implements orb.PoolSizer: one channel per endpoint.
+// Simnet channels are stateless — no socket, no write path, no reply
+// demux — so striping them buys nothing; a size of 1 keeps the ORB's
+// channel pool transparent and the virtual network's per-link
+// accounting (conditions are keyed by endpoint pair, not channel)
+// unchanged under concurrency.
+func (t *Transport) ChannelPoolSize() int { return 1 }
+
 // Dial implements orb.Transport (establishment is instantaneous on the
 // virtual network, so ctx only gates the subsequent calls).
 func (t *Transport) Dial(_ context.Context, profile []byte) (orb.Channel, error) {

@@ -2,6 +2,7 @@ package simnet
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -255,6 +256,50 @@ func TestOnewayOverSimnet(t *testing.T) {
 	}
 	if server.RequestsServed() != 1 {
 		t.Fatalf("served = %d", server.RequestsServed())
+	}
+}
+
+// BenchmarkConcurrentSimnetThroughput is the virtual-network analogue
+// of iiop's BenchmarkConcurrentTCPThroughput: the same caller fan-in,
+// but with no socket underneath — what remains is the ORB invocation
+// path itself (request build, dispatch, reply decode, link accounting),
+// so the delta between the two benchmarks isolates the transport.
+func BenchmarkConcurrentSimnetThroughput(b *testing.B) {
+	for _, callers := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("C=%d", callers), func(b *testing.B) {
+			net := New(Link{})
+			_, ref := pair(b, net)
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			errs := make(chan error, callers)
+			for g := 0; g < callers; g++ {
+				n := b.N / callers
+				if g < b.N%callers {
+					n++
+				}
+				wg.Add(1)
+				go func(n int) {
+					defer wg.Done()
+					for i := 0; i < n; i++ {
+						if _, err := echo(b, ref, "bench"); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(n)
+			}
+			wg.Wait()
+			el := time.Since(start)
+			close(errs)
+			for err := range errs {
+				b.Fatal(err)
+			}
+			if sec := el.Seconds(); sec > 0 {
+				b.ReportMetric(float64(b.N)/sec, "calls/s")
+			}
+		})
 	}
 }
 

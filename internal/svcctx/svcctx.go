@@ -57,9 +57,14 @@ var callIDBase = func() string {
 var callIDSeq atomic.Uint64
 
 // NewCallID mints a fresh correlation ID: a per-process random prefix
-// plus a process-local sequence number.
+// plus a process-local sequence number. Built in a stack buffer so the
+// mint costs exactly one allocation (the returned string).
 func NewCallID() string {
-	return callIDBase + "-" + strconv.FormatUint(callIDSeq.Add(1), 16)
+	var buf [32]byte
+	b := append(buf[:0], callIDBase...)
+	b = append(b, '-')
+	b = strconv.AppendUint(b, callIDSeq.Add(1), 16)
+	return string(b)
 }
 
 // EnsureCallID returns ctx guaranteed to carry a correlation ID, minting
@@ -101,11 +106,32 @@ func decodeDeadline(data []byte) (time.Time, error) {
 // to scs and returns the extended list. A context with neither yields scs
 // unchanged.
 func Inject(ctx context.Context, scs []giop.ServiceContext) []giop.ServiceContext {
+	return InjectID(ctx, CallID(ctx), scs)
+}
+
+// InjectID is Inject with the call ID supplied by the caller instead of
+// read from ctx. The invocation fast path uses it when no interceptor is
+// registered: the minted ID then travels only on the wire, and the
+// context.WithValue wrapping (two allocations nothing would observe) is
+// skipped.
+func InjectID(ctx context.Context, id string, scs []giop.ServiceContext) []giop.ServiceContext {
+	var b []byte
+	if id != "" {
+		b = []byte(id)
+	}
+	return InjectIDBytes(ctx, b, scs)
+}
+
+// InjectIDBytes is InjectID for a caller holding the ID in a reusable
+// byte buffer. The buffer is ALIASED by the returned list, not copied:
+// it must stay valid until the header carrying the contexts has been
+// encoded.
+func InjectIDBytes(ctx context.Context, id []byte, scs []giop.ServiceContext) []giop.ServiceContext {
 	if dl, ok := ctx.Deadline(); ok {
 		scs = append(scs, giop.ServiceContext{ID: giop.SvcDeadline, Data: encodeDeadline(dl)})
 	}
-	if id := CallID(ctx); id != "" {
-		scs = append(scs, giop.ServiceContext{ID: giop.SvcCallID, Data: []byte(id)})
+	if len(id) > 0 {
+		scs = append(scs, giop.ServiceContext{ID: giop.SvcCallID, Data: id})
 	}
 	return scs
 }
@@ -145,7 +171,13 @@ func Extract(scs []giop.ServiceContext) Info {
 // via the parent context — so the deadline-free fast path skips the
 // context.WithCancel allocations entirely).
 func NewContext(parent context.Context, scs []giop.ServiceContext) (context.Context, context.CancelFunc) {
-	info := Extract(scs)
+	return NewContextInfo(parent, Extract(scs))
+}
+
+// NewContextInfo is NewContext for a caller that has already run Extract
+// (the ORB dispatch loop needs the Info itself and must not pay for a
+// second pass over the service contexts).
+func NewContextInfo(parent context.Context, info Info) (context.Context, context.CancelFunc) {
 	ctx := parent
 	if info.CallID != "" {
 		ctx = WithCallID(ctx, info.CallID)
