@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench bench-json fmt tidy clean
+.PHONY: check build vet lint escapegate tools test race bench bench-json fmt tidy clean
 
 ## check: the full tier-1 gate — what CI runs on every push/PR.
-check: fmt tidy build vet lint race
+check: fmt tidy build vet lint escapegate race
 
 build:
 	$(GO) build ./...
@@ -11,11 +11,24 @@ build:
 vet:
 	$(GO) vet ./...
 
+## tools: build the repo's own gate binaries once into bin/ — repeated
+## `go run` invocations re-link on every call, which doubles the wall
+## time of `make check`.
+tools:
+	$(GO) build -o bin/ ./cmd/corbalc-lint ./cmd/corbalc-escapegate
+
 ## lint: the CORBA-LC invariant suite (lockdiscipline, cdralign,
-## errpropagation, ctxtimeout, poolreturn). -vet folds in the curated
-## stock vet analyzers so one command covers both layers.
-lint:
-	$(GO) run ./cmd/corbalc-lint ./...
+## errpropagation, ctxtimeout, poolreturn, goroutinelifetime,
+## atomicfield, lockorder).
+lint: tools
+	./bin/corbalc-lint ./...
+
+## escapegate: compare the compiler's escape analysis of the invocation
+## hot path against the checked-in ESCAPES.json baseline; any new heap
+## escape fails the gate. Regenerate deliberately with
+## `go run ./cmd/corbalc-escapegate -update`.
+escapegate: tools
+	./bin/corbalc-escapegate
 
 test:
 	$(GO) test ./...

@@ -1,11 +1,14 @@
 // Command corbalc-lint is the multichecker driving the CORBA-LC
 // invariant analyzers over this repository:
 //
-//	lockdiscipline  deferred-unlock hygiene; no blocking calls under a lock
-//	cdralign        CDR primitives encode through internal/cdr helpers
-//	errpropagation  no silently dropped error results
-//	ctxtimeout      no network dials without deadline or context
-//	poolreturn      pooled buffers/encoders/messages reach a release point
+//	lockdiscipline     deferred-unlock hygiene; no blocking calls under a lock
+//	cdralign           CDR primitives encode through internal/cdr helpers
+//	errpropagation     no silently dropped error results
+//	ctxtimeout         no network dials without deadline or context
+//	poolreturn         pooled buffers/encoders/messages reach a release point
+//	goroutinelifetime  every go statement in internal/ ties to a tracked lifetime
+//	atomicfield        no mixing sync/atomic and plain access; no typed-atomic copies
+//	lockorder          no cycles in the cross-package lock-acquisition graph
 //
 // Usage:
 //
@@ -29,10 +32,13 @@ import (
 	"strings"
 
 	"corbalc/internal/analysis"
+	"corbalc/internal/analysis/atomicfield"
 	"corbalc/internal/analysis/cdralign"
 	"corbalc/internal/analysis/ctxtimeout"
 	"corbalc/internal/analysis/errpropagation"
+	"corbalc/internal/analysis/goroutinelifetime"
 	"corbalc/internal/analysis/lockdiscipline"
+	"corbalc/internal/analysis/lockorder"
 	"corbalc/internal/analysis/poolreturn"
 )
 
@@ -42,6 +48,9 @@ var analyzers = []*analysis.Analyzer{
 	errpropagation.Analyzer,
 	ctxtimeout.Analyzer,
 	poolreturn.Analyzer,
+	goroutinelifetime.Analyzer,
+	atomicfield.Analyzer,
+	lockorder.Analyzer,
 }
 
 // vetAnalyzers is the stock go vet subset run with -vet: the checks most

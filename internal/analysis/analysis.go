@@ -33,6 +33,11 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to a single package.
 	Run func(*Pass) error
+	// Finish, if set, runs once per driver Run invocation after every
+	// package has been analyzed. Whole-program analyzers accumulate
+	// per-package facts in Pass.Batch.State and report their global
+	// conclusions (e.g. lock-order cycles) here.
+	Finish func(*Batch) error
 }
 
 // Pass carries one analyzer's view of one type-checked package.
@@ -43,6 +48,10 @@ type Pass struct {
 	Pkg       *types.Package
 	PkgPath   string
 	TypesInfo *types.Info
+
+	// Batch is shared by every Pass of one analyzer across one driver
+	// Run invocation; see Batch.
+	Batch *Batch
 
 	// Report delivers a diagnostic. Set by the driver.
 	Report func(Diagnostic)

@@ -29,8 +29,21 @@ var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
 // relative to the test's working directory (the analyzer package dir).
 func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
-	loader := analysis.NewLoader()
 	for _, name := range pkgs {
+		RunAll(t, a, name)
+	}
+}
+
+// RunAll loads every named fixture package into ONE driver batch and
+// applies the analyzer to all of them together, so whole-program
+// analyzers (Finish hooks, cross-package state) see the same shape they
+// do in a real corbalc-lint run. Expectations are checked across the
+// combined diagnostic set.
+func RunAll(t *testing.T, a *analysis.Analyzer, names ...string) {
+	t.Helper()
+	loader := analysis.NewLoader()
+	var loaded []*analysis.Package
+	for _, name := range names {
 		dir := filepath.Join("testdata", "src", name)
 		pkg, err := loader.LoadDir(dir, name)
 		if err != nil {
@@ -40,9 +53,16 @@ func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
 		for _, terr := range pkg.TypeErrors {
 			t.Errorf("%s: type error: %v", dir, terr)
 		}
-		diags := analysis.Run([]*analysis.Analyzer{a}, []*analysis.Package{pkg})
-		checkExpectations(t, pkg, diags)
+		// Later fixtures may import earlier ones by name; list them in
+		// dependency order.
+		loader.RegisterImport(pkg.PkgPath, pkg.Types)
+		loaded = append(loaded, pkg)
 	}
+	if len(loaded) == 0 {
+		return
+	}
+	diags := analysis.Run([]*analysis.Analyzer{a}, loaded)
+	checkExpectations(t, loaded, diags)
 }
 
 type expectation struct {
@@ -50,32 +70,35 @@ type expectation struct {
 	matched bool
 }
 
-func checkExpectations(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+func checkExpectations(t *testing.T, pkgs []*analysis.Package, diags []analysis.Diagnostic) {
 	t.Helper()
+	fset := pkgs[0].Fset // the loader shares one FileSet across packages
 	// key: "file:line" -> pending expectations.
 	wants := map[string][]*expectation{}
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := wantRE.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				key := pos.Filename + ":" + itoa(pos.Line)
-				for _, pat := range splitQuoted(m[1]) {
-					re, err := regexp.Compile(pat)
-					if err != nil {
-						t.Errorf("%s: bad want pattern %q: %v", key, pat, err)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
 						continue
 					}
-					wants[key] = append(wants[key], &expectation{re: re})
+					pos := fset.Position(c.Pos())
+					key := pos.Filename + ":" + itoa(pos.Line)
+					for _, pat := range splitQuoted(m[1]) {
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Errorf("%s: bad want pattern %q: %v", key, pat, err)
+							continue
+						}
+						wants[key] = append(wants[key], &expectation{re: re})
+					}
 				}
 			}
 		}
 	}
 	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
+		pos := fset.Position(d.Pos)
 		key := pos.Filename + ":" + itoa(pos.Line)
 		found := false
 		for _, w := range wants[key] {

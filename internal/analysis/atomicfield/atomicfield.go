@@ -1,0 +1,296 @@
+// Package atomicfield enforces all-or-nothing atomicity on struct
+// fields and package variables.
+//
+// The substrate's lock-free state — the reaper's generation counter,
+// the coalescer's enqueue counter, the 1-in-8 stats sampling — is
+// correct only if EVERY access to an atomically-used word goes through
+// sync/atomic: one plain read mixed in is a data race the race detector
+// only catches when a test happens to interleave it. Two disciplines
+// are checked per package:
+//
+//  1. Old-style atomics: a field or package variable whose address is
+//     passed to a sync/atomic function (atomic.AddUint64(&s.n, 1), …)
+//     must never be read or written plainly anywhere else in the
+//     package. Composite-literal keys are exempt — initialization
+//     before the value is shared is not an access.
+//
+//  2. Typed atomics (atomic.Uint64, atomic.Pointer[T], atomic.Value,
+//     …): the field must only be used through its methods or by
+//     address. Copying it as a value or assigning over it bypasses the
+//     atomicity (and smuggles a noCopy violation past readers even
+//     when vet's copylocks would catch the copy itself).
+//
+// Both checks are package-local: unexported fields cannot be touched
+// elsewhere, and the repo keeps exported state behind accessors.
+// Intentional pre-publication plain access (rare; prefer typed atomics,
+// whose zero values make it unnecessary) must carry
+// //lint:ignore atomicfield <reason>.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"corbalc/internal/analysis"
+)
+
+// Analyzer is the atomicfield analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "forbid mixing sync/atomic and plain access to the same field, and value-copies of typed atomics",
+	Run:  run,
+}
+
+// atomicUse records one sync/atomic call taking a variable's address.
+type atomicUse struct {
+	fn  string // e.g. "atomic.AddUint64"
+	pos token.Pos
+}
+
+// plainAccess records one non-atomic read or write of a variable.
+type plainAccess struct {
+	pos   token.Pos
+	write bool
+}
+
+func run(pass *analysis.Pass) error {
+	atomics := map[*types.Var]atomicUse{}    // vars address-passed to sync/atomic funcs
+	plains := map[*types.Var][]plainAccess{} // plain accesses of candidate vars
+
+	for _, f := range pass.Files {
+		walk(f, func(n ast.Node, parents []ast.Node) {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return
+			}
+			v := varOf(pass.TypesInfo, id)
+			if v == nil || isLitKey(id, parents) {
+				return
+			}
+			if isAtomicNamed(v.Type()) {
+				checkTypedUse(pass, id, v, parents)
+				return
+			}
+			if fn, pos, ok := atomicArg(pass.TypesInfo, id, parents); ok {
+				if _, seen := atomics[v]; !seen {
+					atomics[v] = atomicUse{fn: fn, pos: pos}
+				}
+				return
+			}
+			plains[v] = append(plains[v], plainAccess{pos: id.Pos(), write: isWrite(id, parents)})
+		})
+	}
+
+	for v, use := range atomics {
+		for _, p := range plains[v] {
+			kind := "read"
+			if p.write {
+				kind = "write"
+			}
+			pass.Reportf(p.pos,
+				"plain %s of %s, which is accessed via %s at %s; every access to an atomic word must go through sync/atomic (or migrate the field to a typed atomic)",
+				kind, v.Name(), use.fn, pass.Fset.Position(use.pos))
+		}
+	}
+	return nil
+}
+
+// varOf resolves an identifier to a struct field or package-level
+// variable — the shareable kinds whose access discipline matters.
+// Locals are skipped: they cannot be reached from another goroutine
+// except through closures, where the race detector and lockdiscipline
+// do better.
+func varOf(info *types.Info, id *ast.Ident) *types.Var {
+	// Only Uses: a definition site (the struct field declaration, the
+	// var statement itself) is not an access.
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok {
+		return nil
+	}
+	if v.IsField() {
+		return v
+	}
+	if v.Parent() != nil && v.Parent().Parent() == types.Universe { // package scope
+		return v
+	}
+	return nil
+}
+
+// isLitKey reports whether id is the key of a keyed composite-literal
+// element (S{n: 0}) — initialization, not access.
+func isLitKey(id *ast.Ident, parents []ast.Node) bool {
+	if len(parents) < 2 {
+		return false
+	}
+	kv, ok := parents[len(parents)-1].(*ast.KeyValueExpr)
+	if !ok || kv.Key != id {
+		return false
+	}
+	_, inLit := parents[len(parents)-2].(*ast.CompositeLit)
+	return inLit
+}
+
+// atomicArg reports whether the identifier id (whose parents are given,
+// innermost last) is being address-passed to a sync/atomic package
+// function: selector? -> & -> call. It returns the callee name and
+// call position. The receiver side of a selector (the s of &s.n) does
+// not count — only the field itself is the atomic word.
+func atomicArg(info *types.Info, id *ast.Ident, parents []ast.Node) (string, token.Pos, bool) {
+	i := len(parents) - 1
+	if i >= 0 {
+		if sel, ok := parents[i].(*ast.SelectorExpr); ok {
+			if sel.Sel != id {
+				return "", token.NoPos, false
+			}
+			i--
+		}
+	}
+	if i < 0 {
+		return "", token.NoPos, false
+	}
+	u, ok := parents[i].(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return "", token.NoPos, false
+	}
+	for i--; i >= 0; i-- {
+		switch p := parents[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.CallExpr:
+			f := analysis.FuncOf(info, p)
+			if f != nil && f.Pkg() != nil && f.Pkg().Path() == "sync/atomic" &&
+				f.Type().(*types.Signature).Recv() == nil {
+				return "atomic." + f.Name(), p.Pos(), true
+			}
+			return "", token.NoPos, false
+		default:
+			return "", token.NoPos, false
+		}
+	}
+	return "", token.NoPos, false
+}
+
+// isWrite reports whether the access is an assignment target or an
+// inc/dec operand.
+func isWrite(id *ast.Ident, parents []ast.Node) bool {
+	// Walk out through the selector/paren wrapping the identifier.
+	node := ast.Node(id)
+	for i := len(parents) - 1; i >= 0; i-- {
+		switch p := parents[i].(type) {
+		case *ast.SelectorExpr:
+			if p.Sel != id && p != node {
+				return false
+			}
+			node = p
+		case *ast.ParenExpr:
+			node = p
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if ast.Unparen(lhs) == node {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return ast.Unparen(p.X) == node
+		case *ast.UnaryExpr:
+			// &x then stored/passed: treat as a write-capable escape.
+			return p.Op == token.AND
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// atomicTypeNames are the typed atomics of sync/atomic.
+var atomicTypeNames = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+// isAtomicNamed reports whether t is (an alias of) a sync/atomic typed
+// atomic.
+func isAtomicNamed(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && atomicTypeNames[obj.Name()]
+}
+
+// checkTypedUse flags value-copies of and plain assignments to typed
+// atomic fields. Legal uses: method calls (v.Load()), taking the
+// address (&v, preserving atomicity through the pointer), and
+// composite-literal keys (handled by the caller).
+func checkTypedUse(pass *analysis.Pass, id *ast.Ident, v *types.Var, parents []ast.Node) {
+	node := ast.Node(id)
+	for i := len(parents) - 1; i >= 0; i-- {
+		switch p := parents[i].(type) {
+		case *ast.SelectorExpr:
+			if p.Sel == id {
+				node = p // s.ctr: keep unwrapping
+				continue
+			}
+			if p.X == node {
+				// node.Method(...) or node.field — method selection is the
+				// blessed use; typed atomics export no fields.
+				return
+			}
+			return
+		case *ast.ParenExpr:
+			node = p
+			continue
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				return // &s.ctr keeps atomicity
+			}
+			node = p
+			continue
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if ast.Unparen(lhs) == node {
+					pass.Reportf(id.Pos(),
+						"plain assignment to atomic field %s bypasses sync/atomic; use %s.Store (a typed atomic's zero value is ready to use — resetting it is never needed)",
+						v.Name(), v.Name())
+					return
+				}
+			}
+			pass.Reportf(id.Pos(),
+				"copying atomic field %s as a value defeats its atomicity (and its noCopy guard); call %s.Load or pass &%s",
+				v.Name(), v.Name(), v.Name())
+			return
+		case *ast.StarExpr:
+			node = p
+			continue
+		default:
+			_, isExpr := p.(ast.Expr)
+			_, isReturn := p.(*ast.ReturnStmt)
+			if isExpr || isReturn {
+				// Used as a value inside a larger expression (call
+				// argument, composite literal value, return, …).
+				pass.Reportf(id.Pos(),
+					"copying atomic field %s as a value defeats its atomicity (and its noCopy guard); call %s.Load or pass &%s",
+					v.Name(), v.Name(), v.Name())
+			}
+			return
+		}
+	}
+}
+
+// walk traverses the file keeping a parent stack (innermost parent
+// last), invoking fn at every node.
+func walk(root ast.Node, fn func(n ast.Node, parents []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"corbalc/internal/analysis/analysistest"
+	"corbalc/internal/analysis/atomicfield"
+)
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, atomicfield.Analyzer, "a")
+}

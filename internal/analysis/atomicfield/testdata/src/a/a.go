@@ -1,0 +1,95 @@
+// Package a is the atomicfield fixture: old-style atomics mixed with
+// plain access (flagged), typed atomics copied or overwritten
+// (flagged), and the disciplined shapes that pass.
+package a
+
+import (
+	"sync/atomic"
+)
+
+// counters mixes old-style atomic access with plain access: every
+// plain touch of gen is a race against the Add.
+type counters struct {
+	gen   uint64
+	clean uint64
+	only  uint64
+}
+
+func (c *counters) bump() {
+	atomic.AddUint64(&c.gen, 1)
+}
+
+func (c *counters) badPlainRead() uint64 {
+	return c.gen // want `plain read of gen, which is accessed via atomic\.AddUint64`
+}
+
+func (c *counters) badPlainWrite() {
+	c.gen = 0 // want `plain write of gen, which is accessed via atomic\.AddUint64`
+}
+
+func (c *counters) badIncDec() {
+	c.gen++ // want `plain write of gen, which is accessed via atomic\.AddUint64`
+}
+
+// Good: every access to clean is atomic.
+func (c *counters) goodAllAtomic() uint64 {
+	atomic.StoreUint64(&c.clean, 7)
+	return atomic.LoadUint64(&c.clean)
+}
+
+// Good: only is never touched atomically; plain access is fine.
+func (c *counters) goodPlainOnly() uint64 {
+	c.only++
+	return c.only
+}
+
+// Good: composite-literal keys are initialization, not access.
+func newCounters() *counters {
+	return &counters{gen: 0, clean: 0}
+}
+
+// Package-level words follow the same rule.
+var hits uint64
+
+func bumpHits() { atomic.AddUint64(&hits, 1) }
+
+func badReadHits() uint64 {
+	return hits // want `plain read of hits, which is accessed via atomic\.AddUint64`
+}
+
+// typed exercises the typed-atomic discipline.
+type typed struct {
+	n   atomic.Uint64
+	ptr atomic.Pointer[int]
+}
+
+func (t *typed) goodMethods() uint64 {
+	t.n.Add(1)
+	t.ptr.Store(nil)
+	return t.n.Load()
+}
+
+func (t *typed) goodAddress() *atomic.Uint64 {
+	return &t.n
+}
+
+func (t *typed) badCopy() {
+	x := t.n // want `copying atomic field n as a value defeats its atomicity`
+	_ = x
+}
+
+func (t *typed) badAssign() {
+	t.n = atomic.Uint64{} // want `plain assignment to atomic field n bypasses sync/atomic`
+}
+
+func consume(v atomic.Uint64) uint64 { return v.Load() }
+
+func (t *typed) badArg() uint64 {
+	return consume(t.n) // want `copying atomic field n as a value defeats its atomicity`
+}
+
+// Good: an audited pre-publication reset.
+func (c *counters) auditedReset() {
+	//lint:ignore atomicfield reset happens before the counters value is shared
+	c.gen = 0
+}

@@ -1,0 +1,189 @@
+// Package goroutinelifetime enforces that every goroutine spawned
+// inside internal/ is tied to a tracked lifetime.
+//
+// The concurrent substrate (striped pools, bounded dispatch, write
+// coalescing, reapers, gossip loops) is leak-checked at runtime by
+// internal/leak, but only in the test suites that opt in; a `go`
+// statement added outside those suites can leak silently until a storm
+// test happens to cover it. This analyzer makes the discipline
+// structural: the spawned function itself must demonstrably terminate
+// with its owner, by containing at least one of
+//
+//   - a (*sync.WaitGroup).Done call (the owner Adds before spawning and
+//     Waits on teardown),
+//   - a channel receive — a bare `<-stop`, a select with a receive arm
+//     (lifetime-context selects on ctx.Done() are the common shape), or
+//     a range over a channel (terminated by close) —
+//
+// checked in the goroutine's own body, including deferred and inline
+// closures but not nested `go` spawns (each spawn is checked on its
+// own). A spawn whose body the analyzer cannot see — a cross-package
+// function, a method of another package's type, or a function-typed
+// variable — is flagged too: wrap it in a local closure that carries
+// the lifetime tie.
+//
+// Genuine daemons whose lifetime is the process (or a resource the
+// analyzer cannot model, like a socket whose Close unblocks the read
+// loop) must be annotated:
+//
+//	//lint:ignore goroutinelifetime <why this goroutine cannot leak>
+//
+// keeping every untracked goroutine in the tree auditable by grep.
+package goroutinelifetime
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"corbalc/internal/analysis"
+)
+
+// Analyzer is the goroutinelifetime analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutinelifetime",
+	Doc:  "require every goroutine spawned in internal/ to be tied to a tracked lifetime (WaitGroup, lifetime channel, or audited daemon)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !strings.Contains(pass.PkgPath+"/", "internal/") {
+		// The discipline binds the runtime substrate; cmd/ and examples/
+		// spawn process-lifetime helpers freely.
+		return nil
+	}
+	decls := declBodies(pass)
+	analysis.InspectFiles(pass, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		body, how := spawnedBody(pass, g.Call, decls)
+		if body == nil {
+			pass.Reportf(g.Pos(),
+				"goroutine spawns %s, whose body this package cannot see; wrap the spawn in a local closure carrying the lifetime tie (WaitGroup.Done or lifetime-channel receive)", how)
+			return true
+		}
+		if !hasLifetimeTie(pass.TypesInfo, body) {
+			pass.Reportf(g.Pos(),
+				"goroutine is not tied to a tracked lifetime: %s contains no WaitGroup.Done, channel receive/select, or range-over-channel; tie it to its owner's WaitGroup or stop channel, or annotate an audited daemon with //lint:ignore goroutinelifetime <reason>", how)
+		}
+		return true
+	})
+	return nil
+}
+
+// declBodies indexes this package's function and method declarations by
+// their types.Func object, so `go pkgFunc()` and `go recv.method()`
+// spawns resolve to a checkable body.
+func declBodies(pass *analysis.Pass) map[*types.Func]*ast.BlockStmt {
+	decls := map[*types.Func]*ast.BlockStmt{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd.Body
+			}
+		}
+	}
+	return decls
+}
+
+// spawnedBody resolves the body of the function a go statement runs,
+// along with a description of the spawn shape for diagnostics. A nil
+// body means the spawn is not checkable from this package.
+func spawnedBody(pass *analysis.Pass, call *ast.CallExpr, decls map[*types.Func]*ast.BlockStmt) (*ast.BlockStmt, string) {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body, "the spawned closure"
+	}
+	f := analysis.FuncOf(pass.TypesInfo, call)
+	if f == nil {
+		return nil, "a function value"
+	}
+	if body, ok := decls[f]; ok {
+		return body, f.Name()
+	}
+	return nil, f.FullName()
+}
+
+// hasLifetimeTie walks the spawned body (skipping nested go spawns,
+// which are audited separately) looking for a construct that bounds the
+// goroutine's lifetime.
+func hasLifetimeTie(info *types.Info, body *ast.BlockStmt) bool {
+	tied := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.GoStmt:
+			// A nested spawn's ties belong to the nested goroutine.
+			return false
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				tied = true
+				return false
+			}
+		case *ast.SelectStmt:
+			for _, cl := range v.Body.List {
+				if comm, ok := cl.(*ast.CommClause); ok && commReceives(comm) {
+					tied = true
+					return false
+				}
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(v.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					tied = true
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if isWaitGroupDone(info, v) {
+				tied = true
+				return false
+			}
+		}
+		return true
+	})
+	return tied
+}
+
+// commReceives reports whether a select clause's communication is a
+// receive (nil Comm is the default clause; sends do not bound a
+// lifetime).
+func commReceives(c *ast.CommClause) bool {
+	switch s := c.Comm.(type) {
+	case *ast.ExprStmt:
+		u, ok := ast.Unparen(s.X).(*ast.UnaryExpr)
+		return ok && u.Op == token.ARROW
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			u, ok := ast.Unparen(s.Rhs[0]).(*ast.UnaryExpr)
+			return ok && u.Op == token.ARROW
+		}
+	}
+	return false
+}
+
+// isWaitGroupDone reports whether call is (*sync.WaitGroup).Done.
+func isWaitGroupDone(info *types.Info, call *ast.CallExpr) bool {
+	f := analysis.FuncOf(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync" || f.Name() != "Done" {
+		return false
+	}
+	sig := f.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "WaitGroup"
+}

@@ -1,0 +1,14 @@
+package goroutinelifetime_test
+
+import (
+	"testing"
+
+	"corbalc/internal/analysis/analysistest"
+	"corbalc/internal/analysis/goroutinelifetime"
+)
+
+func TestGoroutineLifetime(t *testing.T) {
+	// "internal/a" simulates a corbalc/internal package (spawns
+	// checked); "pub" simulates cmd/examples/facade (exempt).
+	analysistest.Run(t, goroutinelifetime.Analyzer, "internal/a", "pub")
+}

@@ -1,0 +1,136 @@
+// Package a is the goroutinelifetime fixture for internal/ packages:
+// spawns with no lifetime tie (flagged) and each shape that counts as
+// tracked.
+package a
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type server struct {
+	wg    sync.WaitGroup
+	stop  chan struct{}
+	tasks chan int
+}
+
+// Bad: the closure just loops forever; nothing bounds it.
+func badForever() {
+	go func() { // want `goroutine is not tied to a tracked lifetime`
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+// Bad: a package function with no tie in its body.
+func badHelperSpawn() {
+	go untracked() // want `goroutine is not tied to a tracked lifetime: untracked contains no`
+}
+
+func untracked() {
+	for i := 0; i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Bad: a method spawn whose body has no tie.
+func (s *server) badMethodSpawn() {
+	go s.spin() // want `goroutine is not tied to a tracked lifetime: spin contains no`
+}
+
+func (s *server) spin() {
+	for {
+		_ = len(s.tasks)
+	}
+}
+
+// Bad: a cross-package function body the analyzer cannot see.
+func badCrossPackage(f func()) {
+	go context.Background().Done() // want `whose body this package cannot see`
+	go f()                         // want `goroutine spawns a function value`
+}
+
+// Bad: a send-only select is not a lifetime tie.
+func badSendOnlySelect(out chan int) {
+	go func() { // want `goroutine is not tied to a tracked lifetime`
+		for {
+			select {
+			case out <- 1:
+			default:
+			}
+		}
+	}()
+}
+
+// Good: WaitGroup-tracked closure.
+func (s *server) goodWaitGroup() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for i := 0; i < 10; i++ {
+			_ = i
+		}
+	}()
+}
+
+// Good: WaitGroup-tracked method (Done inside the method body).
+func (s *server) goodWaitGroupMethod() {
+	s.wg.Add(1)
+	go s.worker()
+}
+
+func (s *server) worker() {
+	defer s.wg.Done()
+	for range s.tasks {
+	}
+}
+
+// Good: lifetime-context select.
+func goodCtxSelect(ctx context.Context, tick <-chan time.Time) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick:
+			}
+		}
+	}()
+}
+
+// Good: bare stop-channel receive.
+func (s *server) goodBareReceive() {
+	go func() {
+		<-s.stop
+	}()
+}
+
+// Good: range over a channel, terminated by close.
+func (s *server) goodRange() {
+	go func() {
+		for t := range s.tasks {
+			_ = t
+		}
+	}()
+}
+
+// Good: an audited daemon.
+func goodDaemon() {
+	//lint:ignore goroutinelifetime process-lifetime metrics pump, exits with the test binary
+	go untracked()
+}
+
+// The tie must be in the spawned goroutine itself: an inner spawn's
+// select does not track the outer goroutine.
+func badOuterInnerConfusion(ctx context.Context) {
+	go func() { // want `goroutine is not tied to a tracked lifetime`
+		go func() {
+			<-ctx.Done()
+		}()
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}

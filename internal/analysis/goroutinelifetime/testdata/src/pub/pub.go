@@ -1,0 +1,13 @@
+// Package pub simulates a non-internal package (cmd/, examples/, the
+// facade): goroutine lifetimes are not enforced outside internal/.
+package pub
+
+import "time"
+
+func Spawn() {
+	go func() {
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}

@@ -30,8 +30,9 @@ type Package struct {
 // Loader parses and type-checks packages with a shared FileSet and a
 // shared (caching) stdlib source importer.
 type Loader struct {
-	Fset *token.FileSet
-	imp  types.Importer
+	Fset  *token.FileSet
+	imp   types.Importer
+	extra map[string]*types.Package
 }
 
 // NewLoader returns a Loader. Cgo is disabled in the build context so
@@ -40,7 +41,45 @@ type Loader struct {
 func NewLoader() *Loader {
 	build.Default.CgoEnabled = false
 	fset := token.NewFileSet()
-	return &Loader{Fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+	return &Loader{
+		Fset:  fset,
+		imp:   importer.ForCompiler(fset, "source", nil),
+		extra: map[string]*types.Package{},
+	}
+}
+
+// RegisterImport makes subsequently loaded packages resolve imports of
+// path to pkg instead of consulting the source importer. analysistest
+// uses this so fixture packages can import one another (the fixtures
+// live under testdata, outside any importable module).
+func (l *Loader) RegisterImport(path string, pkg *types.Package) {
+	if pkg != nil {
+		l.extra[path] = pkg
+	}
+}
+
+// overlayImporter consults a map of pre-loaded packages before falling
+// back to the underlying (source) importer.
+type overlayImporter struct {
+	base  types.Importer
+	extra map[string]*types.Package
+}
+
+func (o overlayImporter) Import(path string) (*types.Package, error) {
+	if p, ok := o.extra[path]; ok {
+		return p, nil
+	}
+	return o.base.Import(path)
+}
+
+func (o overlayImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := o.extra[path]; ok {
+		return p, nil
+	}
+	if from, ok := o.base.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, dir, mode)
+	}
+	return o.base.Import(path)
 }
 
 // Load expands patterns (a directory, or a directory followed by "/...")
@@ -145,7 +184,7 @@ func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
 		Scopes:     map[ast.Node]*types.Scope{},
 	}
 	conf := types.Config{
-		Importer: l.imp,
+		Importer: overlayImporter{base: l.imp, extra: l.extra},
 		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
 	}
 	pkg.Types, _ = conf.Check(pkgPath, l.Fset, files, info)

@@ -1,0 +1,539 @@
+// Package lockorder builds the whole-program lock-acquisition graph and
+// reports ordering cycles — the deadlocks lockdiscipline's per-function
+// view cannot see.
+//
+// The substrate holds several locks with overlapping lifetimes: the
+// channel cache mutex, the stripe-pool per-stripe mutexes, the write
+// coalescer's flush lock, and the dispatch queue's state lock. Each is
+// correct in isolation; a deadlock needs two goroutines acquiring two of
+// them in opposite orders, which no single function (and often no single
+// package) exhibits. This analyzer:
+//
+//  1. Per package (Run), records for every function body which locks it
+//     acquires directly, which functions it calls synchronously, and —
+//     for every held-lock region — the acquisitions and calls made while
+//     the lock is held. A lock is identified by its defining site:
+//     "pkgpath.Type.field" for a mutex struct field, "pkgpath.Var" for a
+//     package-level mutex. RLock counts as Lock: reader/writer pairs
+//     deadlock through writer preference just like two writers.
+//
+//  2. Once all packages are seen (Finish), propagates acquisitions
+//     through the call graph to a fixpoint, materializes the edge
+//     A -> B ("B acquired while A held", directly or via a call chain),
+//     and reports every strongly connected component of two or more
+//     locks as a potential deadlock, once, at its earliest edge.
+//
+// Limitations, by design: locks held across goroutine boundaries are
+// goroutinelifetime's problem (go statements are not synchronous calls);
+// calls through interfaces and function values do not propagate (the
+// callee is unknown statically); local mutexes that never leave a
+// function cannot participate in a cross-function cycle and are skipped.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"corbalc/internal/analysis"
+)
+
+// Analyzer is the lockorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:   "lockorder",
+	Doc:    "build the cross-package lock-acquisition graph and report ordering cycles (potential deadlocks)",
+	Run:    run,
+	Finish: finish,
+}
+
+// state is the per-batch accumulator shared by all packages of one run.
+type state struct {
+	fset  *token.FileSet
+	funcs map[string]*funcFacts // keyed by types.Func.FullName (or a synthetic literal key)
+}
+
+// funcFacts is what one function body contributes to the global graph.
+type funcFacts struct {
+	acquires map[string]token.Pos // lock id -> first direct acquisition
+	calls    map[string]token.Pos // callee full name -> first synchronous call
+	regions  []heldRegion
+}
+
+// heldRegion is the span of one critical section: everything acquired or
+// called between taking the lock and its release (or function end, for
+// deferred releases).
+type heldRegion struct {
+	lock     string
+	acquires []lockAt
+	calls    []callAt
+}
+
+type lockAt struct {
+	lock string
+	pos  token.Pos
+}
+
+type callAt struct {
+	fn  string
+	pos token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	st, _ := pass.Batch.State.(*state)
+	if st == nil {
+		st = &state{funcs: map[string]*funcFacts{}}
+		pass.Batch.State = st
+	}
+	st.fset = pass.Fset // the loader shares one FileSet across packages
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body == nil {
+					return true
+				}
+				if f, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+					st.funcs[f.FullName()] = analyzeBody(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				// Literals cannot be called by name, so they never gain
+				// acquisitions from propagation — but their own critical
+				// sections still contribute edges.
+				key := fmt.Sprintf("%s.func@%v", pass.PkgPath, pass.Fset.Position(fn.Pos()))
+				st.funcs[key] = analyzeBody(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockKind distinguishes reader and writer acquisitions for pairing
+// releases; the graph itself unifies them.
+type lockKind int
+
+const (
+	writer lockKind = iota
+	reader
+)
+
+// lockOp is one Lock/Unlock-family call on an identifiable mutex.
+type lockOp struct {
+	id       string
+	kind     lockKind
+	acquire  bool
+	deferred bool
+	pos      token.Pos // the call
+	stmtEnd  token.Pos // end of the enclosing statement
+	stmtPos  token.Pos
+}
+
+// analyzeBody extracts the lock facts of one function body. Nested
+// function literals are excluded — they are analyzed as functions in
+// their own right — and go/defer statements are not synchronous
+// execution, so their callees do not run under the held lock.
+func analyzeBody(pass *analysis.Pass, body *ast.BlockStmt) *funcFacts {
+	facts := &funcFacts{
+		acquires: map[string]token.Pos{},
+		calls:    map[string]token.Pos{},
+	}
+	ops := collectOps(pass, body)
+
+	for _, op := range ops {
+		if !op.acquire {
+			continue
+		}
+		if _, seen := facts.acquires[op.id]; !seen {
+			facts.acquires[op.id] = op.pos
+		}
+		if op.deferred {
+			continue // a deferred acquire runs at return, outside any region here
+		}
+		facts.regions = append(facts.regions, heldRegion{lock: op.id})
+		r := &facts.regions[len(facts.regions)-1]
+		start, end := op.stmtEnd, regionEnd(body, ops, op)
+		for _, other := range ops {
+			if other.acquire && other.id != op.id && other.pos > start && other.pos < end {
+				r.acquires = append(r.acquires, lockAt{lock: other.id, pos: other.pos})
+			}
+		}
+		collectCallsIn(pass, body, start, end, func(name string, pos token.Pos) {
+			r.calls = append(r.calls, callAt{fn: name, pos: pos})
+		})
+	}
+
+	collectCallsIn(pass, body, body.Pos(), body.End(), func(name string, pos token.Pos) {
+		if _, seen := facts.calls[name]; !seen {
+			facts.calls[name] = pos
+		}
+	})
+	return facts
+}
+
+// regionEnd finds where op's critical section ends: the first manual
+// matching release after the acquire, or the end of the function when
+// the release is deferred (or missing — lockdiscipline reports that).
+func regionEnd(body *ast.BlockStmt, ops []*lockOp, op *lockOp) token.Pos {
+	for _, rel := range ops {
+		if rel.acquire || rel.id != op.id || rel.kind != op.kind {
+			continue
+		}
+		if rel.deferred {
+			return body.End()
+		}
+	}
+	end := body.End()
+	for _, rel := range ops {
+		if !rel.acquire && rel.id == op.id && rel.kind == op.kind && !rel.deferred &&
+			rel.stmtPos > op.stmtEnd && rel.stmtPos < end {
+			end = rel.stmtPos
+		}
+	}
+	return end
+}
+
+// collectOps gathers Lock/Unlock-family calls on identifiable sync
+// mutexes, not descending into nested function literals. Deferred
+// closures are scanned so `defer func() { mu.Unlock() }()` pairs.
+func collectOps(pass *analysis.Pass, body *ast.BlockStmt) []*lockOp {
+	var ops []*lockOp
+	addCall := func(stmt ast.Stmt, call *ast.CallExpr, deferred bool) {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		var kind lockKind
+		var acquire bool
+		switch sel.Sel.Name {
+		case "Lock":
+			kind, acquire = writer, true
+		case "Unlock":
+			kind, acquire = writer, false
+		case "RLock":
+			kind, acquire = reader, true
+		case "RUnlock":
+			kind, acquire = reader, false
+		default:
+			return
+		}
+		f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+			return
+		}
+		id := lockID(pass, sel.X)
+		if id == "" {
+			return
+		}
+		ops = append(ops, &lockOp{
+			id: id, kind: kind, acquire: acquire, deferred: deferred,
+			pos: call.Pos(), stmtEnd: stmt.End(), stmtPos: stmt.Pos(),
+		})
+	}
+	inspectShallow(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				addCall(s, call, false)
+			}
+		case *ast.DeferStmt:
+			if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						addCall(s, call, true)
+					}
+					return true
+				})
+				return false
+			}
+			addCall(s, s.Call, true)
+		}
+		return true
+	})
+	return ops
+}
+
+// lockID names the mutex behind expr by its defining site, or "" for
+// mutexes the graph cannot identify (locals, embedded receivers).
+func lockID(pass *analysis.Pass, expr ast.Expr) string {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok && !v.IsField() &&
+			v.Parent() != nil && v.Parent().Parent() == types.Universe && v.Pkg() != nil {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		return ""
+	case *ast.SelectorExpr:
+		if x, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := pass.TypesInfo.Uses[x].(*types.PkgName); isPkg {
+				if v, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil {
+					return v.Pkg().Path() + "." + v.Name()
+				}
+				return ""
+			}
+		}
+		v, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var)
+		if !ok || !v.IsField() {
+			return ""
+		}
+		tv, ok := pass.TypesInfo.Types[e.X]
+		if !ok {
+			return ""
+		}
+		t := tv.Type
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed && named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + v.Name()
+		}
+		return ""
+	}
+	return ""
+}
+
+// collectCallsIn invokes fn for every resolvable synchronous call
+// positioned inside (start, end), skipping nested literals, go
+// statements and defers. sync and sync/atomic callees are excluded —
+// lock operations are modeled as ops, not calls.
+func collectCallsIn(pass *analysis.Pass, body *ast.BlockStmt, start, end token.Pos, fn func(string, token.Pos)) {
+	inspectShallow(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.GoStmt, *ast.DeferStmt:
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= start || call.End() > end {
+			return true
+		}
+		f := analysis.FuncOf(pass.TypesInfo, call)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		if p := f.Pkg().Path(); p == "sync" || p == "sync/atomic" {
+			return true
+		}
+		fn(f.FullName(), call.Pos())
+		return true
+	})
+}
+
+// inspectShallow walks body without descending into nested function
+// literals.
+func inspectShallow(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n == nil {
+			return true
+		}
+		return fn(n)
+	})
+}
+
+// edgeInfo is the earliest witness of "to acquired while from is held".
+type edgeInfo struct {
+	pos token.Pos
+	via string // callee chain head, "" for a direct acquisition
+}
+
+func finish(batch *analysis.Batch) error {
+	st, _ := batch.State.(*state)
+	if st == nil {
+		return nil
+	}
+
+	// Propagate acquisitions through the synchronous call graph.
+	trans := map[string]map[string]bool{}
+	for name, f := range st.funcs {
+		set := map[string]bool{}
+		for lock := range f.acquires {
+			set[lock] = true
+		}
+		trans[name] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for name, f := range st.funcs {
+			for callee := range f.calls {
+				for lock := range trans[callee] {
+					if !trans[name][lock] {
+						trans[name][lock] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Materialize edges, keeping the earliest witness per pair.
+	edges := map[string]map[string]edgeInfo{}
+	addEdge := func(from, to string, pos token.Pos, via string) {
+		if from == to {
+			return
+		}
+		if edges[from] == nil {
+			edges[from] = map[string]edgeInfo{}
+		}
+		if cur, ok := edges[from][to]; !ok || pos < cur.pos {
+			edges[from][to] = edgeInfo{pos: pos, via: via}
+		}
+	}
+	for _, name := range sortedKeys(st.funcs) {
+		for _, r := range st.funcs[name].regions {
+			for _, acq := range r.acquires {
+				addEdge(r.lock, acq.lock, acq.pos, "")
+			}
+			for _, c := range r.calls {
+				for _, lock := range sortedKeys(trans[c.fn]) {
+					addEdge(r.lock, lock, c.pos, c.fn)
+				}
+			}
+		}
+	}
+
+	for _, scc := range cyclicComponents(edges) {
+		cycle := findCycle(edges, scc)
+		if cycle == nil {
+			continue
+		}
+		reportCycle(batch, st.fset, edges, cycle)
+	}
+	return nil
+}
+
+// cyclicComponents returns the strongly connected components of two or
+// more locks, each sorted, in deterministic order (Tarjan over sorted
+// nodes).
+func cyclicComponents(edges map[string]map[string]edgeInfo) [][]string {
+	nodes := map[string]bool{}
+	for from, tos := range edges {
+		nodes[from] = true
+		for to := range tos {
+			nodes[to] = true
+		}
+	}
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	var strongconnect func(n string)
+	strongconnect = func(n string) {
+		index[n] = next
+		low[n] = next
+		next++
+		stack = append(stack, n)
+		onStack[n] = true
+		for _, m := range sortedKeys(edges[n]) {
+			if _, seen := index[m]; !seen {
+				strongconnect(m)
+				if low[m] < low[n] {
+					low[n] = low[m]
+				}
+			} else if onStack[m] && index[m] < low[n] {
+				low[n] = index[m]
+			}
+		}
+		if low[n] == index[n] {
+			var scc []string
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[m] = false
+				scc = append(scc, m)
+				if m == n {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				sort.Strings(scc)
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	for _, n := range sortedKeys(nodes) {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	sort.Slice(sccs, func(i, j int) bool { return sccs[i][0] < sccs[j][0] })
+	return sccs
+}
+
+// findCycle returns a simple cycle through the component's smallest
+// lock: [start, n1, ..., nk] with an edge from nk back to start.
+func findCycle(edges map[string]map[string]edgeInfo, scc []string) []string {
+	inSCC := map[string]bool{}
+	for _, n := range scc {
+		inSCC[n] = true
+	}
+	start := scc[0]
+	seen := map[string]bool{start: true}
+	var path []string
+	var dfs func(n string) bool
+	dfs = func(n string) bool {
+		path = append(path, n)
+		for _, m := range sortedKeys(edges[n]) {
+			if !inSCC[m] {
+				continue
+			}
+			if m == start && len(path) > 1 {
+				return true
+			}
+			if !seen[m] {
+				seen[m] = true
+				if dfs(m) {
+					return true
+				}
+				seen[m] = false
+			}
+		}
+		path = path[:len(path)-1]
+		return false
+	}
+	if !dfs(start) {
+		return nil
+	}
+	return path
+}
+
+// reportCycle emits one diagnostic for the cycle, anchored at its
+// earliest edge, describing every hop.
+func reportCycle(batch *analysis.Batch, fset *token.FileSet, edges map[string]map[string]edgeInfo, cycle []string) {
+	ring := append(append([]string{}, cycle...), cycle[0])
+	minPos := token.Pos(0)
+	var hops []string
+	for i := 0; i < len(cycle); i++ {
+		from, to := ring[i], ring[i+1]
+		e := edges[from][to]
+		if minPos == 0 || e.pos < minPos {
+			minPos = e.pos
+		}
+		hop := fmt.Sprintf("%s is held while %s is acquired at %v", from, to, fset.Position(e.pos))
+		if e.via != "" {
+			hop += " via " + e.via
+		}
+		hops = append(hops, hop)
+	}
+	batch.Report(analysis.Diagnostic{
+		Pos: minPos,
+		Message: fmt.Sprintf("lock-order cycle: %s — %s; acquire these locks in one global order",
+			strings.Join(ring, " → "), strings.Join(hops, "; ")),
+	})
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,15 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"corbalc/internal/analysis/analysistest"
+	"corbalc/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	// One batch, in dependency order: b and c import a, c imports b.
+	// The a/b/c trio forms a cross-package cycle; d holds the
+	// intra-package cases.
+	analysistest.RunAll(t, lockorder.Analyzer, "a", "b", "c", "d")
+}

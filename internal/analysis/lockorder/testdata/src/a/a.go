@@ -1,0 +1,11 @@
+// Package a owns the shared registry mutex both b and c acquire.
+package a
+
+import "sync"
+
+var Mu sync.Mutex
+
+func Touch() {
+	Mu.Lock()
+	defer Mu.Unlock()
+}

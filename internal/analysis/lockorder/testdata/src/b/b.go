@@ -1,0 +1,23 @@
+// Package b locks its pool and then calls into a — one half of a
+// cross-package lock cycle (the other half lives in package c, which
+// holds a.Mu while calling back into b). The cycle is reported once, at
+// its earliest edge, which is here.
+package b
+
+import (
+	"sync"
+
+	"a"
+)
+
+type Pool struct {
+	mu sync.Mutex
+}
+
+var P Pool
+
+func Flush() {
+	P.mu.Lock()
+	defer P.mu.Unlock()
+	a.Touch() // want `lock-order cycle: a\.Mu → b\.Pool\.mu → a\.Mu`
+}

@@ -1,0 +1,15 @@
+// Package c holds a.Mu while calling into b, closing the cross-package
+// cycle started in package b. No diagnostic lands here — the cycle is
+// anchored at its earliest edge, in b.
+package c
+
+import (
+	"a"
+	"b"
+)
+
+func Drain() {
+	a.Mu.Lock()
+	defer a.Mu.Unlock()
+	b.Flush()
+}

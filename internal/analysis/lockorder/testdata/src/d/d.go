@@ -1,0 +1,71 @@
+// Package d holds two intra-package cycles — writer/writer and
+// reader/writer (RLock orders like Lock) — plus the consistently
+// ordered and strictly sequential shapes that pass.
+package d
+
+import "sync"
+
+type S struct {
+	mu1, mu2 sync.Mutex
+}
+
+func (s *S) lockForward() {
+	s.mu1.Lock()
+	defer s.mu1.Unlock()
+	s.mu2.Lock() // want `lock-order cycle: d\.S\.mu1 → d\.S\.mu2 → d\.S\.mu1`
+	defer s.mu2.Unlock()
+}
+
+func (s *S) lockBackward() {
+	s.mu2.Lock()
+	defer s.mu2.Unlock()
+	s.mu1.Lock()
+	s.mu1.Unlock()
+}
+
+type T struct {
+	a sync.RWMutex
+	b sync.Mutex
+}
+
+func (t *T) readThenB() {
+	t.a.RLock()
+	defer t.a.RUnlock()
+	t.b.Lock() // want `lock-order cycle: d\.T\.a → d\.T\.b → d\.T\.a`
+	t.b.Unlock()
+}
+
+func (t *T) bThenWrite() {
+	t.b.Lock()
+	defer t.b.Unlock()
+	t.a.Lock()
+	t.a.Unlock()
+}
+
+// U is the disciplined shape: every path that holds both locks takes x
+// before y, and sequential critical sections do not nest, so the graph
+// stays acyclic.
+type U struct {
+	x, y sync.Mutex
+}
+
+func (u *U) firstPath() {
+	u.x.Lock()
+	defer u.x.Unlock()
+	u.y.Lock()
+	u.y.Unlock()
+}
+
+func (u *U) secondPath() {
+	u.x.Lock()
+	defer u.x.Unlock()
+	u.y.Lock()
+	u.y.Unlock()
+}
+
+func (u *U) sequential() {
+	u.y.Lock()
+	u.y.Unlock()
+	u.x.Lock()
+	u.x.Unlock()
+}

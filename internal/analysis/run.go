@@ -8,16 +8,51 @@ import (
 	"strings"
 )
 
+// Batch is one analyzer's view of a whole Run invocation: every package
+// in the batch flows through the analyzer's Run with the same Batch, so
+// a whole-program analyzer (e.g. lockorder's cross-package lock graph)
+// can accumulate State per package and conclude in Finish once all
+// packages have been seen.
+type Batch struct {
+	// State is analyzer-owned accumulator storage, nil until the
+	// analyzer sets it.
+	State any
+	// Report delivers a batch-scoped diagnostic, subject to the same
+	// //lint:ignore filtering as per-package reports. Set by the driver.
+	Report func(Diagnostic)
+}
+
 // Run applies every analyzer to every package, filters findings through
 // //lint:ignore directives, and returns the surviving diagnostics in
-// file/line order. Malformed directives (no analyzer name, or no reason)
-// are themselves reported under the pseudo-analyzer "directive".
+// file/line order. Analyzers with a Finish hook get it called once after
+// the last package. Malformed directives (no analyzer name, or no
+// reason) and directives naming an analyzer not in this run are
+// reported under the pseudo-analyzer "directive".
 func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	known := map[string]bool{"all": true, "directive": true}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	ignores := ignoreSet{}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		ignores, bad := collectDirectives(pkg)
-		diags = append(diags, bad...)
-		for _, a := range analyzers {
+		diags = append(diags, collectDirectives(pkg, ignores, known)...)
+	}
+	report := func(a *Analyzer, fset *token.FileSet) func(Diagnostic) {
+		return func(d Diagnostic) {
+			if d.Analyzer == "" {
+				d.Analyzer = a.Name
+			}
+			pos := fset.Position(d.Pos)
+			if ignores.matches(pos.Filename, pos.Line, d.Analyzer) {
+				return
+			}
+			diags = append(diags, d)
+		}
+	}
+	for _, a := range analyzers {
+		batch := &Batch{}
+		for _, pkg := range pkgs {
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
@@ -25,18 +60,22 @@ func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
 				Pkg:       pkg.Types,
 				PkgPath:   pkg.PkgPath,
 				TypesInfo: pkg.Info,
+				Batch:     batch,
 			}
-			pass.Report = func(d Diagnostic) {
-				if d.Analyzer == "" {
-					d.Analyzer = a.Name
-				}
-				pos := pkg.Fset.Position(d.Pos)
-				if ignores.matches(pos.Filename, pos.Line, d.Analyzer) {
-					return
-				}
-				diags = append(diags, d)
-			}
+			pass.Report = report(a, pkg.Fset)
+			batch.Report = pass.Report
 			if err := a.Run(pass); err != nil {
+				diags = append(diags, Diagnostic{
+					Analyzer: a.Name,
+					Message:  fmt.Sprintf("internal error: %v", err),
+				})
+			}
+		}
+		if a.Finish != nil && len(pkgs) > 0 {
+			// Batch diagnostics position into the shared FileSet of the
+			// last package (Load gives every package the same FileSet).
+			batch.Report = report(a, pkgs[len(pkgs)-1].Fset)
+			if err := a.Finish(batch); err != nil {
 				diags = append(diags, Diagnostic{
 					Analyzer: a.Name,
 					Message:  fmt.Sprintf("internal error: %v", err),
@@ -90,10 +129,11 @@ func (s ignoreSet) add(file string, line int, analyzer string) {
 }
 
 // collectDirectives scans a package's comments for lint:ignore
-// directives, returning the suppression set and diagnostics for
-// malformed directives.
-func collectDirectives(pkg *Package) (ignoreSet, []Diagnostic) {
-	set := ignoreSet{}
+// directives, adding them to set and returning diagnostics for
+// malformed ones: a missing analyzer name or reason, or a name not
+// among the analyzers known to this run (a typo there would silently
+// suppress nothing while looking audited).
+func collectDirectives(pkg *Package, set ignoreSet, known map[string]bool) []Diagnostic {
 	var bad []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -112,11 +152,27 @@ func collectDirectives(pkg *Package) (ignoreSet, []Diagnostic) {
 					})
 					continue
 				}
+				if !known[fields[0]] {
+					names := make([]string, 0, len(known))
+					for name := range known {
+						if name != "all" && name != "directive" {
+							names = append(names, name)
+						}
+					}
+					sort.Strings(names)
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "directive",
+						Message: fmt.Sprintf("lint:ignore names unknown analyzer %q (known: %s)",
+							fields[0], strings.Join(names, ", ")),
+					})
+					continue
+				}
 				set.add(pos.Filename, pos.Line, fields[0])
 			}
 		}
 	}
-	return set, bad
+	return bad
 }
 
 // InspectFiles walks every file in the pass with fn, in source order.

@@ -1,0 +1,145 @@
+package analysis_test
+
+import (
+	"errors"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"corbalc/internal/analysis"
+)
+
+// loadSrc type-checks one synthetic file as its own package.
+func loadSrc(t *testing.T, src string) *analysis.Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := analysis.NewLoader().LoadDir(dir, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Fatalf("fixture does not type-check: %v", terr)
+	}
+	return pkg
+}
+
+// varFlag reports every package-level var declaration — a minimal
+// analyzer for exercising the driver.
+var varFlag = &analysis.Analyzer{
+	Name: "varflag",
+	Doc:  "flag var declarations (test analyzer)",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if gd, ok := n.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+					pass.Reportf(gd.Pos(), "var declared")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func runOn(t *testing.T, a *analysis.Analyzer, src string) []analysis.Diagnostic {
+	t.Helper()
+	return analysis.Run([]*analysis.Analyzer{a}, []*analysis.Package{loadSrc(t, src)})
+}
+
+func TestRunReportsFindings(t *testing.T) {
+	diags := runOn(t, varFlag, "package x\n\nvar A = 1\n")
+	if len(diags) != 1 || diags[0].Analyzer != "varflag" {
+		t.Fatalf("want one varflag diagnostic, got %v", diags)
+	}
+}
+
+func TestIgnoreDirectiveSuppresses(t *testing.T) {
+	diags := runOn(t, varFlag, "package x\n\n//lint:ignore varflag exercised by TestIgnoreDirectiveSuppresses\nvar A = 1\n")
+	if len(diags) != 0 {
+		t.Fatalf("valid directive must suppress the finding, got %v", diags)
+	}
+}
+
+func TestUnknownAnalyzerNameInDirective(t *testing.T) {
+	diags := runOn(t, varFlag, "package x\n\n//lint:ignore nosuchanalyzer some reason\nvar A = 1\n")
+	var directive *analysis.Diagnostic
+	for i := range diags {
+		if diags[i].Analyzer == "directive" {
+			directive = &diags[i]
+		}
+	}
+	if directive == nil {
+		t.Fatalf("a typo'd analyzer name must be reported (it silently suppresses nothing while looking audited), got %v", diags)
+	}
+	if !strings.Contains(directive.Message, `unknown analyzer "nosuchanalyzer"`) {
+		t.Errorf("message should name the bad analyzer: %s", directive.Message)
+	}
+	if !strings.Contains(directive.Message, "varflag") {
+		t.Errorf("message should list the known analyzers: %s", directive.Message)
+	}
+	// The finding itself still comes through — the directive bound nothing.
+	found := false
+	for _, d := range diags {
+		if d.Analyzer == "varflag" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("the var finding must survive a typo'd suppression, got %v", diags)
+	}
+}
+
+func TestMalformedDirective(t *testing.T) {
+	diags := runOn(t, varFlag, "package x\n\n//lint:ignore varflag\nvar A = 1\n")
+	found := false
+	for _, d := range diags {
+		if d.Analyzer == "directive" && strings.Contains(d.Message, "malformed") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("a directive with no reason must be reported as malformed, got %v", diags)
+	}
+}
+
+func TestAnalyzerErrorBecomesDiagnostic(t *testing.T) {
+	boom := &analysis.Analyzer{
+		Name: "boom",
+		Doc:  "always errors (test analyzer)",
+		Run:  func(*analysis.Pass) error { return errors.New("kaboom") },
+	}
+	diags := runOn(t, boom, "package x\n")
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "internal error: kaboom") {
+		t.Fatalf("analyzer errors must surface as diagnostics, not panics: %v", diags)
+	}
+}
+
+func TestFinishRunsOncePerBatch(t *testing.T) {
+	counter := &analysis.Analyzer{
+		Name: "counter",
+		Doc:  "counts packages, reports once (test analyzer)",
+		Run: func(pass *analysis.Pass) error {
+			n, _ := pass.Batch.State.(int)
+			pass.Batch.State = n + 1
+			return nil
+		},
+		Finish: func(b *analysis.Batch) error {
+			b.Report(analysis.Diagnostic{Message: "saw " + strings.Repeat("*", b.State.(int))})
+			return nil
+		},
+	}
+	pkgs := []*analysis.Package{
+		loadSrc(t, "package x\n"),
+		loadSrc(t, "package y\n"),
+	}
+	diags := analysis.Run([]*analysis.Analyzer{counter}, pkgs)
+	if len(diags) != 1 || diags[0].Message != "saw **" {
+		t.Fatalf("Finish must run once after both packages, got %v", diags)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"corbalc/internal/cdr"
 	"corbalc/internal/component"
 	"corbalc/internal/ior"
+	"corbalc/internal/leak"
 	"corbalc/internal/node"
 	"corbalc/internal/simnet"
 	"corbalc/internal/xmldesc"
@@ -91,6 +92,7 @@ func waitFor(t testing.TB, d time.Duration, what string, cond func() bool) {
 }
 
 func TestDirectoryAssignRemove(t *testing.T) {
+	leak.Check(t)
 	dir := NewDirectory()
 	mk := func(name string) *NodeDesc {
 		ref := ior.New("IDL:x:1.0", "h", 1, []byte(name))
@@ -134,6 +136,7 @@ func TestDirectoryAssignRemove(t *testing.T) {
 }
 
 func TestDirectoryMarshalRoundTrip(t *testing.T) {
+	leak.Check(t)
 	dir := NewDirectory()
 	ref := ior.New("IDL:x:1.0", "h", 1, []byte("k"))
 	for i := 0; i < 5; i++ {
@@ -160,6 +163,7 @@ func TestDirectoryMarshalRoundTrip(t *testing.T) {
 }
 
 func TestJoinBuildsConvergentDirectory(t *testing.T) {
+	leak.Check(t)
 	tc := newCluster(t, 7, nil)
 	waitFor(t, 3*time.Second, "directory convergence", func() bool {
 		want := tc.agents[0].Directory().Epoch
@@ -183,6 +187,7 @@ func TestJoinBuildsConvergentDirectory(t *testing.T) {
 }
 
 func TestSoftUpdatesPopulateMRMView(t *testing.T) {
+	leak.Check(t)
 	tc := newCluster(t, 3, nil)
 	// Install a component on n02; its offers must reach the group MRM
 	// (n00) through periodic updates.
@@ -206,6 +211,7 @@ func TestSoftUpdatesPopulateMRMView(t *testing.T) {
 }
 
 func TestHierarchicalQueryAcrossGroups(t *testing.T) {
+	leak.Check(t)
 	tc := newCluster(t, 7, nil) // groups: {0,1,2} {3,4,5} {6}
 	c, err := adderSpec("adder", "2.0.0").Build()
 	if err != nil {
@@ -228,6 +234,7 @@ func TestHierarchicalQueryAcrossGroups(t *testing.T) {
 }
 
 func TestFlatQueryBaseline(t *testing.T) {
+	leak.Check(t)
 	tc := newCluster(t, 6, nil)
 	waitFor(t, 3*time.Second, "directory convergence", func() bool {
 		return tc.agents[1].Directory().Len() == 6
@@ -250,6 +257,7 @@ func TestFlatQueryBaseline(t *testing.T) {
 }
 
 func TestFailureDetectionRemovesNode(t *testing.T) {
+	leak.Check(t)
 	tc := newCluster(t, 4, nil)
 	waitFor(t, 3*time.Second, "initial convergence", func() bool {
 		return tc.agents[3].Directory().Len() == 4
@@ -268,6 +276,7 @@ func TestFailureDetectionRemovesNode(t *testing.T) {
 }
 
 func TestMRMFailoverToReplica(t *testing.T) {
+	leak.Check(t)
 	tc := newCluster(t, 3, nil) // one group {n00,n01,n02}, candidates n00,n01
 	c, err := adderSpec("adder", "1.0.0").Build()
 	if err != nil {
@@ -298,6 +307,7 @@ func TestMRMFailoverToReplica(t *testing.T) {
 }
 
 func TestStrongModePerfectKnowledge(t *testing.T) {
+	leak.Check(t)
 	tc := newCluster(t, 4, func(c *Config) { c.Mode = Strong })
 	c, err := adderSpec("adder", "1.0.0").Build()
 	if err != nil {
@@ -324,6 +334,7 @@ func TestStrongModePerfectKnowledge(t *testing.T) {
 }
 
 func TestDeadBandSendsFewerUpdatesThanPeriodic(t *testing.T) {
+	leak.Check(t)
 	countUpdates := func(policy SendPolicy) uint64 {
 		tc := newCluster(t, 2, func(c *Config) {
 			c.Policy = policy
@@ -348,6 +359,7 @@ func TestDeadBandSendsFewerUpdatesThanPeriodic(t *testing.T) {
 }
 
 func TestGracefulLeave(t *testing.T) {
+	leak.Check(t)
 	tc := newCluster(t, 4, nil)
 	waitFor(t, 3*time.Second, "initial convergence", func() bool {
 		return tc.agents[0].Directory().Len() == 4
@@ -359,6 +371,7 @@ func TestGracefulLeave(t *testing.T) {
 }
 
 func TestQueryBeforeJoinFails(t *testing.T) {
+	leak.Check(t)
 	nd := node.New(node.Config{Name: "loner", Impls: testImpls()})
 	defer nd.Close()
 	ag := NewAgent(Config{Node: nd})
@@ -374,6 +387,7 @@ func TestQueryBeforeJoinFails(t *testing.T) {
 // invariants — each member in exactly one group, no group over G, epoch
 // strictly monotone, candidates always a prefix of their group.
 func TestQuickDirectoryInvariants(t *testing.T) {
+	leak.Check(t)
 	mk := func(name string) *NodeDesc {
 		ref := ior.New("IDL:x:1.0", "h", 1, []byte(name))
 		return &NodeDesc{Name: name, Cohesion: ref, Registry: ref, Acceptor: ref, Resources: ref}
@@ -441,6 +455,7 @@ func TestQuickDirectoryInvariants(t *testing.T) {
 
 // Property: directories of any shape survive the wire round trip.
 func TestQuickDirectoryMarshalRoundTrip(t *testing.T) {
+	leak.Check(t)
 	mk := func(name string) *NodeDesc {
 		ref := ior.New("IDL:x:1.0", "h", 1, []byte(name))
 		return &NodeDesc{Name: name, Capability: "w", Cohesion: ref, Registry: ref, Acceptor: ref, Resources: ref}
@@ -473,6 +488,7 @@ func TestQuickDirectoryMarshalRoundTrip(t *testing.T) {
 }
 
 func TestGroupViewSnapshot(t *testing.T) {
+	leak.Check(t)
 	tc := newCluster(t, 3, nil)
 	comp, err := adderSpec("adder", "1.0.0").Build()
 	if err != nil {
@@ -505,6 +521,7 @@ func TestGroupViewSnapshot(t *testing.T) {
 }
 
 func TestQueryAllSpansGroups(t *testing.T) {
+	leak.Check(t)
 	tc := newCluster(t, 6, nil) // groups {0,1,2} {3,4,5}
 	comp, err := adderSpec("adder", "1.0.0").Build()
 	if err != nil {
@@ -537,6 +554,7 @@ func TestQueryAllSpansGroups(t *testing.T) {
 }
 
 func TestAntiEntropyRejoinAfterFalseExpulsion(t *testing.T) {
+	leak.Check(t)
 	tc := newCluster(t, 4, nil)
 	waitFor(t, 3*time.Second, "convergence", func() bool {
 		return tc.agents[0].Directory().Len() == 4
@@ -557,6 +575,7 @@ func TestAntiEntropyRejoinAfterFalseExpulsion(t *testing.T) {
 }
 
 func TestJoinForwardedThroughNonRootContact(t *testing.T) {
+	leak.Check(t)
 	// Join via a contact that is NOT the root leader: the contact must
 	// forward to the root and return a directory that includes the
 	// newcomer.

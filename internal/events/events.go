@@ -60,6 +60,7 @@ type Channel struct {
 	nextID int
 	closed bool
 	seq    atomic.Uint64
+	wg     sync.WaitGroup // one count per live deliverLoop
 
 	published atomic.Uint64
 	delivered atomic.Uint64
@@ -119,6 +120,7 @@ func (c *Channel) Subscribe(name string, fn Consumer) (cancel func()) {
 		return func() {}
 	}
 
+	c.wg.Add(1)
 	go c.deliverLoop(s)
 
 	var once sync.Once
@@ -188,12 +190,21 @@ func (c *Channel) detachAll() map[int]*subscriber {
 	return subs
 }
 
-// Close tears the channel down; subscribers' delivery loops drain and
-// exit.
+// Close tears the channel down and waits for the subscribers' delivery
+// loops to drain their queues and exit. Only the call that actually
+// closes the channel waits; once teardown is underway, Close from any
+// goroutine (including a consumer callback) returns immediately. A
+// consumer callback must not be the one to initiate Close — it would
+// wait on its own delivery loop.
 func (c *Channel) Close() {
-	for _, s := range c.detachAll() {
+	subs := c.detachAll()
+	if subs == nil {
+		return
+	}
+	for _, s := range subs {
 		s.close()
 	}
+	c.wg.Wait()
 }
 
 func (s *subscriber) enqueue(ev Event, policy OverflowPolicy) bool {
@@ -242,6 +253,7 @@ func (s *subscriber) next() (Event, bool) {
 }
 
 func (c *Channel) deliverLoop(s *subscriber) {
+	defer c.wg.Done()
 	for {
 		ev, ok := s.next()
 		if !ok {

@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"corbalc/internal/leak"
 )
 
 func collect(ch *Channel, name string, into *[]Event, mu *sync.Mutex, wg *sync.WaitGroup) func() {
@@ -20,6 +22,7 @@ func collect(ch *Channel, name string, into *[]Event, mu *sync.Mutex, wg *sync.W
 }
 
 func TestPushDeliversInOrder(t *testing.T) {
+	leak.Check(t)
 	ch := NewChannel("IDL:test/E:1.0", 64, Block)
 	defer ch.Close()
 	var got []Event
@@ -51,6 +54,7 @@ func TestPushDeliversInOrder(t *testing.T) {
 }
 
 func TestFanOutToManySubscribers(t *testing.T) {
+	leak.Check(t)
 	ch := NewChannel("IDL:test/E:1.0", 16, Block)
 	defer ch.Close()
 	const subs = 8
@@ -79,6 +83,7 @@ func TestFanOutToManySubscribers(t *testing.T) {
 }
 
 func TestCancelStopsDelivery(t *testing.T) {
+	leak.Check(t)
 	ch := NewChannel("e", 16, Block)
 	defer ch.Close()
 	var n atomic.Int64
@@ -98,6 +103,7 @@ func TestCancelStopsDelivery(t *testing.T) {
 }
 
 func TestDropOldestOverflow(t *testing.T) {
+	leak.Check(t)
 	ch := NewChannel("e", 2, DropOldest)
 	defer ch.Close()
 	release := make(chan struct{})
@@ -144,6 +150,7 @@ func TestDropOldestOverflow(t *testing.T) {
 }
 
 func TestBlockingBackpressure(t *testing.T) {
+	leak.Check(t)
 	ch := NewChannel("e", 1, Block)
 	defer ch.Close()
 	release := make(chan struct{})
@@ -182,6 +189,7 @@ func TestBlockingBackpressure(t *testing.T) {
 }
 
 func TestClosedChannelRejectsPush(t *testing.T) {
+	leak.Check(t)
 	ch := NewChannel("e", 4, Block)
 	ch.Close()
 	if err := ch.Push(Event{}); !errors.Is(err, ErrClosed) {
@@ -194,6 +202,7 @@ func TestClosedChannelRejectsPush(t *testing.T) {
 }
 
 func TestHubChannelPerKind(t *testing.T) {
+	leak.Check(t)
 	h := NewHub(8, Block)
 	defer h.Close()
 	a := h.Channel("IDL:a:1.0")
@@ -222,6 +231,7 @@ func TestHubChannelPerKind(t *testing.T) {
 }
 
 func TestConcurrentPublishers(t *testing.T) {
+	leak.Check(t)
 	ch := NewChannel("e", 256, Block)
 	defer ch.Close()
 	var n atomic.Int64

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"corbalc"
@@ -446,12 +447,18 @@ func E10Predictive(sc Scale) *Table {
 			})
 			member := c.Peers[1] // non-leader member: pure update sender
 			stop := make(chan struct{})
-			go trace.drive(member, stop)
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				trace.drive(member, stop)
+			}()
 			time.Sleep(150 * time.Millisecond) // settle the trace
 			before := member.Agent.Stats()
 			time.Sleep(window)
 			after := member.Agent.Stats()
 			close(stop)
+			wg.Wait() // the trace must stop touching member before c.Close()
 			t.Rows = append(t.Rows, []string{
 				trace.name, pol.name,
 				fmt.Sprint(after.UpdatesSent - before.UpdatesSent),

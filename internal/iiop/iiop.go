@@ -604,6 +604,7 @@ func (t *Transport) Dial(ctx context.Context, profile []byte) (orb.Channel, erro
 		maxFragment: maxFrag,
 		reapStop:    make(chan struct{}),
 	}
+	//lint:ignore goroutinelifetime readLoop's lifetime IS the socket: it exits when conn.Read fails, and Close closes conn
 	go c.readLoop()
 	if c.callTimeout > 0 {
 		go c.reaper()

@@ -11,6 +11,7 @@ import (
 	"corbalc/internal/component"
 	"corbalc/internal/container"
 	"corbalc/internal/ior"
+	"corbalc/internal/leak"
 	"corbalc/internal/orb"
 	"corbalc/internal/simnet"
 	"corbalc/internal/version"
@@ -90,6 +91,7 @@ func buildAdder(t *testing.T, name, ver string) *component.Component {
 }
 
 func TestInstallInstantiateInvoke(t *testing.T) {
+	leak.Check(t)
 	n := newTestNode(t, "alpha", WorkstationProfile())
 	id, err := n.Install(buildAdder(t, "adder", "1.0.0").Package().Bytes())
 	if err != nil {
@@ -124,6 +126,7 @@ func TestInstallInstantiateInvoke(t *testing.T) {
 }
 
 func TestInstallRejectsWrongPlatform(t *testing.T) {
+	leak.Check(t)
 	n := newTestNode(t, "alpha", WorkstationProfile())
 	spec := adderSpec("nicheware", "1.0.0")
 	spec.Platforms = [][2]string{{"plan9", "mips"}}
@@ -137,6 +140,7 @@ func TestInstallRejectsWrongPlatform(t *testing.T) {
 }
 
 func TestPDARefusesInstallButKeepsRemoteUse(t *testing.T) {
+	leak.Check(t)
 	pda := newTestNode(t, "pda-1", PDAProfile())
 	// A PDA is a fixed node: installation refused outright.
 	if _, err := pda.Install(buildAdder(t, "adder", "1.0.0").Package().Bytes()); !errors.Is(err, ErrFixedNode) {
@@ -159,6 +163,7 @@ func TestPDARefusesInstallButKeepsRemoteUse(t *testing.T) {
 }
 
 func TestLocalQueryAndVersions(t *testing.T) {
+	leak.Check(t)
 	n := newTestNode(t, "alpha", WorkstationProfile())
 	for _, ver := range []string{"1.0.0", "1.5.0", "2.0.0"} {
 		if _, err := n.InstallComponent(buildAdder(t, "adder", ver)); err != nil {
@@ -189,6 +194,7 @@ func TestLocalQueryAndVersions(t *testing.T) {
 }
 
 func TestLocalResolverReusesInstance(t *testing.T) {
+	leak.Check(t)
 	n := newTestNode(t, "alpha", WorkstationProfile())
 	if _, err := n.InstallComponent(buildAdder(t, "adder", "1.0.0")); err != nil {
 		t.Fatal(err)
@@ -211,6 +217,7 @@ func TestLocalResolverReusesInstance(t *testing.T) {
 }
 
 func TestReportMarshalRoundTrip(t *testing.T) {
+	leak.Check(t)
 	n := newTestNode(t, "alpha", ServerProfile())
 	r := n.Report()
 	e := cdr.NewEncoder(cdr.BigEndian)
@@ -232,6 +239,7 @@ func TestReportMarshalRoundTrip(t *testing.T) {
 }
 
 func TestOfferMarshalRoundTrip(t *testing.T) {
+	leak.Check(t)
 	in := &Offer{
 		ComponentID: "adder-1.0.0",
 		Node:        "alpha",
@@ -279,6 +287,7 @@ func twoNodesOverSimnet(t *testing.T) (*Node, *Node, *simnet.Network) {
 }
 
 func TestRemoteInstallQueryInstantiateOverCORBA(t *testing.T) {
+	leak.Check(t)
 	a, b, _ := twoNodesOverSimnet(t)
 
 	// beta installs the component on alpha through alpha's acceptor —
@@ -350,6 +359,7 @@ func TestRemoteInstallQueryInstantiateOverCORBA(t *testing.T) {
 }
 
 func TestPackageFetchBetweenNodes(t *testing.T) {
+	leak.Check(t)
 	a, b, _ := twoNodesOverSimnet(t)
 	if _, err := a.InstallComponent(buildAdder(t, "adder", "1.0.0")); err != nil {
 		t.Fatal(err)
@@ -380,6 +390,7 @@ func TestPackageFetchBetweenNodes(t *testing.T) {
 }
 
 func TestMigrationViaAcceptorCapsule(t *testing.T) {
+	leak.Check(t)
 	a, b, _ := twoNodesOverSimnet(t)
 	comp := buildAdder(t, "adder", "1.0.0")
 	if _, err := a.InstallComponent(comp); err != nil {
@@ -451,6 +462,7 @@ func TestMigrationViaAcceptorCapsule(t *testing.T) {
 }
 
 func TestUninstallClosesContainer(t *testing.T) {
+	leak.Check(t)
 	n := newTestNode(t, "alpha", WorkstationProfile())
 	comp := buildAdder(t, "adder", "1.0.0")
 	id, err := n.InstallComponent(comp)
@@ -479,6 +491,7 @@ func TestUninstallClosesContainer(t *testing.T) {
 }
 
 func TestAdmitReleasesOnDestroy(t *testing.T) {
+	leak.Check(t)
 	prof := WorkstationProfile()
 	prof.CPUCores = 0.25 // room for exactly two 0.1-CPU instances
 	n := newTestNode(t, "small", prof)

@@ -14,11 +14,13 @@ import (
 	"corbalc/internal/cpkg"
 	"corbalc/internal/events"
 	"corbalc/internal/ior"
+	"corbalc/internal/leak"
 	"corbalc/internal/orb"
 	"corbalc/internal/xmldesc"
 )
 
 func TestResourceServantOverCORBA(t *testing.T) {
+	leak.Check(t)
 	n := newTestNode(t, "rs", ServerProfile())
 	rm := n.ORB().NewRef(n.ResourcesIOR())
 
@@ -74,6 +76,7 @@ func TestResourceServantOverCORBA(t *testing.T) {
 }
 
 func TestRegistryServantDigestFactoryAndInstances(t *testing.T) {
+	leak.Check(t)
 	n := newTestNode(t, "rg", WorkstationProfile())
 	reg := n.ORB().NewRef(n.RegistryIOR())
 
@@ -174,6 +177,7 @@ func TestRegistryServantDigestFactoryAndInstances(t *testing.T) {
 }
 
 func TestAcceptorUninstallAndEventServiceOps(t *testing.T) {
+	leak.Check(t)
 	n := newTestNode(t, "au", WorkstationProfile())
 	acc := n.ORB().NewRef(n.AcceptorIOR())
 	id, err := n.InstallComponent(buildAdder(t, "adder", "1.0.0"))
@@ -204,6 +208,7 @@ func TestAcceptorUninstallAndEventServiceOps(t *testing.T) {
 }
 
 func TestEventServicePushAndBridge(t *testing.T) {
+	leak.Check(t)
 	a, b, _ := twoNodesOverSimnet(t)
 
 	// Local subscriber on b counts arrivals.
@@ -271,6 +276,7 @@ func waitCount(t *testing.T, n *atomic.Int64, want int64) {
 }
 
 func TestTrustedKeysGateInstalls(t *testing.T) {
+	leak.Check(t)
 	pub, priv, err := ed25519.GenerateKey(rand.Reader)
 	if err != nil {
 		t.Fatal(err)
@@ -336,6 +342,7 @@ func TestTrustedKeysGateInstalls(t *testing.T) {
 }
 
 func TestNodeAccessors(t *testing.T) {
+	leak.Check(t)
 	n := newTestNode(t, "acc", PDAProfile())
 	if n.Name() != "acc" || n.NodeName() != "acc" {
 		t.Fatal("names")
