@@ -53,6 +53,9 @@ bench:
 ## away; throughput benchmarks need wall-clock (-benchtime=1s) for a
 ## stable calls/s; the E1/E3 experiments run once (they are
 ## whole-testbed simulations).
+## The event-fabric fan-out gate renders BENCH_6.json: delivered
+## events/s across 10k subscribers must stay above 100k (DESIGN.md
+## §12; 6.1M at recording time).
 bench-json:
 	@{ \
 	$(GO) test -run='^$$' -bench='E1_Invocation|E3_SoftVsStrongConsistency' -benchtime=1x -benchmem . && \
@@ -68,6 +71,10 @@ bench-json:
 		-max BenchmarkTCPRoundTrip=37 \
 		-max 'BenchmarkConcurrentTCPThroughput/C=64=10' \
 		-min 'BenchmarkConcurrentTCPThroughput/C=64:calls/s=210000'
+	@$(GO) test -run='^$$' -bench='EventFanout' -benchtime=1s -benchmem ./internal/events \
+	| $(GO) run ./cmd/corbalc-benchgate -json BENCH_6.json \
+		-max 'BenchmarkEventFanout/subs=10000=0' \
+		-min 'BenchmarkEventFanout/subs=10000:events/s=100000'
 
 ## fmt: fail (listing offenders) if any file is not gofmt-clean.
 fmt:

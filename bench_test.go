@@ -171,6 +171,22 @@ func BenchmarkE10_PredictiveUpdates(b *testing.B) {
 	}
 }
 
+func BenchmarkE11_EventFanout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.E11FanOut(benchScale)
+		if i == b.N-1 {
+			logTable(b, t)
+			for _, row := range t.Rows {
+				if row[0] == "10000" && row[1] == "block" {
+					if v, ok := parseCell(row[3]); ok {
+						b.ReportMetric(v, "events/s-10k-subs")
+					}
+				}
+			}
+		}
+	}
+}
+
 func BenchmarkA1_FanoutAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t := experiments.A1Fanout(benchScale)

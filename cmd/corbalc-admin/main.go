@@ -14,6 +14,7 @@
 //	install <node> <pkg.zip>    install a package on a node
 //	instantiate <node> <component-id> <instance>
 //	ports <node> <component-id> <instance>   show an instance's port states
+//	events <node>               event-fabric counters (published/delivered/dropped)
 //	deploy <assembly.xml> [listen-addr]
 //	    join as an ephemeral peer and deploy an application assembly at
 //	    run time (instances land on the currently best nodes)
@@ -245,6 +246,54 @@ func main() {
 						return nil
 					})
 			}
+		}
+	case "events":
+		// events <node>: the node's event-fabric counters — one line per
+		// channel plus a dropped total, so overflow policies are
+		// observable from outside (DESIGN.md §12).
+		nd := nodeArg(dir, args, 1)
+		var evRef *ior.IOR
+		must(o.NewRef(nd.Acceptor).Invoke("event_service", nil,
+			func(d *cdr.Decoder) error { var e error; evRef, e = ior.Unmarshal(d); return e }))
+		var total uint64
+		var rows int
+		must(o.NewRef(evRef).Invoke("events_stats", nil, func(d *cdr.Decoder) error {
+			n, err := d.ReadULong()
+			if err != nil {
+				return err
+			}
+			for i := uint32(0); i < n; i++ {
+				typeID, err := d.ReadString()
+				if err != nil {
+					return err
+				}
+				pub, err := d.ReadULongLong()
+				if err != nil {
+					return err
+				}
+				del, err := d.ReadULongLong()
+				if err != nil {
+					return err
+				}
+				drop, err := d.ReadULongLong()
+				if err != nil {
+					return err
+				}
+				subs, err := d.ReadULong()
+				if err != nil {
+					return err
+				}
+				total += drop
+				rows++
+				fmt.Printf("%-40s published=%-8d delivered=%-8d dropped=%-6d subscribers=%d\n",
+					typeID, pub, del, drop, subs)
+			}
+			return nil
+		}))
+		if rows == 0 {
+			fmt.Println("(no event channels)")
+		} else {
+			fmt.Printf("total dropped: %d\n", total)
 		}
 	case "deploy":
 		// deploy <assembly.xml> [listen-addr]: join the network as an

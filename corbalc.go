@@ -33,6 +33,7 @@ import (
 	"corbalc/internal/cohesion"
 	"corbalc/internal/component"
 	"corbalc/internal/deploy"
+	"corbalc/internal/events"
 	"corbalc/internal/iiop"
 	"corbalc/internal/ior"
 	"corbalc/internal/node"
@@ -68,6 +69,26 @@ type Options struct {
 	// Zero values select the documented defaults; peers on simnet
 	// ignore it.
 	IIOP IIOPOptions
+	// Events tunes the node's event fabric (DESIGN.md §12). Zero
+	// values select the documented defaults.
+	Events EventOptions
+}
+
+// EventOptions carries the event-fabric knobs through the facade
+// (DESIGN.md §12). Zero values select the defaults documented in
+// internal/events.
+type EventOptions struct {
+	// QueueDepth sizes per-subscriber event queues (default 256).
+	QueueDepth int
+	// Overflow selects what Push does on a full subscriber queue:
+	// events.Block (default, backpressure), events.DropOldest or
+	// events.DropNewest. Drops are observable through the hub's
+	// counters (corbalc-admin `events`).
+	Overflow events.OverflowPolicy
+	// BatchWindow makes batch subscribers (remote event subscriptions)
+	// coalesce a trickle of events into window-sized batches (default
+	// 0: deliver immediately).
+	BatchWindow time.Duration
 }
 
 // IIOPOptions carries the IIOP/TCP concurrency knobs through the
@@ -109,10 +130,13 @@ type Peer struct {
 // NewPeer assembles a peer (not yet part of any logical network).
 func NewPeer(name string, opts Options) *Peer {
 	n := node.New(node.Config{
-		Name:        name,
-		Impls:       opts.Impls,
-		Profile:     opts.Profile,
-		TrustedKeys: opts.TrustedKeys,
+		Name:             name,
+		Impls:            opts.Impls,
+		Profile:          opts.Profile,
+		TrustedKeys:      opts.TrustedKeys,
+		EventQueueDepth:  opts.Events.QueueDepth,
+		EventOverflow:    opts.Events.Overflow,
+		EventBatchWindow: opts.Events.BatchWindow,
 	})
 	agent := cohesion.NewAgent(cohesion.Config{
 		Node:           n,

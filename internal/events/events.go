@@ -3,17 +3,23 @@
 // the framework opens a push-model event channel; consumers subscribe to
 // express interest in that kind.
 //
-// A Hub manages one Channel per event type ID. Delivery to each
-// subscriber is decoupled through a bounded per-subscriber queue drained
-// by a dedicated goroutine, so one slow consumer cannot stall producers
-// or its peers; the overflow policy is configurable (block vs drop
-// oldest).
+// A Hub manages one Channel per event type ID. The channel is built for
+// fan-out: publication walks a copy-on-write subscriber list (no lock,
+// no allocation on the push path), and delivery to each subscriber is
+// decoupled through a bounded per-subscriber queue drained by a
+// dedicated goroutine — one slow consumer cannot stall producers or its
+// peers. The overflow policy is explicit (block, drop oldest, drop
+// newest) and observable (Dropped), and drains are batched: a delivery
+// loop takes everything queued in one lock acquisition and can hand the
+// whole run to a BatchConsumer, which is how remote subscribers ride the
+// transport's write-coalescing layer one batch at a time.
 package events
 
 import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Event is one occurrence pushed through a channel. The payload is
@@ -31,9 +37,15 @@ type Event struct {
 	Data []byte
 }
 
-// Consumer receives events; it runs on the subscriber's delivery
-// goroutine, in publication order.
+// Consumer receives events one at a time; it runs on the subscriber's
+// delivery goroutine, in publication order.
 type Consumer func(Event)
+
+// BatchConsumer receives a run of queued events in one call — whatever
+// the delivery loop drained in one pass, at most the channel's MaxBatch.
+// The slice is reused between calls: a consumer that retains events past
+// its return must copy them.
+type BatchConsumer func([]Event)
 
 // OverflowPolicy selects behaviour when a subscriber queue is full.
 type OverflowPolicy int
@@ -44,20 +56,54 @@ const (
 	Block OverflowPolicy = iota
 	// DropOldest discards the oldest queued event to admit the new one.
 	DropOldest
+	// DropNewest discards the event being pushed, keeping the queue.
+	DropNewest
 )
 
 // ErrClosed reports publication on a closed channel.
 var ErrClosed = errors.New("events: channel closed")
 
+// DefaultMaxBatch bounds one delivery-loop drain when Config.MaxBatch is
+// zero.
+const DefaultMaxBatch = 64
+
+// Config tunes a channel (and, via the hub, every channel of a node).
+type Config struct {
+	// Depth is the per-subscriber queue capacity (minimum 1).
+	Depth int
+	// Policy selects the overflow behaviour on a full subscriber queue.
+	Policy OverflowPolicy
+	// MaxBatch bounds how many events one delivery pass drains (and the
+	// largest slice a BatchConsumer sees). Zero means DefaultMaxBatch.
+	MaxBatch int
+	// BatchWindow makes a batch subscriber's delivery loop pause after
+	// draining the queue dry, so a trickle of events coalesces into
+	// window-sized batches instead of N single-event deliveries. Zero
+	// delivers immediately. Per-event consumers ignore it.
+	BatchWindow time.Duration
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.Depth < 1 {
+		c.Depth = 1
+	}
+	if c.MaxBatch < 1 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	return c
+}
+
 // Channel is one push event channel.
 type Channel struct {
 	typeID string
-	policy OverflowPolicy
-	depth  int
+	cfg    Config
+
+	// subs is the copy-on-write subscriber list Push reads lock-free;
+	// nil marks the channel closed. Mutations happen under mu.
+	subs atomic.Pointer[[]*subscriber]
 
 	mu     sync.Mutex
-	subs   map[int]*subscriber
-	nextID int
 	closed bool
 	seq    atomic.Uint64
 	wg     sync.WaitGroup // one count per live deliverLoop
@@ -69,9 +115,11 @@ type Channel struct {
 
 type subscriber struct {
 	name string
-	fn   Consumer
+	fn   Consumer      // exactly one of fn
+	bfn  BatchConsumer // and bfn is set
+
 	mu   sync.Mutex
-	cond *sync.Cond
+	cond sync.Cond
 	// ring buffer
 	buf    []Event
 	start  int
@@ -82,95 +130,125 @@ type subscriber struct {
 // NewChannel creates a channel for one event kind. depth is the
 // per-subscriber queue capacity (minimum 1).
 func NewChannel(typeID string, depth int, policy OverflowPolicy) *Channel {
-	if depth < 1 {
-		depth = 1
-	}
-	return &Channel{typeID: typeID, policy: policy, depth: depth, subs: make(map[int]*subscriber)}
+	return NewChannelConfig(typeID, Config{Depth: depth, Policy: policy})
+}
+
+// NewChannelConfig creates a channel with the full set of knobs.
+func NewChannelConfig(typeID string, cfg Config) *Channel {
+	c := &Channel{typeID: typeID, cfg: cfg.withDefaults()}
+	empty := make([]*subscriber, 0)
+	c.subs.Store(&empty)
+	return c
 }
 
 // TypeID returns the event kind this channel carries.
 func (c *Channel) TypeID() string { return c.typeID }
 
 // Stats reports lifetime counters: published events, deliveries made
-// (one per event per subscriber) and deliveries dropped by overflow.
+// (one per event per subscriber) and deliveries dropped by overflow or
+// teardown.
 func (c *Channel) Stats() (published, delivered, dropped uint64) {
 	return c.published.Load(), c.delivered.Load(), c.dropped.Load()
 }
 
-// addSubscriber registers s, returning its id, or false when the
-// channel is already closed.
-func (c *Channel) addSubscriber(s *subscriber) (int, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return 0, false
-	}
-	id := c.nextID
-	c.nextID++
-	c.subs[id] = s
-	return id, true
+// Dropped reports how many deliveries the channel discarded: overflow
+// under DropOldest/DropNewest, plus events refused by a closing
+// subscriber. A non-zero value is the observable cost of the configured
+// drop policy.
+func (c *Channel) Dropped() uint64 { return c.dropped.Load() }
+
+// Subscribe registers a per-event consumer and returns a cancel
+// function.
+func (c *Channel) Subscribe(name string, fn Consumer) (cancel func()) {
+	return c.subscribe(&subscriber{name: name, fn: fn})
 }
 
-// Subscribe registers a consumer and returns a cancel function.
-func (c *Channel) Subscribe(name string, fn Consumer) (cancel func()) {
-	s := &subscriber{name: name, fn: fn, buf: make([]Event, c.depth)}
-	s.cond = sync.NewCond(&s.mu)
-	id, ok := c.addSubscriber(s)
-	if !ok {
+// SubscribeBatch registers a batch consumer: the delivery loop hands it
+// whole drained runs (up to MaxBatch events), coalescing trickle into
+// batches when BatchWindow is set. Returns a cancel function.
+func (c *Channel) SubscribeBatch(name string, fn BatchConsumer) (cancel func()) {
+	return c.subscribe(&subscriber{name: name, bfn: fn})
+}
+
+func (c *Channel) subscribe(s *subscriber) (cancel func()) {
+	s.cond.L = &s.mu
+	s.buf = make([]Event, c.cfg.Depth)
+
+	if !c.attach(s) {
 		return func() {}
 	}
-
-	c.wg.Add(1)
 	go c.deliverLoop(s)
 
 	var once sync.Once
 	return func() {
 		once.Do(func() {
 			c.mu.Lock()
-			delete(c.subs, id)
+			if !c.closed {
+				c.editSubs(func(subs []*subscriber) []*subscriber {
+					out := make([]*subscriber, 0, len(subs))
+					for _, x := range subs {
+						if x != s {
+							out = append(out, x)
+						}
+					}
+					return out
+				})
+			}
 			c.mu.Unlock()
 			s.close()
 		})
 	}
 }
 
-// SubscriberCount reports the current number of subscribers.
-func (c *Channel) SubscriberCount() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.subs)
-}
-
-// snapshotSubs returns the current subscriber set, or ErrClosed.
-func (c *Channel) snapshotSubs() ([]*subscriber, error) {
+// attach adds s to the live subscriber list and charges its delivery
+// loop to the channel's WaitGroup; false if the channel is closed.
+func (c *Channel) attach(s *subscriber) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return nil, ErrClosed
+		return false
 	}
-	subs := make([]*subscriber, 0, len(c.subs))
-	for _, s := range c.subs {
-		subs = append(subs, s)
+	c.editSubs(func(subs []*subscriber) []*subscriber {
+		return append(subs, s)
+	})
+	c.wg.Add(1)
+	return true
+}
+
+// editSubs swaps in an edited copy of the subscriber list. Caller holds
+// c.mu (which serialises writers; Push readers are lock-free).
+func (c *Channel) editSubs(edit func([]*subscriber) []*subscriber) {
+	cur := c.subs.Load()
+	if cur == nil {
+		return
 	}
-	return subs, nil
+	next := edit(append([]*subscriber(nil), (*cur)...))
+	c.subs.Store(&next)
+}
+
+// SubscriberCount reports the current number of subscribers.
+func (c *Channel) SubscriberCount() int {
+	if subs := c.subs.Load(); subs != nil {
+		return len(*subs)
+	}
+	return 0
 }
 
 // Push publishes an event to every current subscriber. The event's Seq
-// and TypeID fields are set by the channel.
+// and TypeID fields are set by the channel. The subscriber list is read
+// lock-free and nothing is allocated: at fan-out rates the push path is
+// the producer's hot loop.
 func (c *Channel) Push(ev Event) error {
-	subs, err := c.snapshotSubs()
-	if err != nil {
-		return err
+	subs := c.subs.Load()
+	if subs == nil {
+		return ErrClosed
 	}
-
 	ev.TypeID = c.typeID
 	ev.Seq = c.seq.Add(1)
 	c.published.Add(1)
-	for _, s := range subs {
-		if s.enqueue(ev, c.policy) {
-			c.delivered.Add(1)
-		} else {
-			c.dropped.Add(1)
+	for _, s := range *subs {
+		if d := s.enqueue(ev, c.cfg.Policy); d != 0 {
+			c.dropped.Add(d)
 		}
 	}
 	return nil
@@ -178,16 +256,19 @@ func (c *Channel) Push(ev Event) error {
 
 // detachAll marks the channel closed and hands back the subscribers to
 // shut down; nil when the channel was already closed.
-func (c *Channel) detachAll() map[int]*subscriber {
+func (c *Channel) detachAll() []*subscriber {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return nil
 	}
 	c.closed = true
-	subs := c.subs
-	c.subs = make(map[int]*subscriber)
-	return subs
+	subs := c.subs.Load()
+	c.subs.Store(nil)
+	if subs == nil {
+		return nil
+	}
+	return *subs
 }
 
 // Close tears the channel down and waits for the subscribers' delivery
@@ -207,24 +288,34 @@ func (c *Channel) Close() {
 	c.wg.Wait()
 }
 
-func (s *subscriber) enqueue(ev Event, policy OverflowPolicy) bool {
+// enqueue admits ev to the subscriber queue under the channel's overflow
+// policy, reporting how many deliveries were dropped to do so: the
+// displaced event under DropOldest, the pushed event under DropNewest
+// (or when the subscriber is closing).
+func (s *subscriber) enqueue(ev Event, policy OverflowPolicy) (dropped uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for s.count == len(s.buf) && !s.closed {
-		if policy == DropOldest {
+		switch policy {
+		case DropOldest:
 			s.start = (s.start + 1) % len(s.buf)
 			s.count--
-			break
+			dropped++
+		case DropNewest:
+			return 1
+		default: // Block: backpressure the producer
+			s.cond.Wait()
+			continue
 		}
-		s.cond.Wait()
+		break
 	}
 	if s.closed {
-		return false
+		return dropped + 1
 	}
 	s.buf[(s.start+s.count)%len(s.buf)] = ev
 	s.count++
 	s.cond.Broadcast()
-	return true
+	return dropped
 }
 
 func (s *subscriber) close() {
@@ -234,47 +325,90 @@ func (s *subscriber) close() {
 	s.mu.Unlock()
 }
 
-// next blocks until an event is buffered (returned even after close, so
-// the queue drains) or the subscriber closes empty.
-func (s *subscriber) next() (Event, bool) {
+// take blocks until events are buffered (returned even after close, so
+// the queue drains) and moves up to len(dst) of them into dst in one
+// lock acquisition; ok is false once the subscriber closed empty.
+func (s *subscriber) take(dst []Event) (n int, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for s.count == 0 && !s.closed {
 		s.cond.Wait()
 	}
 	if s.count == 0 {
-		return Event{}, false
+		return 0, false
 	}
-	ev := s.buf[s.start]
-	s.start = (s.start + 1) % len(s.buf)
-	s.count--
+	n = min(s.count, len(dst))
+	for i := 0; i < n; i++ {
+		dst[i] = s.buf[s.start]
+		s.buf[s.start] = Event{} // do not pin payloads in the ring
+		s.start = (s.start + 1) % len(s.buf)
+	}
+	s.count -= n
 	s.cond.Broadcast()
-	return ev, true
+	return n, true
 }
 
+// drained reports an empty, still-open queue (the batch-window probe).
+func (s *subscriber) drained() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count == 0 && !s.closed
+}
+
+// deliverLoop drains the subscriber queue in batches: each pass takes
+// everything buffered (bounded by MaxBatch) in one lock acquisition and
+// hands it to the consumer — whole runs to a BatchConsumer, in-order
+// single calls otherwise.
 func (c *Channel) deliverLoop(s *subscriber) {
 	defer c.wg.Done()
+	batch := make([]Event, c.cfg.MaxBatch)
 	for {
-		ev, ok := s.next()
+		n, ok := s.take(batch)
 		if !ok {
 			return
 		}
-		s.fn(ev)
+		c.delivered.Add(uint64(n))
+		if s.bfn != nil {
+			s.bfn(batch[:n])
+			if c.cfg.BatchWindow > 0 && s.drained() {
+				// Let a trickle accumulate into the next batch instead
+				// of waking per event; teardown pays at most one window.
+				time.Sleep(c.cfg.BatchWindow)
+			}
+		} else {
+			for _, ev := range batch[:n] {
+				s.fn(ev)
+			}
+		}
 	}
+}
+
+// ChannelStats is one channel's counters, as reported by a hub.
+type ChannelStats struct {
+	TypeID      string
+	Published   uint64
+	Delivered   uint64
+	Dropped     uint64
+	Subscribers int
 }
 
 // Hub manages the per-event-kind channels of one node's framework.
 type Hub struct {
 	mu       sync.Mutex
 	channels map[string]*Channel
-	depth    int
-	policy   OverflowPolicy
+	cfg      Config
 }
 
 // NewHub returns a hub creating channels with the given queue depth and
 // overflow policy.
 func NewHub(depth int, policy OverflowPolicy) *Hub {
-	return &Hub{channels: make(map[string]*Channel), depth: depth, policy: policy}
+	return NewHubConfig(Config{Depth: depth, Policy: policy})
+}
+
+// NewHubConfig returns a hub creating channels with the full set of
+// knobs.
+func NewHubConfig(cfg Config) *Hub {
+	return &Hub{channels: make(map[string]*Channel), cfg: cfg.withDefaults()}
 }
 
 // Channel returns (creating on first use) the channel for an event kind.
@@ -283,7 +417,7 @@ func (h *Hub) Channel(typeID string) *Channel {
 	defer h.mu.Unlock()
 	c, ok := h.channels[typeID]
 	if !ok {
-		c = NewChannel(typeID, h.depth, h.policy)
+		c = NewChannelConfig(typeID, h.cfg)
 		h.channels[typeID] = c
 	}
 	return c
@@ -296,6 +430,44 @@ func (h *Hub) Kinds() []string {
 	out := make([]string, 0, len(h.channels))
 	for k := range h.channels {
 		out = append(out, k)
+	}
+	return out
+}
+
+// Dropped reports the total deliveries dropped across every channel —
+// the hub-level view of the drop policy's cost.
+func (h *Hub) Dropped() uint64 {
+	var total uint64
+	for _, c := range h.snapshot() {
+		total += c.Dropped()
+	}
+	return total
+}
+
+// ChannelStats reports every channel's counters (order unspecified).
+func (h *Hub) ChannelStats() []ChannelStats {
+	chans := h.snapshot()
+	out := make([]ChannelStats, 0, len(chans))
+	for _, c := range chans {
+		pub, del, drop := c.Stats()
+		out = append(out, ChannelStats{
+			TypeID:      c.TypeID(),
+			Published:   pub,
+			Delivered:   del,
+			Dropped:     drop,
+			Subscribers: c.SubscriberCount(),
+		})
+	}
+	return out
+}
+
+// snapshot lists the current channels.
+func (h *Hub) snapshot() []*Channel {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]*Channel, 0, len(h.channels))
+	for _, c := range h.channels {
+		out = append(out, c)
 	}
 	return out
 }

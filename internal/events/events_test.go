@@ -140,12 +140,14 @@ func TestDropOldestOverflow(t *testing.T) {
 	if len(got) != 3 || got[0] != 0 || got[1] != 3 || got[2] != 4 {
 		t.Fatalf("got = %v, want [0 3 4]", got)
 	}
-	_, _, dropped := ch.Stats()
-	if dropped != 0 {
-		// DropOldest drops *queued* events, which still count as
-		// delivered-attempted; the dropped counter tracks enqueue
-		// failures (closed subscriber), so it must be zero here.
-		t.Fatalf("dropped = %d", dropped)
+	// Events 1 and 2 were displaced by the overflow: the drop policy's
+	// cost is observable through the counter.
+	if got := ch.Dropped(); got != 2 {
+		t.Fatalf("dropped = %d, want 2", got)
+	}
+	pub, del, _ := ch.Stats()
+	if pub != 5 || del != 3 {
+		t.Fatalf("stats = %d published, %d delivered; want 5, 3", pub, del)
 	}
 }
 

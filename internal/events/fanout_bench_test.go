@@ -1,0 +1,52 @@
+package events
+
+// High-fan-out benchmark: one publisher, N subscribers, measuring
+// delivered events per second (each push counts once per subscriber).
+// BENCH_6 gates the subs=10000 case at 100k events/s — the "100k+
+// subscriber fan-out" target of DESIGN.md §12.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func benchmarkFanOut(b *testing.B, subs int) {
+	ch := NewChannelConfig("IDL:bench/E:1.0", Config{Depth: 256, Policy: Block})
+	defer ch.Close()
+
+	var delivered atomic.Int64
+	for i := 0; i < subs; i++ {
+		defer ch.SubscribeBatch("s", func(batch []Event) {
+			delivered.Add(int64(len(batch)))
+		})()
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	ev := Event{Source: "bench", Data: []byte("payload")}
+	for i := 0; i < b.N; i++ {
+		if err := ch.Push(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// The fan-out isn't done until every subscriber drained its queue.
+	want := int64(b.N) * int64(subs)
+	for delivered.Load() < want {
+		time.Sleep(50 * time.Microsecond)
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	b.ReportMetric(float64(want)/elapsed.Seconds(), "events/s")
+	b.ReportMetric(float64(elapsed.Nanoseconds())/float64(b.N), "ns/push-fanout")
+}
+
+func BenchmarkEventFanout(b *testing.B) {
+	for _, subs := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			benchmarkFanOut(b, subs)
+		})
+	}
+}

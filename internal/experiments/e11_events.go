@@ -1,0 +1,95 @@
+package experiments
+
+// E11: the event-fabric fan-out experiment. The paper's environment
+// (§2.1.2) notifies components of resource and topology changes by
+// *pushing* events; a node hosting many components therefore needs an
+// event channel whose publisher cost does not grow with the number of
+// subscribers and whose overflow behaviour is an explicit policy, not
+// an accident. E11 drives the internal/events fabric directly — one
+// publisher, N subscribers — across subscriber counts and overflow
+// policies and reports the delivered fan-out rate plus the drop
+// counters the policies expose.
+
+import (
+	"fmt"
+	"time"
+
+	"corbalc/internal/events"
+)
+
+// E11FanOut measures push fan-out throughput of the event fabric.
+func E11FanOut(sc Scale) *Table {
+	t := &Table{
+		ID:    "E11",
+		Title: "Event fan-out vs subscriber count and overflow policy",
+		Claim: "push-style event channels (§2.1.2) scale to thousands of subscribers; overflow is a bounded-queue policy with accounted drops, not publisher back-pressure surprise",
+		Columns: []string{
+			"subscribers", "policy", "published", "events/s", "delivered", "dropped",
+		},
+		Notes: "one publisher bursting into per-subscriber bounded queues (depth 64); delivered+dropped always equals published×subscribers",
+	}
+	policies := []struct {
+		name   string
+		policy events.OverflowPolicy
+	}{
+		{"block", events.Block},
+		{"drop-oldest", events.DropOldest},
+		{"drop-newest", events.DropNewest},
+	}
+	for _, subs := range []int{100, 1000, sc.nodes(10000)} {
+		// Budget roughly two million deliveries per row so the 10k-
+		// subscriber case stays CI-sized; scale with the window knob.
+		n := int(float64(2_000_000/subs) * sc.Seconds)
+		if n < 100 {
+			n = 100
+		}
+		for _, pol := range policies {
+			pub, rate, del, drop := fanOutRun(subs, n, pol.policy)
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(subs), pol.name, fmt.Sprint(pub),
+				fmt.Sprintf("%.0f", rate), fmt.Sprint(del), fmt.Sprint(drop),
+			})
+		}
+	}
+	return t
+}
+
+// fanOutRun publishes n events to a channel with subs subscribers and
+// waits until every delivery is either made or accounted as dropped.
+func fanOutRun(subs, n int, policy events.OverflowPolicy) (published uint64, rate float64, delivered, dropped uint64) {
+	ch := events.NewChannelConfig("IDL:experiments/E11:1.0", events.Config{
+		Depth:  64,
+		Policy: policy,
+	})
+	defer ch.Close()
+	for i := 0; i < subs; i++ {
+		defer ch.SubscribeBatch("e11", func([]events.Event) {})()
+	}
+
+	start := time.Now()
+	ev := events.Event{Source: "e11", Data: []byte("x")}
+	for i := 0; i < n; i++ {
+		if err := ch.Push(ev); err != nil {
+			panic(err)
+		}
+	}
+	// Every enqueued delivery ends as delivered or dropped; wait for the
+	// ledger to balance so the rate covers the full drain.
+	want := uint64(n) * uint64(subs)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var pub uint64
+		pub, delivered, dropped = ch.Stats()
+		if delivered+dropped >= want {
+			published = pub
+			break
+		}
+		if time.Now().After(deadline) {
+			panic(fmt.Sprintf("experiments: E11 drain stalled at %d/%d", delivered+dropped, want))
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	elapsed := time.Since(start)
+	rate = float64(delivered) / elapsed.Seconds()
+	return published, rate, delivered, dropped
+}

@@ -112,6 +112,7 @@ func All(sc Scale) []*Table {
 		E8TinyDevices(sc),
 		E9Grid(sc),
 		E10Predictive(sc),
+		E11FanOut(sc),
 	}
 }
 

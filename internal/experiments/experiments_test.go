@@ -276,6 +276,32 @@ func TestE10PredictiveSuppression(t *testing.T) {
 	t.Log("\n" + tab.Render())
 }
 
+func TestE11FanOutShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tab := E11FanOut(quick)
+	if len(tab.Rows) != 9 { // 3 subscriber counts × 3 policies
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		subs, pub := num(t, row[0]), num(t, row[2])
+		del, drop := num(t, row[4]), num(t, row[5])
+		// Every enqueued delivery is accounted: delivered or dropped.
+		if del+drop != subs*pub {
+			t.Errorf("%s/%s: delivered %v + dropped %v != %v×%v", row[0], row[1], del, drop, subs, pub)
+		}
+		// Block never drops; the fabric keeps a positive fan-out rate.
+		if row[1] == "block" && drop != 0 {
+			t.Errorf("block policy dropped %v deliveries", drop)
+		}
+		if num(t, row[3]) <= 0 {
+			t.Errorf("%s/%s: events/s = %s", row[0], row[1], row[3])
+		}
+	}
+	t.Log("\n" + tab.Render())
+}
+
 func TestTableRender(t *testing.T) {
 	tab := &Table{
 		ID: "EX", Title: "demo", Claim: "c",

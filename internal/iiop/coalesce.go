@@ -51,10 +51,14 @@ const coalesceBypass = 32 << 10
 // wbatch accumulates encoded frames for one vectored write. Headers
 // live in the batch (value array, no per-frame allocation); bodies are
 // referenced, not copied — the owning caller is blocked until the batch
-// is flushed, so the references stay valid.
+// is flushed, so the references stay valid. SyncNone frames instead
+// transfer ownership of their whole pooled message to the batch (owned),
+// whose reset releases them once the batch has flushed — or been dropped
+// on a poisoned connection.
 type wbatch struct {
 	vecs   net.Buffers
 	hdrs   [][giop.HeaderLen]byte
+	owned  []*giop.Message
 	frames int
 	seq    uint64
 }
@@ -69,9 +73,22 @@ func (b *wbatch) add(h giop.Header, body []byte) {
 	b.frames++
 }
 
-// reset drops the body references (so pooled buffers are not pinned by
-// the recycled batch) and empties the batch for reuse.
+// addOwned appends a frame whose pooled message now belongs to the
+// batch: reset (post-flush or post-poison) is its release point.
+func (b *wbatch) addOwned(m *giop.Message) {
+	b.add(m.Header, m.Body)
+	b.owned = append(b.owned, m)
+}
+
+// reset releases owned messages, drops the body references (so pooled
+// buffers are not pinned by the recycled batch) and empties the batch
+// for reuse.
 func (b *wbatch) reset() {
+	for i, m := range b.owned {
+		m.Release()
+		b.owned[i] = nil
+	}
+	b.owned = b.owned[:0]
 	for i := range b.vecs {
 		b.vecs[i] = nil
 	}
@@ -141,6 +158,55 @@ func (co *coalescer) write(h giop.Header, body []byte, maxFrag int) error {
 		}
 	}
 	return nil
+}
+
+// writeOwned queues one GIOP frame whose pooled message the coalescer
+// takes ownership of (SyncNone oneways). Once the frame is accepted the
+// caller does not wait for the flush: a follower returns immediately
+// (its batch's reset releases the message after the vectored write), a
+// leader still performs the write it now owes the batch. On error —
+// sticky connection failure before acceptance, or a big-frame write
+// failure — ownership stays with the caller, who may retry elsewhere.
+func (co *coalescer) writeOwned(m *giop.Message, maxFrag int) error {
+	h, body := m.Header, m.Body
+	if len(body) >= coalesceBypass ||
+		(maxFrag > 0 && len(body) > maxFrag && h.Version == giop.V12 && giop.Fragmentable(h.Type)) {
+		// The exclusive big-frame path writes synchronously anyway, so
+		// there is no flush to decouple from: write, then release.
+		if err := co.writeBig(h, body, maxFrag); err != nil {
+			return err
+		}
+		m.Release()
+		return nil
+	}
+	leader, err := co.enqueueOwned(m)
+	if err != nil {
+		return err
+	}
+	if leader {
+		// The flush outcome belongs to the batch (reset releases the
+		// owned frames either way); a SyncNone sender gets no delivery
+		// report once the frame is accepted.
+		_ = co.lead(true)
+	}
+	return nil
+}
+
+// enqueueOwned is enqueue for an ownership-transferring frame: on
+// success the pending batch owns m.
+func (co *coalescer) enqueueOwned(m *giop.Message) (leader bool, err error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.err != nil {
+		return false, co.err
+	}
+	co.pend.addOwned(m)
+	co.enq.Add(1)
+	if co.flushing {
+		return false, nil
+	}
+	co.flushing = true
+	return true, nil
 }
 
 // enqueue appends the frame to the pending batch. The first writer on

@@ -836,7 +836,7 @@ func (c *clientConn) Call(ctx context.Context, req *giop.Message, requestID uint
 		select {
 		case m, ok = <-ch:
 		case <-done:
-			c.abandon(requestID, req)
+			c.abandonCall(requestID, req.Header, ch)
 			return nil, ctx.Err()
 		}
 	}
@@ -853,7 +853,7 @@ func (c *clientConn) Call(ctx context.Context, req *giop.Message, requestID uint
 	case m == nil:
 		// The reaper expired the call; it already freed the pending
 		// slot, so the channel saw its last send and can be recycled.
-		c.abandon(requestID, req)
+		c.sendCancel(requestID, req.Header)
 		replyChanPool.Put(ch)
 		return nil, orb.Timeout()
 	}
@@ -861,16 +861,50 @@ func (c *clientConn) Call(ctx context.Context, req *giop.Message, requestID uint
 	return m, nil
 }
 
-// abandon frees the pending slot of a call the client gave up on and
-// notifies the server with a best-effort GIOP CancelRequest.
-func (c *clientConn) abandon(requestID uint32, req *giop.Message) {
+// unregister removes the pending slot for requestID, reporting whether
+// this caller removed it. A false return means a sender (readLoop,
+// reaper, or fail) already claimed the slot: exactly one delivery on the
+// call's channel is then guaranteed (a message, a nil, or a close).
+func (c *clientConn) unregister(requestID uint32) bool {
 	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.pending[requestID]; !ok {
+		return false
+	}
 	delete(c.pending, requestID)
-	c.mu.Unlock()
-	e := giop.GetBodyEncoder(req.Header.Order)
+	return true
+}
+
+// abandonCall gives up on an in-flight call: the pending slot is freed
+// and the server notified. If a sender already claimed the slot, its
+// imminent delivery is consumed so the reply buffer is released instead
+// of leaking into the one-shot channel — which also makes the channel
+// recyclable on every non-failure path.
+func (c *clientConn) abandonCall(requestID uint32, h giop.Header, ch chan *giop.Message) {
+	if c.unregister(requestID) {
+		// No sender ever saw this slot: the channel carries no traffic
+		// and can be recycled immediately.
+		c.sendCancel(requestID, h)
+		replyChanPool.Put(ch)
+		return
+	}
+	m, ok := <-ch
+	if !ok {
+		return // fail closed the channel; leave it to the GC
+	}
+	if m != nil {
+		m.Release() // the raced-in reply nobody awaits
+	}
+	replyChanPool.Put(ch)
+}
+
+// sendCancel notifies the server that a call was abandoned with a
+// best-effort GIOP CancelRequest, matching the request's wire dialect.
+func (c *clientConn) sendCancel(requestID uint32, h giop.Header) {
+	e := giop.GetBodyEncoder(h.Order)
 	giop.EncodeCancelRequest(e, &giop.CancelRequestHeader{RequestID: requestID})
 	msg := giop.MessageFromEncoder(giop.Header{
-		Version: req.Header.Version, Order: req.Header.Order, Type: giop.MsgCancelRequest,
+		Version: h.Version, Order: h.Order, Type: giop.MsgCancelRequest,
 	}, e)
 	_ = c.write(msg)
 	msg.Release()

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"corbalc/internal/cdr"
 	"corbalc/internal/component"
@@ -64,6 +65,12 @@ type Config struct {
 	TrustedKeys []ed25519.PublicKey
 	// EventQueueDepth sizes per-subscriber event queues (default 256).
 	EventQueueDepth int
+	// EventOverflow selects what Push does on a full subscriber queue
+	// (default events.Block: backpressure).
+	EventOverflow events.OverflowPolicy
+	// EventBatchWindow makes batch subscribers coalesce a trickle of
+	// events into window-sized batches (default 0: deliver immediately).
+	EventBatchWindow time.Duration
 }
 
 // Node is one CORBA-LC node.
@@ -113,9 +120,13 @@ func New(cfg Config) *Node {
 		depth = 256
 	}
 	n := &Node{
-		name:       cfg.Name,
-		orb:        o,
-		hub:        events.NewHub(depth, events.Block),
+		name: cfg.Name,
+		orb:  o,
+		hub: events.NewHubConfig(events.Config{
+			Depth:       depth,
+			Policy:      cfg.EventOverflow,
+			BatchWindow: cfg.EventBatchWindow,
+		}),
 		impls:      impls,
 		res:        NewResources(prof),
 		repo:       NewRepository(),

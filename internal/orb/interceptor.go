@@ -28,6 +28,9 @@ type RequestInfo struct {
 	Deadline time.Time
 	// Oneway reports a request that expects no reply.
 	Oneway bool
+	// Async reports an invocation launched through CallAsync (client
+	// side only; on the wire an async call is an ordinary request).
+	Async bool
 	// Local reports a collocated dispatch that never reached a transport
 	// (client side only).
 	Local bool
@@ -100,6 +103,17 @@ type Stats struct {
 	srvSamples  atomic.Uint64
 	sentErrs    atomic.Uint64
 	srvErrs     atomic.Uint64
+
+	// Oneways and async launches are counted apart from the two-way
+	// request/reply traffic: a oneway has no reply clock to feed the
+	// latency estimate, and an async call's clock runs from launch to
+	// future resolution, not inside one dispatch frame. Oneways and
+	// settled async calls still count in sent/served, so the totals
+	// remain "requests that left/entered this ORB".
+	oneSent       atomic.Uint64
+	oneServed     atomic.Uint64
+	asyncLaunched atomic.Uint64
+	asyncSettled  atomic.Uint64
 }
 
 // latencySampleMask selects the 1-in-8 calls whose service time feeds
@@ -111,8 +125,14 @@ const latencySampleMask = 7
 // SendRequest implements ClientInterceptor.
 func (s *Stats) SendRequest(context.Context, *RequestInfo) {}
 
-// ReceiveReply implements ClientInterceptor.
+// ReceiveReply implements ClientInterceptor. Oneway calls are tallied
+// in their own bucket and excluded from the latency estimate (they have
+// no reply clock — Elapsed only measures the local send path).
 func (s *Stats) ReceiveReply(_ context.Context, info *RequestInfo) {
+	if info.Oneway {
+		s.recordOnewaySent(info.Err)
+		return
+	}
 	s.sent.Add(1)
 	s.sentNanos.Add(int64(info.Elapsed))
 	s.sentSamples.Add(1)
@@ -124,8 +144,13 @@ func (s *Stats) ReceiveReply(_ context.Context, info *RequestInfo) {
 // ReceiveRequest implements ServerInterceptor.
 func (s *Stats) ReceiveRequest(context.Context, *RequestInfo) error { return nil }
 
-// SendReply implements ServerInterceptor.
+// SendReply implements ServerInterceptor. Oneway dispatches are tallied
+// apart and excluded from the latency estimate, mirroring ReceiveReply.
 func (s *Stats) SendReply(_ context.Context, info *RequestInfo) {
+	if info.Oneway {
+		s.recordOnewayServed(info.Err)
+		return
+	}
 	s.served.Add(1)
 	s.srvNanos.Add(int64(info.Elapsed))
 	s.srvSamples.Add(1)
@@ -142,6 +167,50 @@ func (s *Stats) RequestsServed() uint64 { return s.served.Load() }
 
 // Errors reports the outbound and inbound error counts.
 func (s *Stats) Errors() (sent, served uint64) { return s.sentErrs.Load(), s.srvErrs.Load() }
+
+// Oneways reports the oneway requests sent and served (already included
+// in RequestsSent/RequestsServed, but excluded from MeanLatency).
+func (s *Stats) Oneways() (sent, served uint64) {
+	return s.oneSent.Load(), s.oneServed.Load()
+}
+
+// Async reports the asynchronous invocations launched through CallAsync
+// and those settled (resolved by reply, failure or cancellation). A
+// settled call counts in RequestsSent; launched-but-unsettled calls are
+// the in-flight futures.
+func (s *Stats) Async() (launched, settled uint64) {
+	return s.asyncLaunched.Load(), s.asyncSettled.Load()
+}
+
+// recordOnewaySent and recordOnewayServed tally a oneway on the
+// intrinsic path: counted in the totals and the oneway bucket, never in
+// the latency clock.
+func (s *Stats) recordOnewaySent(err error) {
+	s.sent.Add(1)
+	s.oneSent.Add(1)
+	if err != nil {
+		s.sentErrs.Add(1)
+	}
+}
+
+func (s *Stats) recordOnewayServed(err error) {
+	s.served.Add(1)
+	s.oneServed.Add(1)
+	if err != nil {
+		s.srvErrs.Add(1)
+	}
+}
+
+// recordAsyncLaunch and recordAsyncDone bracket one async invocation:
+// launch when the request hits the transport, done when the future
+// resolves — the elapsed time between them is the AMI completion time,
+// which feeds the outbound latency estimate unsampled.
+func (s *Stats) recordAsyncLaunch() { s.asyncLaunched.Add(1) }
+
+func (s *Stats) recordAsyncDone(elapsed time.Duration, err error) {
+	s.asyncSettled.Add(1)
+	s.recordSentTimed(elapsed, err)
+}
 
 // sentStart and servedStart open an intrinsic fast-path record: they
 // read the clock only for the sampled 1-in-8 calls, returning the zero

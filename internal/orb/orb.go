@@ -312,11 +312,13 @@ func (o *ORB) handleRequest(ctx context.Context, m *giop.Message) (*giop.Message
 	bodyStart := out.Len()
 
 	// The chain path needs real timing for RequestInfo.Elapsed; the
-	// intrinsic path samples the latency clock 1-in-8.
+	// intrinsic path samples the latency clock 1-in-8. A oneway dispatch
+	// feeds no latency estimate at all (there is no reply whose clock it
+	// would close), so it skips the sampling clock read too.
 	var start time.Time
 	if info != nil {
 		start = time.Now()
-	} else {
+	} else if req.ResponseExpected {
 		start = o.stats.servedStart()
 	}
 	var invokeErr error
@@ -341,11 +343,17 @@ func (o *ORB) handleRequest(ctx context.Context, m *giop.Message) (*giop.Message
 	}
 	if info != nil {
 		elapsed := time.Since(start)
-		o.stats.recordServedTimed(elapsed, invokeErr)
+		if req.ResponseExpected {
+			o.stats.recordServedTimed(elapsed, invokeErr)
+		} else {
+			o.stats.recordOnewayServed(invokeErr)
+		}
 		info.Elapsed = elapsed
 		info.Err = invokeErr
-	} else {
+	} else if req.ResponseExpected {
 		o.stats.recordServed(start, invokeErr)
+	} else {
+		o.stats.recordOnewayServed(invokeErr)
 	}
 	for _, si := range chain {
 		si.SendReply(ctx, info)

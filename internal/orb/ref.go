@@ -116,7 +116,7 @@ type (
 // GIOP CancelRequest. User and system exceptions surface as errors (see
 // IsUserException and *SystemException).
 func (r *ObjectRef) InvokeContext(ctx context.Context, op string, args Marshaller, result Unmarshaller) error {
-	return r.invoke(ctx, op, args, result, true)
+	return r.invoke(ctx, op, args, result, true, SyncWithTransport)
 }
 
 // Invoke is the context-less form of InvokeContext, for the public API
@@ -127,9 +127,18 @@ func (r *ObjectRef) Invoke(op string, args Marshaller, result Unmarshaller) erro
 }
 
 // InvokeOnewayContext sends a request under ctx without waiting for any
-// reply.
+// reply, synchronised with the transport (SyncWithTransport): it returns
+// once the frame reached the socket.
 func (r *ObjectRef) InvokeOnewayContext(ctx context.Context, op string, args Marshaller) error {
-	return r.invoke(ctx, op, args, nil, false)
+	return r.invoke(ctx, op, args, nil, false, SyncWithTransport)
+}
+
+// InvokeOnewayScoped sends a oneway request under the given SyncScope:
+// SyncWithTransport waits for the frame to reach the socket, SyncNone
+// returns as soon as the transport accepts it (ownership of the request
+// buffer moves to the transport's write path).
+func (r *ObjectRef) InvokeOnewayScoped(ctx context.Context, op string, args Marshaller, scope SyncScope) error {
+	return r.invoke(ctx, op, args, nil, false, scope)
 }
 
 // InvokeOneway is the context-less form of InvokeOnewayContext.
@@ -280,7 +289,42 @@ func (w *wrappedException) Error() string {
 
 func (w *wrappedException) Unwrap() []error { return []error{w.SystemException, w.cause} }
 
-func (r *ObjectRef) invoke(ctx context.Context, op string, args Marshaller, result Unmarshaller, twoway bool) error {
+// targetKey resolves the object key addressing this reference's target,
+// reporting whether the target is collocated with this ORB.
+func (r *ObjectRef) targetKey() (objectKey []byte, local bool, err error) {
+	o := r.orb
+	if k, ok := r.localKey(); ok {
+		return k, true, nil
+	}
+	if k, kerr := r.iiopObjectKey(); kerr != nil {
+		return nil, false, fmt.Errorf("orb: bad IIOP profile: %w", kerr)
+	} else if k != nil {
+		return k, false, nil
+	}
+	// Fall back to any profile whose transport is registered and can
+	// extract the object key (vendor profiles embed it).
+	found := false
+	for _, tp := range r.ior.Profiles {
+		o.mu.RLock()
+		tr, ok := o.transports[tp.Tag]
+		o.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		found = true
+		if ke, ok := tr.(KeyExtractor); ok {
+			if k, kerr := ke.ObjectKey(tp.Data); kerr == nil {
+				return k, false, nil
+			}
+		}
+	}
+	if !found {
+		return nil, false, NoImplement()
+	}
+	return nil, false, nil
+}
+
+func (r *ObjectRef) invoke(ctx context.Context, op string, args Marshaller, result Unmarshaller, twoway bool, scope SyncScope) error {
 	if r.ior.IsNil() {
 		return ObjectNotExist()
 	}
@@ -305,55 +349,41 @@ func (r *ObjectRef) invoke(ctx context.Context, op string, args Marshaller, resu
 
 	// Build the request message once, independent of transport.
 	reqID := o.nextRequestID()
-	var objectKey []byte
-	local := false
-	if k, ok := r.localKey(); ok {
-		objectKey, local = k, true
-	} else if k, err := r.iiopObjectKey(); err != nil {
-		return fmt.Errorf("orb: bad IIOP profile: %w", err)
-	} else if k != nil {
-		objectKey = k
-	} else {
-		// Fall back to any profile whose transport is registered and can
-		// extract the object key (vendor profiles embed it).
-		found := false
-		for _, tp := range r.ior.Profiles {
-			o.mu.RLock()
-			tr, ok := o.transports[tp.Tag]
-			o.mu.RUnlock()
-			if !ok {
-				continue
-			}
-			found = true
-			if ke, ok := tr.(KeyExtractor); ok {
-				k, err := ke.ObjectKey(tp.Data)
-				if err == nil {
-					objectKey = k
-					break
-				}
-			}
-		}
-		if !found {
-			return NoImplement()
-		}
+	objectKey, local, err := r.targetKey()
+	if err != nil {
+		return err
 	}
 
 	sc := clientScratchPool.Get().(*clientScratch)
 	defer clientScratchPool.Put(sc)
+	sc.transferred = false
 	msg, err := o.buildRequest(ctx, sc, callID, reqID, objectKey, op, args, twoway)
 	if err != nil {
 		return err
 	}
 	// Channels do not retain the request past Call/Send (the Channel
 	// contract), and the collocated path decodes within HandleMessage,
-	// so once dispatch returns the request buffer can be recycled.
-	defer msg.Release()
+	// so once dispatch returns the request buffer can be recycled — the
+	// one exception is a SyncNone oneway, whose buffer ownership moved
+	// to the transport (sc.transferred).
+	defer func() {
+		if !sc.transferred {
+			msg.Release()
+		}
+	}()
 
 	if len(chain) == 0 {
+		if !twoway {
+			// No reply clock is meaningful for a oneway: count it in its
+			// own bucket and skip the latency sampling entirely.
+			err = r.dispatch(ctx, sc, msg, reqID, result, twoway, local, scope)
+			o.stats.recordOnewaySent(err)
+			return err
+		}
 		// No interceptor to notify: stats are fed directly, without the
 		// RequestInfo nothing would observe (latency sampled 1-in-8).
 		start := o.stats.sentStart()
-		err = r.dispatch(ctx, sc, msg, reqID, result, twoway, local)
+		err = r.dispatch(ctx, sc, msg, reqID, result, twoway, local, scope)
 		o.stats.recordSent(start, err)
 		return err
 	}
@@ -373,10 +403,14 @@ func (r *ObjectRef) invoke(ctx context.Context, op string, args Marshaller, resu
 	for _, ci := range chain {
 		ci.SendRequest(ctx, info)
 	}
-	err = r.dispatch(ctx, sc, msg, reqID, result, twoway, local)
+	err = r.dispatch(ctx, sc, msg, reqID, result, twoway, local, scope)
 	info.Elapsed = time.Since(start)
 	info.Err = err
-	o.stats.recordSentTimed(info.Elapsed, err)
+	if twoway {
+		o.stats.recordSentTimed(info.Elapsed, err)
+	} else {
+		o.stats.recordOnewaySent(err)
+	}
 	for _, ci := range chain {
 		ci.ReceiveReply(ctx, info)
 	}
@@ -384,8 +418,10 @@ func (r *ObjectRef) invoke(ctx context.Context, op string, args Marshaller, resu
 }
 
 // dispatch moves the built request over the collocated fast path or the
-// reference's profiles and decodes the reply.
-func (r *ObjectRef) dispatch(ctx context.Context, sc *clientScratch, msg *giop.Message, reqID uint32, result Unmarshaller, twoway, local bool) error {
+// reference's profiles and decodes the reply. A SyncNone oneway that a
+// channel accepts via SendOwned sets sc.transferred: the request buffer
+// now belongs to the transport's write path, not the invoke frame.
+func (r *ObjectRef) dispatch(ctx context.Context, sc *clientScratch, msg *giop.Message, reqID uint32, result Unmarshaller, twoway, local bool, scope SyncScope) error {
 	o := r.orb
 	if local {
 		reply, err := o.HandleMessage(ctx, msg)
@@ -419,6 +455,24 @@ func (r *ObjectRef) dispatch(ctx context.Context, sc *clientScratch, msg *giop.M
 			}
 		}
 		if !twoway {
+			if scope == SyncNone {
+				if oc, ok := ch.(OnewayChannel); ok {
+					err := oc.SendOwned(ctx, msg)
+					if err == nil {
+						sc.transferred = true
+						return nil
+					}
+					if !errors.Is(err, errNoAsync) {
+						if ctxDone(ctx, err) {
+							return ctxError(ctx, err)
+						}
+						lastErr = err
+						continue
+					}
+					// Channel cannot take ownership: degrade to the
+					// synchronised send below.
+				}
+			}
 			if err := ch.Send(ctx, msg); err != nil {
 				if ctxDone(ctx, err) {
 					return ctxError(ctx, err)
@@ -476,6 +530,10 @@ type clientScratch struct {
 	idbuf []byte
 	dec   cdr.Decoder
 	rh    giop.ReplyHeader
+	// transferred records that the request buffer's ownership moved to
+	// the transport (SyncNone oneway), so invoke must not release it.
+	// Reset at the top of every invocation.
+	transferred bool
 }
 
 var clientScratchPool = sync.Pool{New: func() any { return new(clientScratch) }}
