@@ -33,13 +33,18 @@ escapegate: tools
 test:
 	$(GO) test ./...
 
+## race: the full suite under the race detector. Runs without -short,
+## so it includes the 500-node delta-gossip swarm smoke test
+## (cohesion.TestSwarmChurnConvergence) that quick runs skip.
 race:
 	$(GO) test -race -count=1 ./...
 
 ## bench: compile and run every benchmark once (-benchtime=1x) so CI
 ## catches bench-only bit-rot without paying for real measurement runs.
+## -short skips the thousand-node E12 swarm rows — those are a
+## measurement run, paid for in bench-json where they are gated.
 bench:
-	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
+	$(GO) test -short -run=^$$ -bench=. -benchtime=1x ./...
 
 ## bench-json: run the hot-path benchmark suite with -benchmem, render
 ## BENCH_5.json, and enforce the perf budgets (DESIGN.md §9/§10).
@@ -56,6 +61,10 @@ bench:
 ## The event-fabric fan-out gate renders BENCH_6.json: delivered
 ## events/s across 10k subscribers must stay above 100k (DESIGN.md
 ## §12; 6.1M at recording time).
+## The swarm gate renders BENCH_7.json: the 1000-node E12 run (DESIGN.md
+## §13) must heal a 5% churn within 90s (22.0s at recording time), keep
+## churn-window control bandwidth under 30K B/node/s (8.9K recorded),
+## and beat the full-state baseline by at least 5x (9.6x recorded).
 bench-json:
 	@{ \
 	$(GO) test -run='^$$' -bench='E1_Invocation|E3_SoftVsStrongConsistency' -benchtime=1x -benchmem . && \
@@ -75,6 +84,11 @@ bench-json:
 	| $(GO) run ./cmd/corbalc-benchgate -json BENCH_6.json \
 		-max 'BenchmarkEventFanout/subs=10000=0' \
 		-min 'BenchmarkEventFanout/subs=10000:events/s=100000'
+	@$(GO) test -run='^$$' -bench='E12_Swarm' -benchtime=1x -timeout 30m . \
+	| $(GO) run ./cmd/corbalc-benchgate -json BENCH_7.json \
+		-max 'BenchmarkE12_Swarm/N=1000:heal-ms=90000' \
+		-max 'BenchmarkE12_Swarm/N=1000:B/node/s=30000' \
+		-min 'BenchmarkE12_Swarm/N=1000:x-vs-fullstate=5'
 
 ## fmt: fail (listing offenders) if any file is not gofmt-clean.
 fmt:

@@ -9,9 +9,11 @@
 package corbalc_test
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"corbalc/internal/experiments"
 )
@@ -184,6 +186,36 @@ func BenchmarkE11_EventFanout(b *testing.B) {
 				}
 			}
 		}
+	}
+}
+
+// BenchmarkE12_Swarm measures the delta-gossip discovery plane against
+// the full-state baseline on the same churn workload (converge, kill
+// 5%, heal). The N=1000 sub-benchmark is the BENCH_7.json acceptance
+// row — heal time and per-node churn bandwidth are ceiling-gated and
+// the advantage over full-state exchange is floor-gated at 5x; it is
+// -short-guarded because two thousand-node swarms are a measurement
+// run, not a compile check.
+func BenchmarkE12_Swarm(b *testing.B) {
+	for _, n := range []int{60, 1000} {
+		n := n
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			if n > 100 && testing.Short() {
+				b.Skip("short mode: thousand-node swarm")
+			}
+			for i := 0; i < b.N; i++ {
+				delta := experiments.RunSwarm(n, false, 2*time.Second)
+				full := experiments.RunSwarm(n, true, 2*time.Second)
+				if i == b.N-1 {
+					b.Logf("delta: %+v\nfullstate: %+v", delta, full)
+					b.ReportMetric(float64(delta.HealTime.Milliseconds()), "heal-ms")
+					b.ReportMetric(delta.ChurnBps, "B/node/s")
+					if delta.ChurnBps > 0 {
+						b.ReportMetric(full.ChurnBps/delta.ChurnBps, "x-vs-fullstate")
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -15,6 +15,7 @@
 //	instantiate <node> <component-id> <instance>
 //	ports <node> <component-id> <instance>   show an instance's port states
 //	events <node>               event-fabric counters (published/delivered/dropped)
+//	cohesion <node>             gossip-plane counters (deltas/anti-entropy/batches)
 //	deploy <assembly.xml> [listen-addr]
 //	    join as an ephemeral peer and deploy an application assembly at
 //	    run time (instances land on the currently best nodes)
@@ -295,6 +296,26 @@ func main() {
 		} else {
 			fmt.Printf("total dropped: %d\n", total)
 		}
+	case "cohesion":
+		// cohesion <node>: the node's gossip-plane counters (DESIGN.md
+		// §13) — how many deltas it has disseminated, received and
+		// applied, the anti-entropy pull traffic, and the coalesced
+		// gossip frames/bytes it has shipped.
+		nd := nodeArg(dir, args, 1)
+		var st *cohesion.Stats
+		must(o.NewRef(nd.Cohesion).Invoke("cohesion_stats", nil,
+			func(d *cdr.Decoder) error { var e error; st, e = cohesion.UnmarshalStats(d); return e }))
+		fmt.Printf("directory: epoch=%d nodes=%d groups=%d vv-entries=%d\n",
+			st.Epoch, st.Nodes, st.Groups, st.VVSize)
+		fmt.Printf("deltas:    sent=%d recv=%d applied=%d\n",
+			st.DeltasSent, st.DeltasRecv, st.DeltasApplied)
+		fmt.Printf("anti-entropy: pulls=%d served=%d\n",
+			st.AntiEntropyPulls, st.PullsServed)
+		fmt.Printf("gossip:    batches=%d bytes=%d\n", st.GossipBatches, st.GossipBytes)
+		fmt.Printf("updates:   sent=%d recv=%d bytes=%d\n",
+			st.UpdatesSent, st.UpdatesRecv, st.UpdateBytes)
+		fmt.Printf("queries:   sent=%d served=%d floods=%d\n",
+			st.QueriesSent, st.QueriesServed, st.Floods)
 	case "deploy":
 		// deploy <assembly.xml> [listen-addr]: join the network as an
 		// ephemeral peer, match the assembly against it at run time,

@@ -60,6 +60,10 @@ type report struct {
 	Budgets map[string]budgetResult `json:"budgets,omitempty"`
 }
 
+// maxFlags holds ceiling budgets. NAME=N caps NAME's allocs/op (the
+// original form); NAME:METRIC=V caps any reported metric — e.g.
+// -max 'BenchmarkE12_Swarm/N=1000:heal-ms=15000' gates convergence
+// latency the same way -min gates throughput.
 type maxFlags []budget
 
 func (m *maxFlags) String() string { return fmt.Sprint(*m) }
@@ -69,14 +73,18 @@ func (m *maxFlags) Set(s string) error {
 	// (BenchmarkConcurrentTCPThroughput/C=64).
 	eq := strings.LastIndex(s, "=")
 	if eq < 0 {
-		return fmt.Errorf("want NAME=MAXALLOCS, got %q", s)
+		return fmt.Errorf("want NAME=MAXALLOCS or NAME:METRIC=MAX, got %q", s)
 	}
 	name, val := s[:eq], s[eq+1:]
+	metric := "allocs/op"
+	if n, met, ok := strings.Cut(name, ":"); ok && met != "" {
+		name, metric = n, met
+	}
 	f, err := strconv.ParseFloat(val, 64)
 	if err != nil {
 		return fmt.Errorf("bad budget %q: %w", val, err)
 	}
-	*m = append(*m, budget{name: name, metric: "allocs/op", limit: f})
+	*m = append(*m, budget{name: name, metric: metric, limit: f})
 	return nil
 }
 
@@ -209,6 +217,11 @@ func run() int {
 		} else {
 			res.Max = &limit
 			res.OK = actual <= limit
+			if b.metric != "allocs/op" {
+				// Metric ceilings share the floors' keying; bare-name
+				// keys stay reserved for the classic allocs/op budgets.
+				key = b.name + ":" + b.metric
+			}
 			if !res.OK {
 				fmt.Fprintf(os.Stderr, "corbalc-benchgate: %s %s = %g exceeds budget %g\n",
 					b.name, b.metric, actual, limit)

@@ -72,6 +72,29 @@ type Options struct {
 	// Events tunes the node's event fabric (DESIGN.md §12). Zero
 	// values select the documented defaults.
 	Events EventOptions
+	// Cohesion tunes the delta-gossip discovery plane (DESIGN.md §13).
+	// Zero values select the documented defaults.
+	Cohesion CohesionOptions
+}
+
+// CohesionOptions carries the discovery-plane knobs through the facade
+// (DESIGN.md §13). Zero values select the defaults documented in
+// internal/cohesion.
+type CohesionOptions struct {
+	// GossipWindow is the per-destination coalescing window: protocol
+	// messages queued for one peer within the window ride a single
+	// gossip_batch frame (default 2ms).
+	GossipWindow time.Duration
+	// GossipDepth bounds each destination's gossip queue; overflow
+	// drops the oldest queued message (default 128).
+	GossipDepth int
+	// AntiEntropyTicks is the digest-ping period in update ticks
+	// (default 4*(FailMultiple+1)).
+	AntiEntropyTicks int
+	// FullState reverts the discovery plane to the legacy full-state
+	// exchange — whole-directory broadcasts and point-to-point update
+	// oneways — as the bandwidth baseline E12 measures against.
+	FullState bool
 }
 
 // EventOptions carries the event-fabric knobs through the facade
@@ -139,13 +162,17 @@ func NewPeer(name string, opts Options) *Peer {
 		EventBatchWindow: opts.Events.BatchWindow,
 	})
 	agent := cohesion.NewAgent(cohesion.Config{
-		Node:           n,
-		GroupSize:      opts.GroupSize,
-		Replicas:       opts.Replicas,
-		UpdateInterval: opts.UpdateInterval,
-		FailMultiple:   opts.FailMultiple,
-		Mode:           opts.Mode,
-		Policy:         opts.Policy,
+		Node:             n,
+		GroupSize:        opts.GroupSize,
+		Replicas:         opts.Replicas,
+		UpdateInterval:   opts.UpdateInterval,
+		FailMultiple:     opts.FailMultiple,
+		Mode:             opts.Mode,
+		Policy:           opts.Policy,
+		GossipWindow:     opts.Cohesion.GossipWindow,
+		GossipDepth:      opts.Cohesion.GossipDepth,
+		AntiEntropyTicks: opts.Cohesion.AntiEntropyTicks,
+		FullState:        opts.Cohesion.FullState,
 	})
 	pol := deploy.DefaultPolicy()
 	if opts.Deploy != nil {
@@ -233,7 +260,18 @@ func NewCluster(n int, nameFmt string, link simnet.Link, opts Options) (*Cluster
 	}
 	c.Peers[0].Bootstrap()
 	for i := 1; i < n; i++ {
-		if err := c.Peers[i].Join(c.Peers[0].Contact()); err != nil {
+		// A join is idempotent at the root (a known name is re-placed in
+		// its existing group), so a timeout against a momentarily
+		// overloaded root — routine while a swarm-sized cluster forms on
+		// few cores — is retried rather than surfaced.
+		var err error
+		for attempt := 0; attempt < 3; attempt++ {
+			if err = c.Peers[i].Join(c.Peers[0].Contact()); err == nil {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		if err != nil {
 			c.Close()
 			return nil, err
 		}

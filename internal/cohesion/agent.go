@@ -74,6 +74,21 @@ type Config struct {
 	Policy SendPolicy
 	// Epsilon is the dead-band width as a load fraction (default 0.05).
 	Epsilon float64
+	// GossipWindow is the per-destination coalescing window: protocol
+	// messages queued for one peer within the window travel as a single
+	// gossip_batch frame (default 2ms).
+	GossipWindow time.Duration
+	// GossipDepth bounds each destination's gossip queue; overflow
+	// drops the oldest queued message (default 128).
+	GossipDepth int
+	// AntiEntropyTicks is the digest-ping period in update ticks
+	// (default 4*(FailMultiple+1)).
+	AntiEntropyTicks int
+	// FullState reverts the discovery plane to the legacy exchange —
+	// whole-directory broadcasts and point-to-point update oneways —
+	// as the bandwidth baseline the delta-gossip plane is measured
+	// against (E12). Strong mode implies it.
+	FullState bool
 }
 
 func (c *Config) fill() {
@@ -95,13 +110,33 @@ func (c *Config) fill() {
 	if c.Epsilon <= 0 {
 		c.Epsilon = 0.05
 	}
+	if c.GossipWindow <= 0 {
+		c.GossipWindow = 2 * time.Millisecond
+	}
+	if c.GossipDepth <= 0 {
+		c.GossipDepth = 128
+	}
+	if c.AntiEntropyTicks <= 0 {
+		c.AntiEntropyTicks = 4 * (c.FailMultiple + 1)
+	}
 }
+
+// fullStateDir reports whether directory dissemination uses the legacy
+// whole-snapshot broadcast: explicitly requested, or Strong mode (whose
+// perfect-knowledge baseline already floods everything).
+func (c *Config) fullStateDir() bool { return c.FullState || c.Mode == Strong }
 
 // memberState is an MRM's knowledge of one node.
 type memberState struct {
 	report   *node.Report
 	offers   []*node.Offer
 	lastSeen time.Time
+}
+
+// peerSendState tracks what this node last shipped to one MRM replica,
+// so periodic updates can omit the offer list while it is unchanged.
+type peerSendState struct {
+	offersEpoch uint64
 }
 
 // groupSummary is the root MRM's aggregated knowledge of one group
@@ -114,7 +149,8 @@ type groupSummary struct {
 	lastSeen time.Time
 }
 
-// Stats are protocol-level counters for the consistency experiments.
+// Stats are protocol-level counters for the consistency experiments
+// and the corbalc-admin cohesion view.
 type Stats struct {
 	UpdatesSent   uint64
 	UpdateBytes   uint64
@@ -122,6 +158,90 @@ type Stats struct {
 	QueriesSent   uint64
 	QueriesServed uint64
 	Floods        uint64
+
+	// Delta-gossip counters (DESIGN.md §13).
+	DeltasSent       uint64 // directory deltas enqueued (root + relays)
+	DeltasRecv       uint64 // directory deltas received
+	DeltasApplied    uint64 // deltas applied contiguously
+	AntiEntropyPulls uint64 // sync_pull rounds issued on divergence
+	PullsServed      uint64 // sync_pull rounds answered
+	GossipBatches    uint64 // gossip_batch frames shipped
+	GossipBytes      uint64 // bytes across shipped gossip frames
+	VVSize           int    // current version-vector entry count
+
+	// Directory snapshot (cohesion_stats remote view).
+	Epoch  uint64
+	Nodes  int
+	Groups int
+}
+
+// Marshal encodes the stats for the cohesion_stats operation, ending in
+// an extension blob so future counters never break older admin tools.
+func (s *Stats) Marshal(e *cdr.Encoder) {
+	e.WriteULongLong(s.Epoch)
+	e.WriteULong(uint32(s.Nodes))
+	e.WriteULong(uint32(s.Groups))
+	e.WriteULong(uint32(s.VVSize))
+	e.WriteULongLong(s.UpdatesSent)
+	e.WriteULongLong(s.UpdateBytes)
+	e.WriteULongLong(s.UpdatesRecv)
+	e.WriteULongLong(s.QueriesSent)
+	e.WriteULongLong(s.QueriesServed)
+	e.WriteULongLong(s.Floods)
+	e.WriteULongLong(s.DeltasSent)
+	e.WriteULongLong(s.DeltasRecv)
+	e.WriteULongLong(s.DeltasApplied)
+	e.WriteULongLong(s.AntiEntropyPulls)
+	e.WriteULongLong(s.PullsServed)
+	e.WriteULongLong(s.GossipBatches)
+	e.WriteULongLong(s.GossipBytes)
+	e.WriteOctetSeq(nil)
+}
+
+// UnmarshalStats decodes a cohesion_stats reply.
+func UnmarshalStats(d *cdr.Decoder) (*Stats, error) {
+	s := &Stats{}
+	var err error
+	if s.Epoch, err = d.ReadULongLong(); err != nil {
+		return nil, err
+	}
+	readN := func(dst *int) {
+		if err != nil {
+			return
+		}
+		var v uint32
+		if v, err = d.ReadULong(); err == nil {
+			*dst = int(v)
+		}
+	}
+	readN(&s.Nodes)
+	readN(&s.Groups)
+	readN(&s.VVSize)
+	read64 := func(dst *uint64) {
+		if err == nil {
+			*dst, err = d.ReadULongLong()
+		}
+	}
+	read64(&s.UpdatesSent)
+	read64(&s.UpdateBytes)
+	read64(&s.UpdatesRecv)
+	read64(&s.QueriesSent)
+	read64(&s.QueriesServed)
+	read64(&s.Floods)
+	read64(&s.DeltasSent)
+	read64(&s.DeltasRecv)
+	read64(&s.DeltasApplied)
+	read64(&s.AntiEntropyPulls)
+	read64(&s.PullsServed)
+	read64(&s.GossipBatches)
+	read64(&s.GossipBytes)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := d.ReadOctetSeqAlias(); err != nil { // skip extensions
+		return nil, err
+	}
+	return s, nil
 }
 
 // Agent runs the cohesion protocol for one node.
@@ -139,7 +259,14 @@ type Agent struct {
 	// group member that has not reported yet; members silent from birth
 	// beyond a grace period are declared dead too.
 	expected map[string]time.Time
-	joined   bool
+	// expectedGroups tracks when the root first counted on a group's
+	// summaries (the same grace discipline, one tier up): a group whose
+	// MRM candidates all died would otherwise go silent forever, since
+	// non-candidate members never act as leader.
+	expectedGroups map[int]time.Time
+	// sent tracks per-destination send state for offer-delta updates.
+	sent   map[string]*peerSendState
+	joined bool
 
 	// send-policy state
 	lastSent   *node.Report
@@ -162,8 +289,16 @@ type Agent struct {
 	// the sends so a change storm cannot pile up goroutines.
 	floodKick chan struct{}
 	// pushDir coalesces directory broadcasts the same way: under join
-	// or removal storms only the newest directory needs to travel.
+	// or removal storms only the newest directory needs to travel
+	// (legacy full-state mode only).
 	pushDir chan *Directory
+	// pullKick coalesces divergence-triggered anti-entropy pulls: a gap
+	// in the delta stream schedules one pull, however many deltas
+	// arrived out of order.
+	pullKick chan struct{}
+	// gossip is the per-destination batching plane protocol messages
+	// ride in delta mode.
+	gossip *gossiper
 
 	updatesSent   atomic.Uint64
 	updateBytes   atomic.Uint64
@@ -171,6 +306,11 @@ type Agent struct {
 	queriesSent   atomic.Uint64
 	queriesServed atomic.Uint64
 	floods        atomic.Uint64
+	deltasSent    atomic.Uint64
+	deltasRecv    atomic.Uint64
+	deltasApplied atomic.Uint64
+	pulls         atomic.Uint64
+	pullsServed   atomic.Uint64
 }
 
 // NewAgent creates the agent and activates its servant on the node's
@@ -178,17 +318,21 @@ type Agent struct {
 func NewAgent(cfg Config) *Agent {
 	cfg.fill()
 	a := &Agent{
-		cfg:       cfg,
-		n:         cfg.Node,
-		o:         cfg.Node.ORB(),
-		dir:       NewDirectory(),
-		view:      make(map[string]*memberState),
-		summaries: make(map[int]*groupSummary),
-		expected:  make(map[string]time.Time),
-		stop:      make(chan struct{}),
-		pushDir:   make(chan *Directory, 1),
+		cfg:            cfg,
+		n:              cfg.Node,
+		o:              cfg.Node.ORB(),
+		dir:            NewDirectory(),
+		view:           make(map[string]*memberState),
+		summaries:      make(map[int]*groupSummary),
+		expected:       make(map[string]time.Time),
+		expectedGroups: make(map[int]time.Time),
+		sent:           make(map[string]*peerSendState),
+		stop:           make(chan struct{}),
+		pushDir:        make(chan *Directory, 1),
+		pullKick:       make(chan struct{}, 1),
 	}
 	a.ctx, a.cancel = context.WithCancel(context.Background())
+	a.gossip = newGossiper(a)
 	a.name = cfg.Node.Name()
 	a.o.Activate(KeyCohesion, &agentServant{a: a})
 	if cfg.Mode == Strong {
@@ -223,14 +367,40 @@ func (a *Agent) CohesionIOR() *ior.IOR { return a.o.NewIOR(CohesionRepoID, KeyCo
 
 // Stats snapshots the protocol counters.
 func (a *Agent) Stats() Stats {
+	a.mu.Lock()
+	vv := len(a.dir.Versions)
+	epoch := a.dir.Epoch
+	nodes := len(a.dir.Nodes)
+	groups := len(a.dir.Groups)
+	a.mu.Unlock()
 	return Stats{
-		UpdatesSent:   a.updatesSent.Load(),
-		UpdateBytes:   a.updateBytes.Load(),
-		UpdatesRecv:   a.updatesRecv.Load(),
-		QueriesSent:   a.queriesSent.Load(),
-		QueriesServed: a.queriesServed.Load(),
-		Floods:        a.floods.Load(),
+		Epoch:            epoch,
+		Nodes:            nodes,
+		Groups:           groups,
+		UpdatesSent:      a.updatesSent.Load(),
+		UpdateBytes:      a.updateBytes.Load(),
+		UpdatesRecv:      a.updatesRecv.Load(),
+		QueriesSent:      a.queriesSent.Load(),
+		QueriesServed:    a.queriesServed.Load(),
+		Floods:           a.floods.Load(),
+		DeltasSent:       a.deltasSent.Load(),
+		DeltasRecv:       a.deltasRecv.Load(),
+		DeltasApplied:    a.deltasApplied.Load(),
+		AntiEntropyPulls: a.pulls.Load(),
+		PullsServed:      a.pullsServed.Load(),
+		GossipBatches:    a.gossip.batches.Load(),
+		GossipBytes:      a.gossip.bytes.Load(),
+		VVSize:           vv,
 	}
+}
+
+// Stamp returns the O(1) convergence probe of the agent's directory:
+// swarm tests compare (epoch, size, membership hash) across thousands
+// of agents without cloning anything.
+func (a *Agent) Stamp() (epoch uint64, n int, xor uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.dir.Stamp()
 }
 
 // MemberView is one member's state as known to an MRM: its directory
@@ -335,7 +505,8 @@ func (a *Agent) Stop() {
 		close(a.stop)
 	}
 	a.mu.Unlock()
-	a.cancel() // aborts in-flight protocol RPCs
+	a.cancel()       // aborts in-flight protocol RPCs
+	a.gossip.close() // drains per-destination forwarders
 	a.wg.Wait()
 }
 
@@ -343,10 +514,36 @@ func (a *Agent) start() {
 	a.wg.Add(1)
 	go a.loop()
 	a.wg.Add(1)
-	go a.broadcastLoop()
+	go a.pullLoop()
+	if a.cfg.fullStateDir() {
+		a.wg.Add(1)
+		go a.broadcastLoop()
+	}
 	if a.cfg.Mode == Strong {
 		a.wg.Add(1)
 		go a.floodLoop()
+	}
+}
+
+// pullLoop serialises divergence-triggered anti-entropy pulls.
+func (a *Agent) pullLoop() {
+	defer a.wg.Done()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-a.pullKick:
+			a.syncDirectory()
+		}
+	}
+}
+
+// kickPull schedules one anti-entropy pull, coalescing with any pending
+// one.
+func (a *Agent) kickPull() {
+	select {
+	case a.pullKick <- struct{}{}:
+	default:
 	}
 }
 
@@ -423,19 +620,34 @@ func (a *Agent) tickSnapshot() (group int, cands, rootCands []string, ok bool) {
 // tick performs this node's periodic duties.
 func (a *Agent) tick() {
 	group, cands, rootCands, ok := a.tickSnapshot()
-	if !ok || group < 0 {
+	if !ok {
+		return
+	}
+	a.ticks++
+	syncDue := a.ticks%uint64(a.cfg.AntiEntropyTicks) == 0
+	if group < 0 {
+		// This node no longer appears in its own directory: it applied a
+		// delta (or adopted a snapshot) that expelled it. Every periodic
+		// duty is suspended — but anti-entropy must keep running, because
+		// it IS the rejoin path. Without this a node whose single
+		// expulsion-triggered pull failed (routine under load) would wedge
+		// forever: no deltas arrive for non-members, and nothing else ever
+		// re-kicks the pull.
+		if syncDue {
+			a.syncDirectory()
+		}
 		return
 	}
 
 	switch a.cfg.Mode {
 	case Soft:
-		if report, offers, send := a.policyDecide(); send {
-			a.sendUpdate(cands, report, offers)
+		if report, offers, full, send := a.policyDecide(); send {
+			a.sendUpdate(cands, report, offers, full)
 		}
 	case Strong:
 		// Liveness keep-alive only; changes flood immediately.
 		report := a.n.Report()
-		a.sendUpdate(cands, &report, nil)
+		a.sendUpdate(cands, &report, nil, false)
 	}
 
 	// MRM replica duties. Stale view entries are not deleted here: the
@@ -446,55 +658,94 @@ func (a *Agent) tick() {
 		a.reportDeaths(group)
 	}
 
+	// Root duty one tier up: groups whose summaries went silent have
+	// lost every MRM candidate — reap the dead candidates so the next
+	// members become candidates and the group rejoins the hierarchy.
+	if a.actingRootLeader() {
+		a.reapSilentGroups()
+	}
+
 	// Anti-entropy: periodically compare directory epochs with the root
-	// (one tiny ping) and pull the full directory only on divergence.
-	// This repairs missed broadcasts and detects false expulsion (a
-	// member the root timed out during a stall): an expelled node
-	// rejoins.
-	a.ticks++
-	if a.ticks%uint64(4*(a.cfg.FailMultiple+1)) == 0 && !a.actingRootLeader() {
+	// (one tiny digest ping) and pull a version-vector patch only on
+	// divergence. This repairs dropped deltas and detects false
+	// expulsion (a member the root timed out during a stall): an
+	// expelled node rejoins. The real root leader runs it too — its
+	// digest ping self-resolves to "same epoch" for free, while a node
+	// that merely *believes* it leads (a stale directory after a healed
+	// partition) reaches the actual root through its own candidate list
+	// and repairs itself.
+	if syncDue {
 		a.syncDirectory()
 	}
 }
 
-// syncDirectory compares epochs with the root and reconciles: adopt the
-// newer directory, or rejoin if this node has been expelled.
+// syncDirectory compares epochs with the root (a digest ping) and
+// reconciles on divergence: pull a version-vector patch carrying only
+// the entries this node lacks, or rejoin if this node has been
+// expelled.
 func (a *Agent) syncDirectory() {
-	ctx, cancel := a.rpcCtx()
-	defer cancel()
+	// Each phase gets a fresh context: under CPU saturation a slow ping
+	// can consume most of one rpcTimeout, and the pull — and above all
+	// the rejoin — must not start with an exhausted budget.
 	var rootEpoch uint64
-	err := a.callRoot(ctx, "ping", nil, func(d *cdr.Decoder) error {
-		var e error
-		rootEpoch, e = d.ReadULongLong()
-		return e
-	})
+	err := func() error {
+		ctx, cancel := a.rpcCtx()
+		defer cancel()
+		return a.callRoot(ctx, "ping", nil, func(d *cdr.Decoder) error {
+			var e error
+			rootEpoch, e = d.ReadULongLong()
+			return e
+		})
+	}()
 	if err != nil {
 		return
 	}
 	a.mu.Lock()
 	same := rootEpoch == a.dir.Epoch
+	expelled := a.dir.GroupOf(a.name) < 0
+	vv := make(map[string]uint64, len(a.dir.Versions))
+	for k, v := range a.dir.Versions {
+		vv[k] = v
+	}
 	a.mu.Unlock()
-	if same {
+	// An expelled node (it applied the delta that removed it) can carry
+	// the root's exact epoch — matching digests must not stop the pull
+	// that leads to its rejoin.
+	if same && !expelled {
 		return
 	}
-	var dir *Directory
-	err = a.callRoot(ctx, "get_directory", nil, func(d *cdr.Decoder) error {
-		var e error
-		dir, e = UnmarshalDirectory(d)
-		return e
-	})
-	if err != nil || dir == nil {
+
+	a.pulls.Add(1)
+	var patch *DirectoryPatch
+	err = func() error {
+		ctx, cancel := a.rpcCtx()
+		defer cancel()
+		return a.callRoot(ctx, "sync_pull",
+			func(e *cdr.Encoder) { MarshalVersionVector(e, vv) },
+			func(d *cdr.Decoder) error {
+				var e error
+				patch, e = UnmarshalPatch(d)
+				return e
+			})
+	}()
+	if err != nil || patch == nil {
 		return
 	}
-	a.mu.Lock()
-	newer := dir.Epoch > a.dir.Epoch
-	_, member := dir.Nodes[a.name]
-	a.mu.Unlock()
-	if newer && !member {
+
+	member := false
+	for _, g := range patch.Groups {
+		if contains(g, a.name) {
+			member = true
+			break
+		}
+	}
+	if !member {
 		// Falsely expelled (or the root lost us): rejoin through the
 		// root and adopt the resulting directory.
 		desc := a.Desc()
 		var fresh *Directory
+		ctx, cancel := a.rpcCtx()
+		defer cancel()
 		err := a.callRoot(ctx, "join",
 			func(e *cdr.Encoder) { desc.Marshal(e) },
 			func(d *cdr.Decoder) error {
@@ -509,49 +760,98 @@ func (a *Agent) syncDirectory() {
 			}
 			a.forceSend = true
 			a.mu.Unlock()
+			a.pruneGossip()
 		}
 		return
 	}
-	if newer {
+
+	a.mu.Lock()
+	adopted := false
+	if patch.Epoch > a.dir.Epoch {
+		if dir, ok := patch.Rebuild(a.dir.Nodes); ok {
+			a.dir = dir
+			adopted = true
+		}
+	}
+	a.mu.Unlock()
+	if adopted {
+		a.pruneGossip()
+		return
+	}
+	if patch.Epoch <= a.dir.Epoch {
+		return
+	}
+
+	// The patch did not cover a member this node never saw (e.g. its
+	// state predates the root's log entirely): fall back to the full
+	// snapshot.
+	var dir *Directory
+	ctx, cancel := a.rpcCtx()
+	defer cancel()
+	err = a.callRoot(ctx, "get_directory", nil, func(d *cdr.Decoder) error {
+		var e error
+		dir, e = UnmarshalDirectory(d)
+		return e
+	})
+	if err == nil && dir != nil {
 		a.installDirectory(dir)
 	}
 }
 
+// pruneGossip reclaims gossip channels for destinations that left the
+// directory.
+func (a *Agent) pruneGossip() {
+	a.mu.Lock()
+	members := make(map[string]*NodeDesc, len(a.dir.Nodes))
+	for k, v := range a.dir.Nodes {
+		members[k] = v
+	}
+	for name := range a.sent {
+		if _, ok := members[name]; !ok {
+			delete(a.sent, name)
+		}
+	}
+	a.mu.Unlock()
+	a.gossip.prune(members)
+}
+
 // policyDecide applies the send policy; it returns the report/offers to
-// send and whether to send at all.
-func (a *Agent) policyDecide() (*node.Report, []*node.Offer, bool) {
-	report := a.n.Report()
-	offers := a.n.AllOffers()
+// send, whether this is a full (keep-alive or forced) update that must
+// carry offers regardless of per-peer delta state, and whether to send
+// at all.
+func (a *Agent) policyDecide() (report *node.Report, offers []*node.Offer, full, send bool) {
+	r := a.n.Report()
+	offers = a.n.AllOffers()
 	now := time.Now()
 	keepAliveFloor := a.cfg.UpdateInterval * time.Duration(a.cfg.FailMultiple) / 2
 
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.forceSend || a.lastSent == nil || now.Sub(a.lastSentAt) >= keepAliveFloor ||
-		a.lastSent.Digest != report.Digest {
-		a.recordSentLocked(&report, now)
-		return &report, offers, true
+		a.lastSent.Digest != r.Digest {
+		a.recordSentLocked(&r, now)
+		return &r, offers, true, true
 	}
 	switch a.cfg.Policy {
 	case Periodic:
-		a.recordSentLocked(&report, now)
-		return &report, offers, true
+		a.recordSentLocked(&r, now)
+		return &r, offers, false, true
 	case DeadBand:
-		if math.Abs(report.LoadFraction()-a.lastSent.LoadFraction()) > a.cfg.Epsilon {
-			a.recordSentLocked(&report, now)
-			return &report, offers, true
+		if math.Abs(r.LoadFraction()-a.lastSent.LoadFraction()) > a.cfg.Epsilon {
+			a.recordSentLocked(&r, now)
+			return &r, offers, false, true
 		}
-		return nil, nil, false
+		return nil, nil, false, false
 	case Predictive:
 		predicted := a.predictLocked(now)
-		if math.Abs(report.LoadFraction()-predicted) > a.cfg.Epsilon {
-			a.recordSentLocked(&report, now)
-			return &report, offers, true
+		if math.Abs(r.LoadFraction()-predicted) > a.cfg.Epsilon {
+			a.recordSentLocked(&r, now)
+			return &r, offers, false, true
 		}
-		return nil, nil, false
+		return nil, nil, false, false
 	}
-	a.recordSentLocked(&report, now)
-	return &report, offers, true
+	a.recordSentLocked(&r, now)
+	return &r, offers, false, true
 }
 
 func (a *Agent) recordSentLocked(r *node.Report, now time.Time) {
@@ -574,26 +874,77 @@ func (a *Agent) predictLocked(now time.Time) float64 {
 	return a.lastSent.LoadFraction() + slope*now.Sub(a.lastSentAt).Seconds()
 }
 
-// sendUpdate pushes one update to each MRM replica candidate.
-func (a *Agent) sendUpdate(cands []string, report *node.Report, offers []*node.Offer) {
-	payload := func(e *cdr.Encoder) {
-		report.Marshal(e)
-		node.MarshalOffers(e, offers)
+// sendUpdate pushes one update to each MRM replica candidate. In delta
+// mode the update rides the gossip plane and carries the offer list
+// only when it changed for that destination (or on keep-alive refresh);
+// the legacy full-state/Strong path keeps point-to-point oneways with
+// offers always attached.
+func (a *Agent) sendUpdate(cands []string, report *node.Report, offers []*node.Offer, full bool) {
+	if a.cfg.fullStateDir() {
+		payload := func(e *cdr.Encoder) {
+			report.Marshal(e)
+			node.MarshalOffers(e, offers)
+		}
+		// Measure the payload size once for accounting.
+		sizer := cdr.NewEncoder(cdr.LittleEndian)
+		payload(sizer)
+		ctx, cancel := a.rpcCtx()
+		defer cancel()
+		for _, cand := range cands {
+			ref, ok := a.refOf(cand)
+			if !ok {
+				continue
+			}
+			a.updatesSent.Add(1)
+			a.updateBytes.Add(uint64(sizer.Len()))
+			_ = ref.InvokeOnewayContext(ctx, "update", payload)
+		}
+		return
 	}
-	// Measure the payload size once for accounting.
-	sizer := cdr.NewEncoder(cdr.LittleEndian)
-	payload(sizer)
-	ctx, cancel := a.rpcCtx()
-	defer cancel()
+
+	// Encode the two possible bodies once; destinations share them
+	// (the gossip queue treats bodies as immutable).
+	slim := encodeUpdate(report, nil, false)
+	var fat []byte // built lazily: steady state never needs it
 	for _, cand := range cands {
-		ref, ok := a.refOf(cand)
-		if !ok {
-			continue
+		withOffers := full
+		a.mu.Lock()
+		st := a.sent[cand]
+		if st == nil {
+			st = &peerSendState{offersEpoch: ^uint64(0)}
+			a.sent[cand] = st
+		}
+		if st.offersEpoch != report.OffersEpoch {
+			withOffers = true
+		}
+		if withOffers {
+			st.offersEpoch = report.OffersEpoch
+		}
+		a.mu.Unlock()
+		body := slim
+		if withOffers {
+			if fat == nil {
+				fat = encodeUpdate(report, offers, true)
+			}
+			body = fat
 		}
 		a.updatesSent.Add(1)
-		a.updateBytes.Add(uint64(sizer.Len()))
-		_ = ref.InvokeOnewayContext(ctx, "update", payload)
+		a.updateBytes.Add(uint64(len(body)))
+		a.gossip.enqueue(cand, gossipUpdate, body)
 	}
+}
+
+// encodeUpdate builds a gossip update body: the report, then a flag
+// distinguishing "offers unchanged, keep what you have" from an actual
+// (possibly empty) offer list.
+func encodeUpdate(report *node.Report, offers []*node.Offer, hasOffers bool) []byte {
+	e := cdr.NewEncoder(cdr.LittleEndian)
+	report.Marshal(e)
+	e.WriteBool(hasOffers)
+	if hasOffers {
+		node.MarshalOffers(e, offers)
+	}
+	return e.Bytes()
 }
 
 // memberNames snapshots the directory membership; ok is false until the
@@ -729,12 +1080,22 @@ func (a *Agent) sendSummary(group int, rootCands []string) {
 		e.WriteDouble(freeCPU)
 		e.WriteStringSeq(exportList)
 	}
+	var body []byte
+	if !a.cfg.fullStateDir() {
+		e := cdr.NewEncoder(cdr.LittleEndian)
+		payload(e)
+		body = e.Bytes()
+	}
 	ctx, cancel := a.rpcCtx()
 	defer cancel()
 	for _, rc := range rootCands {
 		if rc == a.name {
 			// Local shortcut: ingest own summary directly.
 			a.ingestSummary(group, alive, freeCPU, exportList)
+			continue
+		}
+		if body != nil {
+			a.gossip.enqueue(rc, gossipSummary, body)
 			continue
 		}
 		ref, ok := a.refOf(rc)
@@ -810,6 +1171,57 @@ func (a *Agent) reportDeaths(group int) {
 			delete(a.expected, name)
 			a.mu.Unlock()
 		}
+	}
+}
+
+// reapSilentGroups is the root leader's guard against a group losing
+// every MRM candidate at once: members beyond the candidate set never
+// act as leader, so such a group would stop sending summaries (and stop
+// reporting its own deaths) forever. A group whose summaries went
+// silent beyond the grace window gets its candidates pinged directly;
+// the unresponsive ones are removed, promoting the next members to
+// candidates.
+func (a *Agent) reapSilentGroups() {
+	now := time.Now()
+	staleCutoff := now.Add(-4 * a.failTimeout())
+	a.mu.Lock()
+	own := a.dir.GroupOf(a.name)
+	var suspects []string
+	for g := range a.dir.Groups {
+		if g == own || len(a.dir.Groups[g]) == 0 {
+			// The root's own group is covered by its reportDeaths duty.
+			continue
+		}
+		if sum, ok := a.summaries[g]; ok && sum.lastSeen.After(staleCutoff) {
+			delete(a.expectedGroups, g)
+			continue
+		}
+		first, tracked := a.expectedGroups[g]
+		switch {
+		case !tracked:
+			a.expectedGroups[g] = now
+		case first.Before(staleCutoff):
+			suspects = append(suspects, a.dir.Candidates(g, a.cfg.Replicas)...)
+			a.expectedGroups[g] = now // re-arm: one reap round per window
+		}
+	}
+	a.mu.Unlock()
+
+	for _, name := range suspects {
+		if ref, ok := a.refOf(name); ok {
+			pingCtx, cancel := a.rpcCtx()
+			err := ref.InvokeContext(pingCtx, "ping", nil, func(d *cdr.Decoder) error {
+				_, e := d.ReadULongLong()
+				return e
+			})
+			cancel()
+			if err == nil {
+				continue // alive: let it resume its summary duty
+			}
+		}
+		ctx, cancel := a.rpcCtx()
+		_ = a.handleRemoval(ctx, name)
+		cancel()
 	}
 }
 

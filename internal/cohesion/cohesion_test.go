@@ -63,7 +63,17 @@ func newCluster(t testing.TB, n int, tweak func(*Config)) *testCluster {
 	}
 	tc.agents[0].Bootstrap()
 	for i := 1; i < n; i++ {
-		if err := tc.agents[i].Join(tc.agents[0].CohesionIOR()); err != nil {
+		// A join is idempotent at the root (Assign re-places a known
+		// name), so a timeout under load — swarm-sized clusters on a
+		// starved CI core — is safe to retry.
+		var err error
+		for attempt := 0; attempt < 3; attempt++ {
+			if err = tc.agents[i].Join(tc.agents[0].CohesionIOR()); err == nil {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		if err != nil {
 			t.Fatalf("join %d: %v", i, err)
 		}
 	}
@@ -571,6 +581,38 @@ func TestAntiEntropyRejoinAfterFalseExpulsion(t *testing.T) {
 	// Anti-entropy on the victim notices the divergence and rejoins.
 	waitFor(t, 10*time.Second, "victim to rejoin", func() bool {
 		return tc.agents[0].Directory().Len() == 4
+	})
+}
+
+func TestExpelledNodeUnwedgesViaTickAntiEntropy(t *testing.T) {
+	leak.Check(t)
+	// The wedge found by the 1000-node swarm bench: a node applies the
+	// delta that expels it, its one expulsion-triggered pull is lost
+	// under load, and then nothing ever repairs it — deltas stop flowing
+	// to non-members, and a tick loop that bails out whenever the node
+	// is absent from its own directory never runs anti-entropy again.
+	// Reproduce the post-failure state directly (bypassing the protocol
+	// so no immediate pull fires) and require the periodic tick to
+	// rejoin: the node was expelled at the root's current epoch, so the
+	// digest ping alone cannot spot the divergence either.
+	tc := newCluster(t, 4, nil)
+	waitFor(t, 3*time.Second, "convergence", func() bool {
+		return tc.agents[0].Directory().Len() == 4
+	})
+	root, victim := tc.agents[0], tc.agents[3]
+	root.mu.Lock()
+	dir := root.dir.Clone()
+	dir.Remove("n03")
+	root.dir = dir
+	rootEpoch := dir.Epoch
+	root.mu.Unlock()
+	victim.mu.Lock()
+	victim.dir = dir.Clone() // same epoch as the root, self absent
+	victim.mu.Unlock()
+	waitFor(t, 10*time.Second, "victim to rejoin", func() bool {
+		d := root.Directory()
+		return d.GroupOf("n03") >= 0 && d.Epoch > rootEpoch &&
+			victim.Directory().GroupOf("n03") >= 0
 	})
 }
 

@@ -18,6 +18,7 @@ package cohesion
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 
 	"corbalc/internal/cdr"
@@ -72,29 +73,59 @@ func UnmarshalNodeDesc(d *cdr.Decoder) (*NodeDesc, error) {
 
 // Directory is the replicated membership state: the set of nodes, their
 // grouping, and a monotonically increasing epoch. The root MRM mutates
-// it (joins, leaves, confirmed deaths) and pushes new epochs to every
+// it (joins, leaves, confirmed deaths) and disseminates versioned
+// deltas (or, in the legacy full-state mode, whole snapshots) to every
 // node; everyone else treats it as read-only.
 type Directory struct {
 	Epoch  uint64
 	Groups [][]string // group index -> member names, join order preserved
 	Nodes  map[string]*NodeDesc
+	// Versions is the per-entry version vector: for each member, the
+	// epoch at which its entry last changed. Anti-entropy pulls ship it
+	// so the root can answer with only the entries the puller lacks.
+	Versions map[string]uint64
+
+	// memberXor folds every member name into one order-independent hash,
+	// maintained incrementally — (Epoch, Len, memberXor) is an O(1)
+	// convergence probe for swarm-scale tests.
+	memberXor uint64
 }
 
 // NewDirectory returns an empty directory at epoch 0.
 func NewDirectory() *Directory {
-	return &Directory{Nodes: make(map[string]*NodeDesc)}
+	return &Directory{Nodes: make(map[string]*NodeDesc), Versions: make(map[string]uint64)}
+}
+
+func nameHash(name string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name)) // fnv never errors
+	return h.Sum64()
+}
+
+// Stamp returns the O(1) convergence probe: two directories with equal
+// stamps hold the same epoch and member set.
+func (dir *Directory) Stamp() (epoch uint64, n int, xor uint64) {
+	return dir.Epoch, len(dir.Nodes), dir.memberXor
 }
 
 // Clone deep-copies the directory (descriptors are shared, they are
 // immutable once published).
 func (dir *Directory) Clone() *Directory {
-	out := &Directory{Epoch: dir.Epoch, Nodes: make(map[string]*NodeDesc, len(dir.Nodes))}
+	out := &Directory{
+		Epoch:     dir.Epoch,
+		Nodes:     make(map[string]*NodeDesc, len(dir.Nodes)),
+		Versions:  make(map[string]uint64, len(dir.Versions)),
+		memberXor: dir.memberXor,
+	}
 	out.Groups = make([][]string, len(dir.Groups))
 	for i, g := range dir.Groups {
 		out.Groups[i] = append([]string(nil), g...)
 	}
 	for k, v := range dir.Nodes {
 		out.Nodes[k] = v
+	}
+	for k, v := range dir.Versions {
+		out.Versions[k] = v
 	}
 	return out
 }
@@ -128,38 +159,60 @@ func (dir *Directory) Assign(desc *NodeDesc, g int) int {
 	if existing := dir.GroupOf(desc.Name); existing >= 0 {
 		dir.Nodes[desc.Name] = desc
 		dir.Epoch++
+		dir.setVersion(desc.Name)
 		return existing
 	}
 	dir.Nodes[desc.Name] = desc
+	dir.memberXor ^= nameHash(desc.Name)
 	for i := range dir.Groups {
 		if len(dir.Groups[i]) < g {
 			dir.Groups[i] = append(dir.Groups[i], desc.Name)
 			dir.Epoch++
+			dir.setVersion(desc.Name)
 			return i
 		}
 	}
 	dir.Groups = append(dir.Groups, []string{desc.Name})
 	dir.Epoch++
+	dir.setVersion(desc.Name)
 	return len(dir.Groups) - 1
+}
+
+func (dir *Directory) setVersion(name string) {
+	if dir.Versions == nil {
+		dir.Versions = make(map[string]uint64)
+	}
+	dir.Versions[name] = dir.Epoch
 }
 
 // Remove deletes a node (leave or confirmed death); empty groups are
 // kept in place so group indices remain stable.
 func (dir *Directory) Remove(name string) bool {
+	if !dir.drop(name) {
+		return false
+	}
+	dir.Epoch++
+	return true
+}
+
+// drop deletes a node without advancing the epoch — the shared core of
+// Remove (root mutation, bumps) and delta application (the delta's To
+// epoch is adopted instead).
+func (dir *Directory) drop(name string) bool {
 	if _, ok := dir.Nodes[name]; !ok {
 		return false
 	}
 	delete(dir.Nodes, name)
+	delete(dir.Versions, name)
+	dir.memberXor ^= nameHash(name)
 	for i, g := range dir.Groups {
 		for j, m := range g {
 			if m == name {
 				dir.Groups[i] = append(g[:j], g[j+1:]...)
-				dir.Epoch++
 				return true
 			}
 		}
 	}
-	dir.Epoch++
 	return true
 }
 
@@ -207,8 +260,13 @@ func (dir *Directory) RootCandidates(r int) []string {
 	return dir.Candidates(rg, r)
 }
 
-// Marshal encodes the directory.
-func (dir *Directory) Marshal(e *cdr.Encoder) {
+// Marshal encodes the directory: epoch, groups, per-entry descriptors
+// with their version-vector entries, and a trailing extension blob that
+// decoders skip — future fields land there without breaking older
+// readers.
+func (dir *Directory) Marshal(e *cdr.Encoder) { dir.marshalExt(e, nil) }
+
+func (dir *Directory) marshalExt(e *cdr.Encoder, ext []byte) {
 	e.WriteULongLong(dir.Epoch)
 	e.WriteULong(uint32(len(dir.Groups)))
 	for _, g := range dir.Groups {
@@ -217,10 +275,13 @@ func (dir *Directory) Marshal(e *cdr.Encoder) {
 	e.WriteULong(uint32(len(dir.Nodes)))
 	for _, name := range dir.Names() {
 		dir.Nodes[name].Marshal(e)
+		e.WriteULongLong(dir.Versions[name])
 	}
+	e.WriteOctetSeq(ext)
 }
 
-// UnmarshalDirectory decodes a directory.
+// UnmarshalDirectory decodes a directory, rebuilding the incremental
+// membership hash and tolerating (skipping) unknown trailing fields.
 func UnmarshalDirectory(d *cdr.Decoder) (*Directory, error) {
 	dir := NewDirectory()
 	var err error
@@ -252,7 +313,16 @@ func UnmarshalDirectory(d *cdr.Decoder) (*Directory, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cohesion: node %d: %w", i, err)
 		}
+		ver, err := d.ReadULongLong()
+		if err != nil {
+			return nil, err
+		}
 		dir.Nodes[nd.Name] = nd
+		dir.Versions[nd.Name] = ver
+		dir.memberXor ^= nameHash(nd.Name)
+	}
+	if _, err := d.ReadOctetSeqAlias(); err != nil { // skip extensions
+		return nil, err
 	}
 	return dir, nil
 }

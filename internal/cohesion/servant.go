@@ -118,6 +118,41 @@ func (s *agentServant) InvokeContext(ctx context.Context, op string, args *cdr.D
 		node.MarshalOffers(reply, offers)
 		return nil
 
+	case "gossip_batch":
+		n, err := args.ReadULong()
+		if err != nil {
+			return orb.Marshal()
+		}
+		for i := uint32(0); i < n; i++ {
+			kind, err := args.ReadOctet()
+			if err != nil {
+				return orb.Marshal()
+			}
+			body, err := args.ReadOctetSeqAlias()
+			if err != nil {
+				return orb.Marshal()
+			}
+			s.dispatchGossip(kind, body)
+		}
+		return nil
+
+	case "sync_pull":
+		vv, err := UnmarshalVersionVector(args)
+		if err != nil {
+			return orb.Marshal()
+		}
+		a.pullsServed.Add(1)
+		a.mu.Lock()
+		patch := a.dir.BuildPatch(vv)
+		a.mu.Unlock()
+		patch.Marshal(reply)
+		return nil
+
+	case "cohesion_stats":
+		st := a.Stats()
+		st.Marshal(reply)
+		return nil
+
 	case "root_query":
 		portID, err := args.ReadString()
 		if err != nil {
@@ -137,6 +172,58 @@ func (s *agentServant) InvokeContext(ctx context.Context, op string, args *cdr.D
 		return nil
 	}
 	return orb.BadOperation()
+}
+
+// dispatchGossip decodes and routes one entry of a gossip_batch frame.
+// body aliases the inbound request buffer: handlers that retain bytes
+// past this call (delta relay) copy first. Unknown kinds are skipped so
+// newer senders interoperate with older receivers; malformed entries are
+// dropped — anti-entropy repairs whatever they carried.
+func (s *agentServant) dispatchGossip(kind byte, body []byte) {
+	a := s.a
+	d := cdr.NewDecoder(body, cdr.LittleEndian)
+	switch kind {
+	case gossipUpdate:
+		report, err := node.UnmarshalReport(d)
+		if err != nil {
+			return
+		}
+		hasOffers, err := d.ReadBool()
+		if err != nil {
+			return
+		}
+		var offers []*node.Offer
+		if hasOffers {
+			if offers, err = node.UnmarshalOffers(d); err != nil {
+				return
+			}
+		}
+		a.ingestGossipUpdate(report, offers, hasOffers)
+	case gossipSummary:
+		group, err := d.ReadULong()
+		if err != nil {
+			return
+		}
+		alive, err := d.ReadULong()
+		if err != nil {
+			return
+		}
+		freeCPU, err := d.ReadDouble()
+		if err != nil {
+			return
+		}
+		exports, err := d.ReadStringSeq()
+		if err != nil {
+			return
+		}
+		a.ingestSummary(int(group), alive, freeCPU, exports)
+	case gossipDelta:
+		delta, err := UnmarshalDelta(d)
+		if err != nil {
+			return
+		}
+		a.handleDelta(delta, body)
+	}
 }
 
 func joinExc(err error) error {
@@ -161,10 +248,24 @@ func (a *Agent) actingRootLeader() bool {
 func (a *Agent) handleJoin(ctx context.Context, desc *NodeDesc) (*Directory, error) {
 	if a.actingRootLeader() {
 		a.mu.Lock()
-		a.dir.Assign(desc, a.cfg.GroupSize)
+		from := a.dir.Epoch
+		group := a.dir.Assign(desc, a.cfg.GroupSize)
+		delta := &DirectoryDelta{
+			From: from,
+			To:   a.dir.Epoch,
+			Upserts: []DirUpsert{{
+				Group:   int32(group),
+				Version: a.dir.Versions[desc.Name],
+				Desc:    desc,
+			}},
+		}
 		dir := a.dir.Clone()
 		a.mu.Unlock()
-		a.kickBroadcast(dir)
+		if a.cfg.fullStateDir() {
+			a.kickBroadcast(dir)
+		} else {
+			a.disseminateDelta(dir, delta)
+		}
 		return dir, nil
 	}
 	// Forward to the root.
@@ -187,16 +288,137 @@ func (a *Agent) handleJoin(ctx context.Context, desc *NodeDesc) (*Directory, err
 func (a *Agent) handleRemoval(ctx context.Context, name string) error {
 	if a.actingRootLeader() {
 		a.mu.Lock()
+		from := a.dir.Epoch
 		removed := a.dir.Remove(name)
+		delta := &DirectoryDelta{From: from, To: a.dir.Epoch, Removes: []string{name}}
 		dir := a.dir.Clone()
 		delete(a.view, name)
+		delete(a.expected, name)
+		delete(a.sent, name)
 		a.mu.Unlock()
 		if removed {
-			a.kickBroadcast(dir)
+			if a.cfg.fullStateDir() {
+				a.kickBroadcast(dir)
+			} else {
+				a.disseminateDelta(dir, delta)
+				a.gossip.drop(name)
+			}
 		}
 		return nil
 	}
 	return a.callRoot(ctx, "report_dead", func(e *cdr.Encoder) { e.WriteString(name) }, nil)
+}
+
+// disseminateDelta ships one root mutation down the MRM hierarchy: the
+// root gossips it to every group's MRM candidates, and each group's
+// acting leader relays it to the members beyond the candidate set
+// (relayDelta). The root covers its own group directly. Fan-out at the
+// root is therefore O(replicas × groups), not O(N).
+func (a *Agent) disseminateDelta(dir *Directory, delta *DirectoryDelta) {
+	e := cdr.NewEncoder(cdr.LittleEndian)
+	delta.Marshal(e)
+	body := e.Bytes()
+	own := dir.GroupOf(a.name)
+	for g := range dir.Groups {
+		for _, cand := range dir.Candidates(g, a.cfg.Replicas) {
+			if cand == a.name {
+				continue
+			}
+			a.deltasSent.Add(1)
+			a.gossip.enqueue(cand, gossipDelta, body)
+		}
+	}
+	// Leader duty for the root's own group: relay past the candidates.
+	if own >= 0 {
+		members := dir.Members(own)
+		if len(members) > a.cfg.Replicas {
+			for _, m := range members[a.cfg.Replicas:] {
+				if m == a.name {
+					continue
+				}
+				a.deltasSent.Add(1)
+				a.gossip.enqueue(m, gossipDelta, body)
+			}
+		}
+	}
+}
+
+// relayDelta is the second dissemination tier: an acting group leader
+// that received a delta from the root forwards it to its group's
+// non-candidate members, who are outside the root's fan-out.
+func (a *Agent) relayDelta(dir *Directory, body []byte) {
+	group := dir.GroupOf(a.name)
+	if group < 0 || !contains(dir.Candidates(group, a.cfg.Replicas), a.name) || !a.actingLeader(group) {
+		return
+	}
+	members := dir.Members(group)
+	if len(members) <= a.cfg.Replicas {
+		return
+	}
+	for _, m := range members[a.cfg.Replicas:] {
+		if m == a.name {
+			continue
+		}
+		a.deltasSent.Add(1)
+		a.gossip.enqueue(m, gossipDelta, body)
+	}
+}
+
+// deltaOutcome classifies one gossip delta against the local directory.
+type deltaOutcome int
+
+const (
+	deltaStale    deltaOutcome = iota // already incorporated
+	deltaApplied                      // contiguous, applied locally
+	deltaSelfGone                     // applied, and it expelled this node
+	deltaGap                          // non-contiguous: deltas were lost
+)
+
+// applyDelta ingests one delta under the lock and reports what to do
+// next; on deltaApplied, dir is the post-apply clone to relay from.
+func (a *Agent) applyDelta(delta *DirectoryDelta) (deltaOutcome, *Directory) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch {
+	case delta.To <= a.dir.Epoch:
+		// Stale or duplicate (e.g. both the root and a relay reached us).
+		return deltaStale, nil
+	case delta.From == a.dir.Epoch:
+		a.dir.Apply(delta)
+		a.deltasApplied.Add(1)
+		for _, name := range delta.Removes {
+			delete(a.view, name)
+			delete(a.expected, name)
+			delete(a.sent, name)
+		}
+		if a.dir.GroupOf(a.name) < 0 {
+			return deltaSelfGone, nil
+		}
+		return deltaApplied, a.dir.Clone()
+	default:
+		// Gap: deltas were dropped (queue overflow, a missed relay).
+		return deltaGap, nil
+	}
+}
+
+// handleDelta ingests one directory delta from the gossip stream. raw
+// is this frame entry's encoded form, copied if the delta must be
+// relayed (the inbound buffer is transport-owned).
+func (a *Agent) handleDelta(delta *DirectoryDelta, raw []byte) {
+	a.deltasRecv.Add(1)
+	switch outcome, dir := a.applyDelta(delta); outcome {
+	case deltaSelfGone, deltaGap:
+		// Behind the stream, or expelled by it: reconcile with the root
+		// — anti-entropy pulls exactly the missing entries, and rejoins
+		// if the root confirms the expulsion.
+		a.kickPull()
+	case deltaApplied:
+		body := append([]byte(nil), raw...)
+		a.relayDelta(dir, body)
+		for _, name := range delta.Removes {
+			a.gossip.drop(name)
+		}
+	}
 }
 
 // broadcastDirectory pushes a new directory epoch to every member.
@@ -227,6 +449,21 @@ func (a *Agent) ingestUpdate(report *node.Report, offers []*node.Offer) {
 	a.updatesRecv.Add(1)
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	a.view[report.Node] = &memberState{report: report, offers: offers, lastSeen: time.Now()}
+	delete(a.expected, report.Node)
+}
+
+// ingestGossipUpdate stores a member's report in this MRM's view; an
+// update without offers ("unchanged") keeps the offers last shipped.
+func (a *Agent) ingestGossipUpdate(report *node.Report, offers []*node.Offer, hasOffers bool) {
+	a.updatesRecv.Add(1)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !hasOffers {
+		if prev, ok := a.view[report.Node]; ok {
+			offers = prev.offers
+		}
+	}
 	a.view[report.Node] = &memberState{report: report, offers: offers, lastSeen: time.Now()}
 	delete(a.expected, report.Node)
 }

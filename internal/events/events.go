@@ -472,6 +472,20 @@ func (h *Hub) snapshot() []*Channel {
 	return out
 }
 
+// Remove closes and forgets one channel (a no-op when absent), so hubs
+// keyed by peer identity — the cohesion gossip plane keeps one channel
+// per destination — reclaim queues and delivery goroutines under churn.
+// The removed channel's counters leave the hub's totals with it.
+func (h *Hub) Remove(typeID string) {
+	h.mu.Lock()
+	c := h.channels[typeID]
+	delete(h.channels, typeID)
+	h.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
 // Close closes every channel.
 func (h *Hub) Close() {
 	h.mu.Lock()

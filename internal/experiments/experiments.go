@@ -113,6 +113,7 @@ func All(sc Scale) []*Table {
 		E9Grid(sc),
 		E10Predictive(sc),
 		E11FanOut(sc),
+		E12Swarm(sc),
 	}
 }
 

@@ -94,8 +94,11 @@ type Node struct {
 	resolver   DependencyResolver
 	eventSvc   *eventService
 
-	digest   atomic.Uint64
-	onChange atomic.Pointer[func()]
+	digest atomic.Uint64
+	// offersEpoch advances only when the installed-component set (the
+	// offer list) changes; see Report.OffersEpoch.
+	offersEpoch atomic.Uint64
+	onChange    atomic.Pointer[func()]
 }
 
 // New assembles a node and activates its service servants on the ORB.
@@ -219,6 +222,7 @@ func (n *Node) Report() Report {
 	r := n.res.Snapshot()
 	r.Node = n.name
 	r.Digest = n.Digest()
+	r.OffersEpoch = n.offersEpoch.Load()
 	return r
 }
 
@@ -272,6 +276,7 @@ func (n *Node) installLoaded(c *component.Component) (component.ID, error) {
 			ErrResources, q.MemoryMinMB, p.MemoryMB)
 	}
 	n.repo.Put(c)
+	n.offersEpoch.Add(1)
 	n.bumpDigest()
 	return c.ID(), nil
 }
@@ -288,6 +293,7 @@ func (n *Node) Uninstall(id component.ID) error {
 	if !n.repo.Remove(id) {
 		return fmt.Errorf("%w: %s", ErrNotInstalled, id)
 	}
+	n.offersEpoch.Add(1)
 	n.bumpDigest()
 	return nil
 }

@@ -73,6 +73,11 @@ type Report struct {
 	// installed-component set or the instance population changes, so a
 	// registry can cheaply detect staleness.
 	Digest uint64
+	// OffersEpoch advances when the installed-component set (and hence
+	// the offer list) changes — but not on instance churn, unlike Digest.
+	// Delta-gossip updates ship the offer list only when a destination's
+	// last-seen OffersEpoch is stale.
+	OffersEpoch uint64
 	// UnixMillis is the local timestamp of the snapshot.
 	UnixMillis int64
 }
@@ -114,6 +119,7 @@ func (r *Report) Marshal(e *cdr.Encoder) {
 	e.WriteDouble(r.BandwidthMbps)
 	e.WriteULong(r.Instances)
 	e.WriteULongLong(r.Digest)
+	e.WriteULongLong(r.OffersEpoch)
 	e.WriteLongLong(r.UnixMillis)
 }
 
@@ -142,6 +148,7 @@ func UnmarshalReport(d *cdr.Decoder) (*Report, error) {
 	read(func() error { var e error; r.BandwidthMbps, e = d.ReadDouble(); return e })
 	read(func() error { var e error; r.Instances, e = d.ReadULong(); return e })
 	read(func() error { var e error; r.Digest, e = d.ReadULongLong(); return e })
+	read(func() error { var e error; r.OffersEpoch, e = d.ReadULongLong(); return e })
 	read(func() error { var e error; r.UnixMillis, e = d.ReadLongLong(); return e })
 	if err != nil {
 		return nil, err

@@ -61,7 +61,11 @@ type endpoint struct {
 	name    string
 	handler Handler
 	down    bool
-	stats   Stats
+	// class is the endpoint's partition class: endpoints in different
+	// non-zero classes cannot reach each other (swarm-scale partitions
+	// without O(N²) pairwise cuts). Class 0 reaches everyone.
+	class int
+	stats Stats
 	// busyUntil models FIFO transmission queueing on the node's uplink.
 	busyUntil time.Time
 }
@@ -128,6 +132,18 @@ func (n *Network) SetDown(name string, down bool) {
 	defer n.mu.Unlock()
 	if ep, ok := n.endpoints[name]; ok {
 		ep.down = down
+	}
+}
+
+// SetPartitionClass assigns an endpoint to a partition class: endpoints
+// in different non-zero classes are mutually unreachable, while class 0
+// (the default) reaches everyone. One call per node expresses a
+// swarm-scale network split; assigning every node back to 0 heals it.
+func (n *Network) SetPartitionClass(name string, class int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.endpoints[name]; ok {
+		ep.class = class
 	}
 }
 
@@ -237,6 +253,9 @@ func (n *Network) plan(from, to string, size int) (delay time.Duration, target H
 	}
 
 	if n.partitions[[2]string{from, to}] {
+		return delay, nil, ErrPartitioned
+	}
+	if src.class != 0 && dst.class != 0 && src.class != dst.class {
 		return delay, nil, ErrPartitioned
 	}
 	if src.down {
