@@ -13,9 +13,17 @@
 // b.ReportMetric extras such as E1's us/null-call-collocated or E1b's
 // calls/s — lands in the JSON verbatim. Each -max NAME=N flag caps
 // NAME's allocs/op at N; each -min NAME:METRIC=V flag floors any
-// reported metric (the throughput-regression gate). A benchmark over
-// budget or under floor fails the run with exit status 1, which is
-// what makes the gate a gate.
+// reported metric (the throughput-regression gate); each -minratio
+// NAMEA,NAMEB:METRIC=V flag floors the ratio metric(A)/metric(B) (the
+// multi-core scaling gate). A benchmark over budget or under floor
+// fails the run with exit status 1, which is what makes the gate a
+// gate.
+//
+// A benchmark run at several GOMAXPROCS values (`go test -cpu 1,2,4`)
+// contributes one entry per variant, named "<base>/cpu=<N>"; a
+// benchmark run at a single value keeps its bare name regardless of
+// what that value was, so existing BENCH_*.json budgets are unaffected
+// by the runner's core count.
 package main
 
 import (
@@ -35,8 +43,24 @@ import (
 // then (value, unit) pairs.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 
-// procSuffix strips the -<GOMAXPROCS> suffix go test appends to names.
+// procSuffix matches the -<N> suffix go test appends to names: the
+// GOMAXPROCS of the run, which `go test -cpu 1,2,4` varies per variant
+// (a bare name means N=1).
 var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// splitProcSuffix splits a printed benchmark name into its base name and
+// processor count.
+func splitProcSuffix(name string) (string, int) {
+	s := procSuffix.FindString(name)
+	if s == "" {
+		return name, 1
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 1 {
+		return name, 1
+	}
+	return name[:len(name)-len(s)], n
+}
 
 type budget struct {
 	name   string
@@ -116,8 +140,15 @@ func (m *minFlags) Set(s string) error {
 	return nil
 }
 
+// parse reads `go test -bench` output into name -> (unit -> value). A
+// benchmark that ran at a single GOMAXPROCS keeps its bare base name (the
+// historical keying every BENCH_*.json reader expects, whatever -N the
+// runner happened to print); one that ran at several — `go test -cpu
+// 1,2,4` scaling sweeps — gets one entry per variant, keyed
+// "<base>/cpu=<N>", so floors and ratios can target each point of the
+// scaling curve.
 func parse(r io.Reader) (map[string]map[string]float64, error) {
-	out := make(map[string]map[string]float64)
+	byBase := make(map[string]map[int]map[string]float64)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20) // experiment tables print long lines
 	for sc.Scan() {
@@ -125,12 +156,17 @@ func parse(r io.Reader) (map[string]map[string]float64, error) {
 		if match == nil {
 			continue
 		}
-		name := procSuffix.ReplaceAllString(match[1], "")
+		base, cpu := splitProcSuffix(match[1])
 		fields := strings.Fields(match[3])
-		metrics := out[name]
+		variants := byBase[base]
+		if variants == nil {
+			variants = make(map[int]map[string]float64)
+			byBase[base] = variants
+		}
+		metrics := variants[cpu]
 		if metrics == nil {
 			metrics = make(map[string]float64)
-			out[name] = metrics
+			variants[cpu] = metrics
 		}
 		for i := 0; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
@@ -140,49 +176,62 @@ func parse(r io.Reader) (map[string]map[string]float64, error) {
 			metrics[fields[i+1]] = v
 		}
 	}
+	out := make(map[string]map[string]float64)
+	for base, variants := range byBase {
+		if len(variants) == 1 {
+			for _, metrics := range variants {
+				out[base] = metrics
+			}
+			continue
+		}
+		for cpu, metrics := range variants {
+			out[fmt.Sprintf("%s/cpu=%d", base, cpu)] = metrics
+		}
+	}
 	return out, sc.Err()
 }
 
-func run() int {
-	var (
-		budgets  maxFlags
-		jsonPath string
-		inPath   string
-	)
-	var floors minFlags
-	fs := flag.NewFlagSet("corbalc-benchgate", flag.ContinueOnError)
-	fs.Var(&budgets, "max", "allocs/op budget as NAME=N (repeatable)")
-	fs.Var(&floors, "min", "metric floor as NAME:METRIC=V (repeatable)")
-	fs.StringVar(&jsonPath, "json", "", "write the JSON report to this file")
-	fs.StringVar(&inPath, "in", "", "read bench output from this file instead of stdin")
-	if err := fs.Parse(os.Args[1:]); err != nil {
-		return 2
-	}
+// ratioBudget is a scaling-ratio floor: metric(a)/metric(b) must be at
+// least limit. It is how the gate pins multi-core scaling — e.g. "the
+// 4-core throughput variant must beat the 1-core one by 2.5×" — without
+// hard-coding machine-dependent absolute numbers.
+type ratioBudget struct {
+	a, b   string
+	metric string
+	limit  float64
+}
 
-	in := io.Reader(os.Stdin)
-	if inPath != "" {
-		f, err := os.Open(inPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "corbalc-benchgate:", err)
-			return 2
-		}
-		defer f.Close()
-		in = f
+// ratioFlags parses -minratio 'NAMEA,NAMEB:METRIC=V' (a comma separates
+// the two names because benchmark names embed '/', ':' separates the
+// metric, and the LAST '=' splits off the value because names embed '='
+// too).
+type ratioFlags []ratioBudget
+
+func (r *ratioFlags) String() string { return fmt.Sprint(*r) }
+
+func (r *ratioFlags) Set(s string) error {
+	eq := strings.LastIndex(s, "=")
+	if eq < 0 {
+		return fmt.Errorf("want NAMEA,NAMEB:METRIC=MIN, got %q", s)
 	}
-	// Tee the raw output through so the gate is transparent in CI logs.
-	benches, err := parse(io.TeeReader(in, os.Stdout))
+	names, metric, ok := strings.Cut(s[:eq], ":")
+	a, b, ok2 := strings.Cut(names, ",")
+	if !ok || !ok2 || metric == "" || a == "" || b == "" {
+		return fmt.Errorf("want NAMEA,NAMEB:METRIC=MIN, got %q", s)
+	}
+	f, err := strconv.ParseFloat(s[eq+1:], 64)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "corbalc-benchgate:", err)
-		return 2
+		return fmt.Errorf("bad ratio floor %q: %w", s[eq+1:], err)
 	}
-	if len(benches) == 0 {
-		fmt.Fprintln(os.Stderr, "corbalc-benchgate: no benchmark results on input")
-		return 2
-	}
+	*r = append(*r, ratioBudget{a: a, b: b, metric: metric, limit: f})
+	return nil
+}
 
-	rep := report{Benchmarks: benches, Budgets: make(map[string]budgetResult)}
+// applyBudgets enforces every -max/-min budget against the parsed
+// benchmarks, recording outcomes in rep; it reports whether any failed.
+func applyBudgets(benches map[string]map[string]float64, all []budget, rep *report) bool {
 	failed := false
-	for _, b := range append(append([]budget(nil), budgets...), floors...) {
+	for _, b := range all {
 		metrics, ok := benches[b.name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "corbalc-benchgate: budgeted benchmark %s missing from input\n", b.name)
@@ -230,6 +279,89 @@ func run() int {
 		}
 		rep.Budgets[key] = res
 	}
+	return failed
+}
+
+// applyRatios enforces every -minratio floor, recording outcomes in rep
+// under "NAMEA,NAMEB:METRIC"; it reports whether any failed.
+func applyRatios(benches map[string]map[string]float64, ratios []ratioBudget, rep *report) bool {
+	failed := false
+	for _, rb := range ratios {
+		var vals [2]float64
+		ok := true
+		for i, name := range []string{rb.a, rb.b} {
+			metrics, found := benches[name]
+			if !found {
+				fmt.Fprintf(os.Stderr, "corbalc-benchgate: ratio benchmark %s missing from input\n", name)
+				failed, ok = true, false
+				continue
+			}
+			v, found := metrics[rb.metric]
+			if !found || (i == 1 && v == 0) {
+				fmt.Fprintf(os.Stderr, "corbalc-benchgate: %s has no usable %s for ratio\n", name, rb.metric)
+				failed, ok = true, false
+				continue
+			}
+			vals[i] = v
+		}
+		if !ok {
+			continue
+		}
+		limit := rb.limit
+		actual := vals[0] / vals[1]
+		res := budgetResult{Metric: rb.metric + " ratio", Min: &limit, Actual: actual, OK: actual >= limit}
+		if !res.OK {
+			fmt.Fprintf(os.Stderr, "corbalc-benchgate: %s/%s %s ratio = %.2f below floor %g\n",
+				rb.a, rb.b, rb.metric, actual, limit)
+			failed = true
+		}
+		rep.Budgets[rb.a+","+rb.b+":"+rb.metric] = res
+	}
+	return failed
+}
+
+func run() int {
+	var (
+		budgets  maxFlags
+		jsonPath string
+		inPath   string
+	)
+	var floors minFlags
+	var ratios ratioFlags
+	fs := flag.NewFlagSet("corbalc-benchgate", flag.ContinueOnError)
+	fs.Var(&budgets, "max", "allocs/op budget as NAME=N (repeatable)")
+	fs.Var(&floors, "min", "metric floor as NAME:METRIC=V (repeatable)")
+	fs.Var(&ratios, "minratio", "scaling-ratio floor as NAMEA,NAMEB:METRIC=V (repeatable)")
+	fs.StringVar(&jsonPath, "json", "", "write the JSON report to this file")
+	fs.StringVar(&inPath, "in", "", "read bench output from this file instead of stdin")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+
+	in := io.Reader(os.Stdin)
+	if inPath != "" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "corbalc-benchgate:", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	// Tee the raw output through so the gate is transparent in CI logs.
+	benches, err := parse(io.TeeReader(in, os.Stdout))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "corbalc-benchgate:", err)
+		return 2
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "corbalc-benchgate: no benchmark results on input")
+		return 2
+	}
+
+	rep := report{Benchmarks: benches, Budgets: make(map[string]budgetResult)}
+	failed := applyBudgets(benches, append(append([]budget(nil), budgets...), floors...), &rep)
+	failed = applyRatios(benches, ratios, &rep) || failed
 
 	if jsonPath != "" {
 		buf, err := json.MarshalIndent(&rep, "", "  ")

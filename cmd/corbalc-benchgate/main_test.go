@@ -61,9 +61,15 @@ func TestMinFlagParsing(t *testing.T) {
 // flags and returns its exit code and the JSON report.
 func gate(t *testing.T, flags ...string) (int, report) {
 	t.Helper()
+	return gateOn(t, sampleBench, flags...)
+}
+
+// gateOn is gate over arbitrary bench output.
+func gateOn(t *testing.T, input string, flags ...string) (int, report) {
+	t.Helper()
 	dir := t.TempDir()
 	in := filepath.Join(dir, "bench.txt")
-	if err := os.WriteFile(in, []byte(sampleBench), 0o644); err != nil {
+	if err := os.WriteFile(in, []byte(input), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	jsonPath := filepath.Join(dir, "out.json")
@@ -112,5 +118,131 @@ func TestGateFailsOverCeilingAndMissingBench(t *testing.T) {
 	}
 	if code, _ := gate(t, "-min", "BenchmarkAbsent:calls/s=1"); code != 1 {
 		t.Fatalf("exit = %d, want 1 for a missing budgeted benchmark", code)
+	}
+}
+
+// cpuSweepBench is output from a `go test -cpu 1,2,4` scaling run: the
+// same benchmarks at several GOMAXPROCS values (a bare name is the
+// 1-proc variant).
+const cpuSweepBench = `
+goos: linux
+BenchmarkParallelDispatch       	  500000	      4000 ns/op	    250000 calls/s	       0 allocs/op
+BenchmarkParallelDispatch-2     	  900000	      2200 ns/op	    450000 calls/s	       0 allocs/op
+BenchmarkParallelDispatch-4     	 1500000	      1300 ns/op	    769000 calls/s	       0 allocs/op
+BenchmarkConcurrentTCPThroughput/C=64   	  400000	      4800 ns/op	    208000 calls/s	       0 allocs/op
+BenchmarkConcurrentTCPThroughput/C=64-4 	 1200000	      1700 ns/op	    588000 calls/s	       0 allocs/op
+PASS
+`
+
+func TestSplitProcSuffix(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		base string
+		cpu  int
+	}{
+		{"BenchmarkFoo", "BenchmarkFoo", 1},
+		{"BenchmarkFoo-8", "BenchmarkFoo", 8},
+		{"BenchmarkFoo/C=64", "BenchmarkFoo/C=64", 1},
+		{"BenchmarkFoo/C=64-16", "BenchmarkFoo/C=64", 16},
+		{"BenchmarkFoo/N=1000-2", "BenchmarkFoo/N=1000", 2},
+	} {
+		base, cpu := splitProcSuffix(tc.name)
+		if base != tc.base || cpu != tc.cpu {
+			t.Errorf("splitProcSuffix(%q) = (%q, %d), want (%q, %d)",
+				tc.name, base, cpu, tc.base, tc.cpu)
+		}
+	}
+}
+
+func TestParseSingleProcDoesNotFanOut(t *testing.T) {
+	benches, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := benches["BenchmarkLocalNullInvoke/cpu=4"]; ok {
+		t.Error("single-proc run must not fan out into /cpu=N variants")
+	}
+	if _, ok := benches["BenchmarkLocalNullInvoke"]; !ok {
+		t.Error("single-proc run must keep the bare base name")
+	}
+}
+
+func TestParseCPUSweepFansOutVariants(t *testing.T) {
+	benches, err := parse(strings.NewReader(cpuSweepBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]float64{
+		"BenchmarkParallelDispatch/cpu=1":             250000,
+		"BenchmarkParallelDispatch/cpu=2":             450000,
+		"BenchmarkParallelDispatch/cpu=4":             769000,
+		"BenchmarkConcurrentTCPThroughput/C=64/cpu=1": 208000,
+		"BenchmarkConcurrentTCPThroughput/C=64/cpu=4": 588000,
+	} {
+		if got := benches[name]["calls/s"]; got != want {
+			t.Errorf("%s calls/s = %v, want %v", name, got, want)
+		}
+	}
+	if _, ok := benches["BenchmarkParallelDispatch"]; ok {
+		t.Error("multi-proc sweep must not also keep the bare base name")
+	}
+}
+
+func TestMinRatioFlagParsing(t *testing.T) {
+	var r ratioFlags
+	if err := r.Set("BenchmarkParallelDispatch/cpu=4,BenchmarkParallelDispatch/cpu=1:calls/s=2.5"); err != nil {
+		t.Fatal(err)
+	}
+	want := ratioBudget{
+		a:      "BenchmarkParallelDispatch/cpu=4",
+		b:      "BenchmarkParallelDispatch/cpu=1",
+		metric: "calls/s",
+		limit:  2.5,
+	}
+	if len(r) != 1 || r[0] != want {
+		t.Fatalf("parsed %+v, want %+v", r, want)
+	}
+	for _, bad := range []string{"", "foo", "a,b=1", "a:calls/s=1", ",b:calls/s=1", "a,b:calls/s=x"} {
+		var rf ratioFlags
+		if err := rf.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestGateEnforcesScalingRatio(t *testing.T) {
+	// 769000/250000 = 3.076: a 2.5 floor passes, a 3.5 floor fails.
+	ratioArg := "BenchmarkParallelDispatch/cpu=4,BenchmarkParallelDispatch/cpu=1:calls/s="
+	code, rep := gateOn(t, cpuSweepBench, "-minratio", ratioArg+"2.5")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 for ratio 3.08 >= 2.5", code)
+	}
+	res, ok := rep.Budgets["BenchmarkParallelDispatch/cpu=4,BenchmarkParallelDispatch/cpu=1:calls/s"]
+	if !ok || !res.OK || res.Min == nil || *res.Min != 2.5 {
+		t.Fatalf("ratio result = %+v (present %v)", res, ok)
+	}
+	if res.Actual < 3.07 || res.Actual > 3.08 {
+		t.Fatalf("ratio actual = %v, want ~3.076", res.Actual)
+	}
+
+	if code, _ := gateOn(t, cpuSweepBench, "-minratio", ratioArg+"3.5"); code != 1 {
+		t.Fatalf("exit = %d, want 1 for ratio 3.08 < 3.5", code)
+	}
+	if code, _ := gateOn(t, cpuSweepBench,
+		"-minratio", "BenchmarkAbsent,BenchmarkParallelDispatch/cpu=1:calls/s=1"); code != 1 {
+		t.Fatalf("exit = %d, want 1 for a missing ratio benchmark", code)
+	}
+}
+
+func TestGateEnforcesBudgetsOnCPUVariants(t *testing.T) {
+	code, _ := gateOn(t, cpuSweepBench,
+		"-min", "BenchmarkConcurrentTCPThroughput/C=64/cpu=4:calls/s=500000",
+		"-max", "BenchmarkParallelDispatch/cpu=4=2")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 for budgets within bounds on cpu variants", code)
+	}
+	if code, _ := gateOn(t, cpuSweepBench,
+		"-min", "BenchmarkConcurrentTCPThroughput/C=64/cpu=4:calls/s=600000"); code != 1 {
+		t.Fatalf("exit = %d, want 1 for a floor above the cpu=4 variant", code)
 	}
 }

@@ -8,5 +8,5 @@ import (
 )
 
 func TestAtomicField(t *testing.T) {
-	analysistest.Run(t, atomicfield.Analyzer, "a")
+	analysistest.Run(t, atomicfield.Analyzer, "a", "cow")
 }

@@ -1,0 +1,75 @@
+// Package cow is the atomicfield fixture for the copy-on-write
+// registry idiom the hot path relies on: a snapshot map behind an
+// atomic.Pointer that readers Load lock-free while the single writer
+// clones and Stores under its mutex. The analyzer must accept that
+// disciplined shape and still flag the shortcuts that void it —
+// copying the pointer cell, overwriting it wholesale, or touching an
+// old-style generation word without atomics.
+package cow
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// registry mirrors the object adapter's active-object map: mu
+// serialises writers only; readers never take it.
+type registry struct {
+	mu   sync.Mutex
+	m    atomic.Pointer[map[string]int]
+	gen  uint64
+	hits atomic.Uint64
+}
+
+// goodLookup is the lock-free read path: Load the snapshot, read the
+// immutable map behind it.
+func (r *registry) goodLookup(key string) (int, bool) {
+	r.hits.Add(1)
+	snap := r.m.Load()
+	if snap == nil {
+		return 0, false
+	}
+	v, ok := (*snap)[key]
+	return v, ok
+}
+
+// goodInsert is the disciplined COW write: clone under the writer
+// mutex, publish the new snapshot with Store.
+func (r *registry) goodInsert(key string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.m.Load()
+	next := make(map[string]int, 1)
+	if old != nil {
+		for k, ov := range *old {
+			next[k] = ov
+		}
+	}
+	next[key] = v
+	r.m.Store(&next)
+	atomic.AddUint64(&r.gen, 1)
+}
+
+// badSnapshotCopy copies the pointer cell instead of loading through
+// it; the copy's Load races every concurrent Store.
+func (r *registry) badSnapshotCopy() map[string]int {
+	p := r.m // want `copying atomic field m as a value defeats its atomicity`
+	if s := p.Load(); s != nil {
+		return *s
+	}
+	return nil
+}
+
+// badReset replaces the cell wholesale — holding the writer mutex does
+// not help, readers Load without it.
+func (r *registry) badReset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m = atomic.Pointer[map[string]int]{} // want `plain assignment to atomic field m bypasses sync/atomic`
+}
+
+// badGenRead reads the old-style generation word plainly while
+// goodInsert advances it atomically.
+func (r *registry) badGenRead() uint64 {
+	return r.gen // want `plain read of gen, which is accessed via atomic\.AddUint64`
+}

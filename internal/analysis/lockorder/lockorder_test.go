@@ -11,5 +11,5 @@ func TestLockOrder(t *testing.T) {
 	// One batch, in dependency order: b and c import a, c imports b.
 	// The a/b/c trio forms a cross-package cycle; d holds the
 	// intra-package cases.
-	analysistest.RunAll(t, lockorder.Analyzer, "a", "b", "c", "d")
+	analysistest.RunAll(t, lockorder.Analyzer, "a", "b", "c", "d", "e")
 }

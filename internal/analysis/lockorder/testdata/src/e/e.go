@@ -1,0 +1,58 @@
+// Package e models the striped state the multi-core hot path shards: a
+// directory lock over per-stripe locks (the transport's pending-map
+// stripes, the ORB's channel cache). The sanctioned order is directory
+// first, stripe second; a helper that climbs back from a stripe to the
+// directory closes a cycle and must be flagged. Consistent
+// directory→stripe sections — direct or through a synchronous helper —
+// must pass.
+package e
+
+import "sync"
+
+type stripe struct {
+	mu sync.Mutex
+	n  int
+}
+
+type table struct {
+	mu      sync.Mutex
+	stripes []*stripe
+}
+
+// badClimb locks a stripe and then climbs to the directory lock — the
+// reverse of goodSweep's order, so the two functions can deadlock.
+func (t *table) badClimb(s *stripe) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t.mu.Lock() // want `lock-order cycle: e\.stripe\.mu → e\.table\.mu → e\.stripe\.mu`
+	t.mu.Unlock()
+}
+
+// goodSweep holds the directory lock and visits stripes underneath.
+func (t *table) goodSweep() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	total := 0
+	for _, s := range t.stripes {
+		s.mu.Lock()
+		total += s.n
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// lockedCount assumes the directory lock is held and takes one stripe
+// lock — the helper shape the propagation pass must see through.
+func (t *table) lockedCount(s *stripe) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// goodViaCall acquires directory→stripe through the helper: the same
+// direction as goodSweep, so no new cycle.
+func (t *table) goodViaCall(s *stripe) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lockedCount(s)
+}

@@ -168,6 +168,8 @@ type Stats struct {
 	GossipBatches    uint64 // gossip_batch frames shipped
 	GossipBytes      uint64 // bytes across shipped gossip frames
 	VVSize           int    // current version-vector entry count
+	RepairHintsSent  uint64 // push hints sent to peers seen behind
+	RepairHintsRecv  uint64 // push hints received (each kicks a pull)
 
 	// Directory snapshot (cohesion_stats remote view).
 	Epoch  uint64
@@ -195,7 +197,13 @@ func (s *Stats) Marshal(e *cdr.Encoder) {
 	e.WriteULongLong(s.PullsServed)
 	e.WriteULongLong(s.GossipBatches)
 	e.WriteULongLong(s.GossipBytes)
-	e.WriteOctetSeq(nil)
+	// The repair-hint counters ride in the extension blob: admin tools
+	// built before them still parse the frame, ones built after read
+	// them out of the blob when present.
+	ext := cdr.NewEncoder(cdr.LittleEndian)
+	ext.WriteULongLong(s.RepairHintsSent)
+	ext.WriteULongLong(s.RepairHintsRecv)
+	e.WriteOctetSeq(ext.Bytes())
 }
 
 // UnmarshalStats decodes a cohesion_stats reply.
@@ -238,8 +246,14 @@ func UnmarshalStats(d *cdr.Decoder) (*Stats, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := d.ReadOctetSeqAlias(); err != nil { // skip extensions
+	ext, err := d.ReadOctetSeqAlias()
+	if err != nil {
 		return nil, err
+	}
+	if len(ext) >= 16 {
+		ed := cdr.NewDecoder(ext, cdr.LittleEndian)
+		s.RepairHintsSent, _ = ed.ReadULongLong()
+		s.RepairHintsRecv, _ = ed.ReadULongLong()
 	}
 	return s, nil
 }
@@ -267,6 +281,19 @@ type Agent struct {
 	// sent tracks per-destination send state for offer-delta updates.
 	sent   map[string]*peerSendState
 	joined bool
+	// peerEpochs tracks, per gossiping peer, the epoch it last
+	// advertised and for how many consecutive observations it has not
+	// moved — the stuck detector behind repair hints. Stale alone is
+	// not stuck: during churn a peer routinely advertises old epochs
+	// while the deltas repairing it sit in the relay queue.
+	peerEpochs map[string]*epochStreak
+	// hintPulled is this node's own epoch the last time it honored a
+	// repair hint with a pull: one hint-pull per stuck episode. The
+	// leader keeps re-hinting a node that stays stuck (its pull may
+	// have been lost), but honoring every re-hint while the first pull
+	// is still queued behind a saturated root just multiplies load —
+	// a genuinely lost pull is caught by periodic anti-entropy.
+	hintPulled uint64
 
 	// send-policy state
 	lastSent   *node.Report
@@ -311,6 +338,8 @@ type Agent struct {
 	deltasApplied atomic.Uint64
 	pulls         atomic.Uint64
 	pullsServed   atomic.Uint64
+	hintsSent     atomic.Uint64
+	hintsRecv     atomic.Uint64
 }
 
 // NewAgent creates the agent and activates its servant on the node's
@@ -327,6 +356,8 @@ func NewAgent(cfg Config) *Agent {
 		expected:       make(map[string]time.Time),
 		expectedGroups: make(map[int]time.Time),
 		sent:           make(map[string]*peerSendState),
+		peerEpochs:     make(map[string]*epochStreak),
+		hintPulled:     ^uint64(0),
 		stop:           make(chan struct{}),
 		pushDir:        make(chan *Directory, 1),
 		pullKick:       make(chan struct{}, 1),
@@ -391,6 +422,8 @@ func (a *Agent) Stats() Stats {
 		GossipBatches:    a.gossip.batches.Load(),
 		GossipBytes:      a.gossip.bytes.Load(),
 		VVSize:           vv,
+		RepairHintsSent:  a.hintsSent.Load(),
+		RepairHintsRecv:  a.hintsRecv.Load(),
 	}
 }
 
@@ -811,6 +844,11 @@ func (a *Agent) pruneGossip() {
 			delete(a.sent, name)
 		}
 	}
+	for name := range a.peerEpochs {
+		if _, ok := members[name]; !ok {
+			delete(a.peerEpochs, name)
+		}
+	}
 	a.mu.Unlock()
 	a.gossip.prune(members)
 }
@@ -903,8 +941,14 @@ func (a *Agent) sendUpdate(cands []string, report *node.Report, offers []*node.O
 	}
 
 	// Encode the two possible bodies once; destinations share them
-	// (the gossip queue treats bodies as immutable).
-	slim := encodeUpdate(report, nil, false)
+	// (the gossip queue treats bodies as immutable). Both advertise this
+	// node's directory epoch so a fresher receiver can push a repair
+	// hint back instead of leaving the gap to the next anti-entropy
+	// tick.
+	a.mu.Lock()
+	epoch := a.dir.Epoch
+	a.mu.Unlock()
+	slim := encodeUpdate(report, nil, false, epoch)
 	var fat []byte // built lazily: steady state never needs it
 	for _, cand := range cands {
 		withOffers := full
@@ -924,7 +968,7 @@ func (a *Agent) sendUpdate(cands []string, report *node.Report, offers []*node.O
 		body := slim
 		if withOffers {
 			if fat == nil {
-				fat = encodeUpdate(report, offers, true)
+				fat = encodeUpdate(report, offers, true, epoch)
 			}
 			body = fat
 		}
@@ -936,15 +980,85 @@ func (a *Agent) sendUpdate(cands []string, report *node.Report, offers []*node.O
 
 // encodeUpdate builds a gossip update body: the report, then a flag
 // distinguishing "offers unchanged, keep what you have" from an actual
-// (possibly empty) offer list.
-func encodeUpdate(report *node.Report, offers []*node.Offer, hasOffers bool) []byte {
+// (possibly empty) offer list, then the sender's directory epoch. The
+// epoch is a trailing field: gossip entries are length-delimited, so
+// decoders that predate it simply never read those bytes.
+func encodeUpdate(report *node.Report, offers []*node.Offer, hasOffers bool, epoch uint64) []byte {
 	e := cdr.NewEncoder(cdr.LittleEndian)
 	report.Marshal(e)
 	e.WriteBool(hasOffers)
 	if hasOffers {
 		node.MarshalOffers(e, offers)
 	}
+	e.WriteULongLong(epoch)
 	return e.Bytes()
+}
+
+// epochStreak is one peer's entry in the stuck detector: the epoch it
+// last advertised and how many consecutive observations it has sat
+// there.
+type epochStreak struct {
+	epoch  uint64
+	streak int
+}
+
+// hintStreak is how many consecutive no-progress advertisements mark a
+// peer as stuck rather than merely lagging. Hints repeat every
+// hintStreak further static observations (the cooldown), so a peer
+// whose pull was lost gets another one.
+const hintStreak = 3
+
+// observePeerEpoch reacts to a peer advertising its directory epoch in
+// gossip traffic — the push half of anti-entropy (DESIGN.md §13). A
+// stuck peer gets a repair hint so it pulls now instead of coasting to
+// its next periodic digest ping; matching epochs (the steady state)
+// cost one map touch.
+//
+// Two dampers keep this from amplifying churn into a pull storm (the
+// naive everyone-hints-on-stale version measured ~60k pulls served and
+// 2.5× the control bandwidth at N=1000):
+//
+//   - mayHint scopes hinting to the node responsible for the peer —
+//     the acting group leader for a member's update, the acting root
+//     leader for a group leader's summary. Everyone still *tracks*
+//     epochs (leadership can change), but only the responsible node
+//     acts.
+//   - stale ≠ stuck: under churn a peer advertises old epochs while
+//     the deltas repairing it sit in the relay queue, so the hint
+//     waits for hintStreak consecutive observations with no progress,
+//     and repeats only every hintStreak thereafter.
+func (a *Agent) observePeerEpoch(peer string, peerEpoch uint64, mayHint bool) {
+	a.mu.Lock()
+	own := a.dir.Epoch
+	_, known := a.dir.Nodes[peer]
+	st := a.peerEpochs[peer]
+	if st == nil {
+		st = &epochStreak{}
+		a.peerEpochs[peer] = st
+	}
+	if st.epoch == peerEpoch {
+		st.streak++
+	} else {
+		st.epoch, st.streak = peerEpoch, 1
+	}
+	hint := mayHint && known && peerEpoch < own &&
+		st.streak >= hintStreak && st.streak%hintStreak == 0
+	a.mu.Unlock()
+	if hint {
+		e := cdr.NewEncoder(cdr.LittleEndian)
+		e.WriteULongLong(own)
+		a.hintsSent.Add(1)
+		a.gossip.enqueue(peer, gossipHint, e.Bytes())
+	}
+}
+
+// actingLeaderFor reports whether this agent is the acting leader of
+// peer's group — the node responsible for pushing repair hints at it.
+func (a *Agent) actingLeaderFor(peer string) bool {
+	a.mu.Lock()
+	g := a.dir.GroupOf(peer)
+	a.mu.Unlock()
+	return g >= 0 && a.actingLeader(g)
 }
 
 // memberNames snapshots the directory membership; ok is false until the
@@ -1040,8 +1154,13 @@ func (a *Agent) actingLeader(group int) bool {
 }
 
 // sendSummary pushes this group's aggregate to the root MRM replicas.
+// In delta mode the digest also advertises the leader's name and
+// directory epoch, so a fresher root pushes a repair hint straight back
+// (observePeerEpoch) — candidates are the relay tier, and a stale
+// leader starves its whole group of deltas until repaired.
 func (a *Agent) sendSummary(group int, rootCands []string) {
 	a.mu.Lock()
+	epoch := a.dir.Epoch
 	alive := uint32(0)
 	freeCPU := 0.0
 	exports := make(map[string]bool)
@@ -1084,6 +1203,8 @@ func (a *Agent) sendSummary(group int, rootCands []string) {
 	if !a.cfg.fullStateDir() {
 		e := cdr.NewEncoder(cdr.LittleEndian)
 		payload(e)
+		e.WriteULongLong(epoch) // trailing fields: older decoders stop short
+		e.WriteString(a.name)
 		body = e.Bytes()
 	}
 	ctx, cancel := a.rpcCtx()

@@ -306,3 +306,47 @@ func TestVersionSkewTriggersPull(t *testing.T) {
 		t.Fatalf("pulls did not advance: %d -> %d", before, got)
 	}
 }
+
+// TestRepairHintHealsStaleNode exercises the push half of anti-entropy:
+// with the periodic digest ping effectively disabled, a member whose
+// directory fell behind must still heal, because its gossip updates
+// advertise the stale epoch and a fresher MRM candidate pushes back a
+// repair hint that kicks an immediate pull.
+func TestRepairHintHealsStaleNode(t *testing.T) {
+	leak.Check(t)
+	tc := newCluster(t, 3, func(c *Config) { c.AntiEntropyTicks = 1 << 30 })
+	root := tc.agents[0]
+	waitFor(t, 10*time.Second, "initial convergence", func() bool {
+		e0, n0, x0 := root.Stamp()
+		for _, ag := range tc.agents {
+			if e, n, x := ag.Stamp(); e != e0 || n != n0 || x != x0 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Pretend the last delta never arrived: only the epoch regresses, so
+	// the periodic digest ping (disabled above) is the sole legacy path
+	// that would ever notice.
+	lag := tc.agents[2]
+	lag.mu.Lock()
+	lag.dir.Epoch--
+	lag.mu.Unlock()
+
+	waitFor(t, 10*time.Second, "repair hint to restore the epoch", func() bool {
+		e0, _, _ := root.Stamp()
+		e, _, _ := lag.Stamp()
+		return e == e0
+	})
+	if got := lag.Stats().RepairHintsRecv; got == 0 {
+		t.Error("stale node healed without receiving a repair hint")
+	}
+	if got := lag.Stats().AntiEntropyPulls; got == 0 {
+		t.Error("repair hint did not trigger an anti-entropy pull")
+	}
+	sent := tc.agents[0].Stats().RepairHintsSent + tc.agents[1].Stats().RepairHintsSent
+	if sent == 0 {
+		t.Error("no MRM candidate pushed a repair hint")
+	}
+}

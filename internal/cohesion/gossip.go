@@ -15,11 +15,12 @@ const (
 	gossipUpdate  = byte(1) // report (+ optional offers) to an MRM replica
 	gossipSummary = byte(2) // group aggregate to a root MRM replica
 	gossipDelta   = byte(3) // directory delta from the root / a relay
+	gossipHint    = byte(4) // repair hint: sender's epoch, pull if behind
 )
 
 // kindSources are the pre-interned Event.Source values carrying the
 // message kind through the hub without an allocation per enqueue.
-var kindSources = [4]string{0: "?", gossipUpdate: "u", gossipSummary: "s", gossipDelta: "d"}
+var kindSources = [5]string{0: "?", gossipUpdate: "u", gossipSummary: "s", gossipDelta: "d", gossipHint: "h"}
 
 func kindOf(source string) byte {
 	switch source {
@@ -29,6 +30,8 @@ func kindOf(source string) byte {
 		return gossipSummary
 	case "d":
 		return gossipDelta
+	case "h":
+		return gossipHint
 	}
 	return 0
 }

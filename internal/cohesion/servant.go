@@ -199,6 +199,11 @@ func (s *agentServant) dispatchGossip(kind byte, body []byte) {
 			}
 		}
 		a.ingestGossipUpdate(report, offers, hasOffers)
+		// Trailing epoch advertisement (absent in older senders); only
+		// the reporter's acting group leader may answer with a hint.
+		if epoch, err := d.ReadULongLong(); err == nil {
+			a.observePeerEpoch(report.Node, epoch, a.actingLeaderFor(report.Node))
+		}
 	case gossipSummary:
 		group, err := d.ReadULong()
 		if err != nil {
@@ -217,12 +222,35 @@ func (s *agentServant) dispatchGossip(kind byte, body []byte) {
 			return
 		}
 		a.ingestSummary(int(group), alive, freeCPU, exports)
+		// Trailing leader advertisement (absent in older senders): a
+		// stuck group leader gets its repair hint from the acting root
+		// leader here.
+		if epoch, err := d.ReadULongLong(); err == nil {
+			if leader, err := d.ReadString(); err == nil {
+				a.observePeerEpoch(leader, epoch, a.actingRootLeader())
+			}
+		}
 	case gossipDelta:
 		delta, err := UnmarshalDelta(d)
 		if err != nil {
 			return
 		}
 		a.handleDelta(delta, body)
+	case gossipHint:
+		epoch, err := d.ReadULongLong()
+		if err != nil {
+			return
+		}
+		a.hintsRecv.Add(1)
+		a.mu.Lock()
+		behind := epoch > a.dir.Epoch && a.dir.Epoch != a.hintPulled
+		if behind {
+			a.hintPulled = a.dir.Epoch
+		}
+		a.mu.Unlock()
+		if behind {
+			a.kickPull()
+		}
 	}
 }
 
@@ -295,6 +323,7 @@ func (a *Agent) handleRemoval(ctx context.Context, name string) error {
 		delete(a.view, name)
 		delete(a.expected, name)
 		delete(a.sent, name)
+		delete(a.peerEpochs, name)
 		a.mu.Unlock()
 		if removed {
 			if a.cfg.fullStateDir() {
@@ -390,6 +419,7 @@ func (a *Agent) applyDelta(delta *DirectoryDelta) (deltaOutcome, *Directory) {
 			delete(a.view, name)
 			delete(a.expected, name)
 			delete(a.sent, name)
+			delete(a.peerEpochs, name)
 		}
 		if a.dir.GroupOf(a.name) < 0 {
 			return deltaSelfGone, nil

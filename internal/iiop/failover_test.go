@@ -86,14 +86,16 @@ func TestPoolFailoverRedistributesAndRecovers(t *testing.T) {
 		return err
 	}
 
-	// Warm every stripe: the round-robin pointer visits all four slots.
+	// Warm the pool. Stripe selection is processor-affine, so the
+	// number of stripes dialed equals the number of cores that have
+	// carried calls — anywhere from one (GOMAXPROCS=1) to four.
 	for i := 0; i < 8; i++ {
 		if err := square(int32(i + 2)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if n := srv.connCount(); n != 4 {
-		t.Fatalf("server sees %d connections after warmup, want 4 (one per stripe)", n)
+	if n := srv.connCount(); n < 1 || n > 4 {
+		t.Fatalf("server sees %d connections after warmup, want 1..4 (affine stripes)", n)
 	}
 
 	const callers = 16
@@ -136,14 +138,15 @@ func TestPoolFailoverRedistributesAndRecovers(t *testing.T) {
 	}
 	t.Logf("storm: %d/%d calls failed retriably at stripe kill", len(failures), callers*perCaller)
 
-	// The pool evicted the dead stripe; subsequent calls redistribute
-	// over survivors and lazily redial the empty slot.
+	// The pool evicted the dead stripe; subsequent calls fail over to a
+	// survivor (rebinding the core's affinity hint) or lazily redial
+	// the empty slot — either way they must all succeed.
 	for i := 0; i < 12; i++ {
 		if err := square(int32(i + 50)); err != nil {
 			t.Fatalf("call %d after failover: %v", i, err)
 		}
 	}
-	if n := srv.connCount(); n < 3 || n > 4 {
-		t.Fatalf("server sees %d connections after recovery, want 3 or 4", n)
+	if n := srv.connCount(); n < 1 {
+		t.Fatalf("server sees %d connections after recovery, want at least 1", n)
 	}
 }

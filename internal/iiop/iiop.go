@@ -240,9 +240,12 @@ type serverConn struct {
 	co   *coalescer
 
 	// inflight maps the request IDs currently queued or being handled to
-	// their cancel functions, so a CancelRequest can abort them.
+	// their request contexts, so a CancelRequest can abort them. A
+	// context is cancelled only while inflightMu is held: finish also
+	// unregisters-then-recycles under it, so a cancel can never land on a
+	// context already rebound to a later request.
 	inflightMu sync.Mutex
-	inflight   map[uint32]context.CancelCauseFunc
+	inflight   map[uint32]*reqCtx
 
 	connCtx context.Context
 	reqWG   sync.WaitGroup
@@ -250,13 +253,55 @@ type serverConn struct {
 
 // dispatchTask is one inbound message handed to the worker pool. It is
 // passed by value through the dispatch channel, so queueing a request
-// costs no allocation beyond its (pre-existing) cancel context.
+// costs no allocation (its cancel context is pooled).
 type dispatchTask struct {
-	sc     *serverConn
-	m      *giop.Message
-	ctx    context.Context
-	cancel context.CancelCauseFunc // nil when the message carries no request ID
-	id     uint32
+	sc  *serverConn
+	m   *giop.Message
+	ctx context.Context
+	rc  *reqCtx // nil when the message carries no request ID
+	id  uint32
+}
+
+// reqCtx is the pooled per-request cancel context: a real
+// context.WithCancelCause context (so servants keep exact stdlib
+// semantics — context.Cause, goroutine-free WithDeadline children)
+// whose two-allocation construction is amortised away. The pool's
+// invariant is that only never-cancelled contexts recycle: a cancelled
+// context's done channel is spent, so finish retires it to the GC and
+// the next request pays for a fresh one — cancellation is the rare
+// path. The context is parented on Background rather than the
+// connection context (a pooled context cannot re-parent), so connection
+// teardown reaches in-flight servants by sweeping the inflight table
+// (cancelAllInflight) instead of by parent propagation.
+//
+// Like every pooled request resource, a reqCtx is request-scoped:
+// servants must not retain it past their return.
+type reqCtx struct {
+	context.Context
+	cancel context.CancelCauseFunc
+}
+
+var reqCtxPool = sync.Pool{New: func() any {
+	c := new(reqCtx)
+	c.Context, c.cancel = context.WithCancelCause(context.Background())
+	return c
+}}
+
+func getReqCtx() *reqCtx { return reqCtxPool.Get().(*reqCtx) }
+
+// recycle returns c to the pool unless it was cancelled (its done
+// channel is closed and abandoned watchers may still hold it). Safe only
+// after the context is unregistered from the inflight table: from then
+// on no cancel can reach it.
+func (c *reqCtx) recycle() {
+	if c.Err() == nil {
+		reqCtxPool.Put(c)
+	}
+}
+
+// causeIs reports whether the context was cancelled with the given cause.
+func (c *reqCtx) causeIs(cause error) bool {
+	return context.Cause(c.Context) == cause
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -271,17 +316,19 @@ func (s *Server) serveConn(conn net.Conn) {
 		srv:      s,
 		conn:     conn,
 		co:       newCoalescer(conn, resolveWindow(s.CoalesceWindow)),
-		inflight: make(map[uint32]context.CancelCauseFunc),
+		inflight: make(map[uint32]*reqCtx),
 	}
 	defer sc.reqWG.Wait()
-	// connCtx parents every request dispatched from this connection, so
-	// in-flight servants observe cancellation when the connection dies.
-	// Registered AFTER the reqWG.Wait defer (defers run LIFO): the loop
-	// must cancel in-flight dispatches before waiting for them, or a
-	// parked servant would stall connection teardown.
+	// connCtx parents every request dispatched from this connection.
+	// Request contexts are pooled and do not watch it (see reqCtx), so
+	// teardown explicitly cancels everything in flight — registered AFTER
+	// the reqWG.Wait defer (defers run LIFO): the loop must cancel
+	// in-flight dispatches before waiting for them, or a parked servant
+	// would stall connection teardown.
 	connCtx, connCancel := context.WithCancel(context.Background())
 	sc.connCtx = connCtx
 	defer connCancel()
+	defer sc.cancelAllInflight()
 	br := getReader(conn)
 	defer putReader(br)
 	ra := giop.NewReassembler()
@@ -325,14 +372,27 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 // cancelInflight aborts the queued or running request with the given ID
-// on behalf of a peer CancelRequest.
+// on behalf of a peer CancelRequest. The cancel happens under inflightMu:
+// once finish has unregistered a request (also under inflightMu), its
+// pooled context may already be serving a later request, so cancelling
+// outside the lock could abort the wrong call.
 func (sc *serverConn) cancelInflight(id uint32) {
 	sc.inflightMu.Lock()
-	cancel := sc.inflight[id]
-	sc.inflightMu.Unlock()
-	if cancel != nil {
-		cancel(errCancelledByPeer)
+	if rc := sc.inflight[id]; rc != nil {
+		rc.cancel(errCancelledByPeer)
 	}
+	sc.inflightMu.Unlock()
+}
+
+// cancelAllInflight aborts every queued or running request at connection
+// teardown, standing in for the parent-context propagation the pooled
+// request contexts deliberately skip.
+func (sc *serverConn) cancelAllInflight() {
+	sc.inflightMu.Lock()
+	for _, rc := range sc.inflight {
+		rc.cancel(context.Canceled)
+	}
+	sc.inflightMu.Unlock()
 }
 
 // enqueue registers cancellation state for m and hands it to the worker
@@ -344,10 +404,10 @@ func (s *Server) enqueue(sc *serverConn, m *giop.Message) {
 		if id, ok := giop.PeekRequestID(m); ok {
 			// Register before queueing so a CancelRequest overtaking the
 			// dispatch still lands on the queued request.
-			ctx, cancel := context.WithCancelCause(sc.connCtx)
-			t.ctx, t.cancel, t.id = ctx, cancel, id
+			rc := getReqCtx()
+			t.ctx, t.rc, t.id = rc, rc, id
 			sc.inflightMu.Lock()
-			sc.inflight[id] = cancel
+			sc.inflight[id] = rc
 			sc.inflightMu.Unlock()
 		}
 	}
@@ -393,20 +453,23 @@ func (s *Server) worker(tasks chan dispatchTask) {
 	}
 }
 
-// finish unregisters the task's cancel slot and releases its context.
+// finish unregisters the task's inflight slot and recycles its context.
+// The delete happens under inflightMu — the same lock cancelInflight
+// cancels under — so after it, no cancel can reach this context and the
+// recycle is safe.
 func (t *dispatchTask) finish() {
-	if t.cancel == nil {
+	if t.rc == nil {
 		return
 	}
 	t.sc.inflightMu.Lock()
 	delete(t.sc.inflight, t.id)
 	t.sc.inflightMu.Unlock()
-	t.cancel(nil)
+	t.rc.recycle()
 }
 
 // cancelled reports whether the peer sent a CancelRequest for this task.
 func (t *dispatchTask) cancelled() bool {
-	return t.cancel != nil && context.Cause(t.ctx) == errCancelledByPeer
+	return t.rc != nil && t.rc.causeIs(errCancelledByPeer)
 }
 
 // run dispatches one queued message: the worker-pool body mirroring the
@@ -514,11 +577,13 @@ type Transport struct {
 }
 
 // DefaultPoolSize is the per-endpoint connection-pool size when
-// Transport.PoolSize is zero: one stripe per core up to four. More
-// stripes than cores cannot be written concurrently anyway, and four
-// keeps the reply-demux maps sharded enough under fan-in.
+// Transport.PoolSize is zero: one stripe per core up to eight. Stripe
+// selection is processor-affine (see orb's channel pool), so the
+// natural fanout is one stripe per core — each core then owns its
+// stripe's write coalescer and pending map almost exclusively. More
+// stripes than cores cannot be written concurrently anyway.
 func DefaultPoolSize() int {
-	return min(4, runtime.GOMAXPROCS(0))
+	return min(8, runtime.GOMAXPROCS(0))
 }
 
 // ChannelPoolSize implements orb.PoolSizer, resolving the PoolSize knob.

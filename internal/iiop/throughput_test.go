@@ -104,6 +104,69 @@ func BenchmarkConcurrentTCPThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelDispatch drives the full TCP invocation path through
+// b.RunParallel — one worker per GOMAXPROCS — so `go test -cpu 1,2,4,8`
+// sweeps the multi-core scaling curve of the sharded hot path: COW
+// registry reads, processor-affine stripe selection, per-stripe pending
+// maps and coalescers. The benchgate's -minratio floor on its /cpu=N
+// variants is what pins "more cores means more throughput" in CI.
+func BenchmarkParallelDispatch(b *testing.B) {
+	serverORB := orb.NewORB()
+	srv := NewServer(serverORB)
+	bound, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := activate(serverORB, bound); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	serverORB.Activate("calc", calcServant{})
+
+	client := orb.NewORB()
+	client.RegisterTransport(&Transport{})
+	defer client.Shutdown()
+	ref := client.NewRef(serverORB.NewIOR("IDL:corbalc/test/Calc:1.0", "calc"))
+
+	square := func(n int32) error {
+		var sq int32
+		err := ref.Invoke("square",
+			func(e *cdr.Encoder) { e.WriteLong(n) },
+			func(d *cdr.Decoder) error {
+				var err error
+				sq, err = d.ReadLong()
+				return err
+			})
+		if err == nil && sq != n*n {
+			return fmt.Errorf("square(%d) = %d: cross-caller corruption", n, sq)
+		}
+		return err
+	}
+	// Warm the path: dial every stripe once.
+	for i := 0; i < 8; i++ {
+		if err := square(3); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		n := int32(2)
+		for pb.Next() {
+			if err := square(n%100 + 2); err != nil {
+				b.Error(err)
+				return
+			}
+			n++
+		}
+	})
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "calls/s")
+	}
+}
+
 // activate mirrors ListenAndActivate's endpoint registration for a
 // server whose knobs were set before Listen.
 func activate(o *orb.ORB, bound net.Addr) error {

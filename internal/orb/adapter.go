@@ -3,6 +3,7 @@ package orb
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"corbalc/internal/cdr"
 )
@@ -36,51 +37,66 @@ type ContextServant interface {
 // Adapter is the object adapter: a map from object keys to active
 // servants. It plays the role of a single root POA with explicit
 // activation, which is all the lightweight model needs.
+//
+// The active-object map is read on every inbound dispatch by every
+// server worker, while (de)activations are rare control-plane events —
+// so it is copy-on-write: Resolve loads an immutable snapshot through an
+// atomic pointer (no lock, no cross-core cacheline bouncing), and
+// writers build a fresh map under mu before publishing it.
 type Adapter struct {
-	mu       sync.RWMutex
-	servants map[string]Servant
+	mu       sync.Mutex // serialises writers; readers never take it
+	servants atomic.Pointer[map[string]Servant]
 }
 
 // NewAdapter returns an empty adapter.
 func NewAdapter() *Adapter {
-	return &Adapter{servants: make(map[string]Servant)}
+	a := &Adapter{}
+	m := make(map[string]Servant)
+	a.servants.Store(&m)
+	return a
+}
+
+// mutate publishes a copy of the active-object map with f applied.
+func (a *Adapter) mutate(f func(map[string]Servant)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cur := *a.servants.Load()
+	next := make(map[string]Servant, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	f(next)
+	a.servants.Store(&next)
 }
 
 // Activate binds key to servant, replacing any previous binding.
 func (a *Adapter) Activate(key string, s Servant) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.servants[key] = s
+	a.mutate(func(m map[string]Servant) { m[key] = s })
 }
 
 // Deactivate removes the binding for key, if any.
 func (a *Adapter) Deactivate(key string) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	delete(a.servants, key)
+	a.mutate(func(m map[string]Servant) { delete(m, key) })
 }
 
-// Resolve looks up the servant bound to key.
+// Resolve looks up the servant bound to key. Lock-free: it reads the
+// current snapshot, so a Resolve racing an Activate sees the map either
+// before or after the update, never a torn state.
 func (a *Adapter) Resolve(key []byte) (Servant, bool) {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	s, ok := a.servants[string(key)]
+	s, ok := (*a.servants.Load())[string(key)]
 	return s, ok
 }
 
 // Len reports the number of active servants.
 func (a *Adapter) Len() int {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	return len(a.servants)
+	return len(*a.servants.Load())
 }
 
 // Keys returns a snapshot of the active object keys.
 func (a *Adapter) Keys() []string {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	out := make([]string, 0, len(a.servants))
-	for k := range a.servants {
+	m := *a.servants.Load()
+	out := make([]string, 0, len(m))
+	for k := range m {
 		out = append(out, k)
 	}
 	return out

@@ -60,31 +60,52 @@ type ServerInterceptor interface {
 }
 
 // AddClientInterceptor appends an interceptor to the outbound chain.
+// The chain is copy-on-write: registration copies it under the ORB
+// mutex, so the per-call snapshot in clientChain is a bare atomic load.
 func (o *ORB) AddClientInterceptor(ci ClientInterceptor) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	o.clientInterceptors = append(o.clientInterceptors, ci)
+	var cur []ClientInterceptor
+	if p := o.clientInterceptors.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]ClientInterceptor, len(cur), len(cur)+1)
+	copy(next, cur)
+	next = append(next, ci)
+	o.clientInterceptors.Store(&next)
 }
 
-// AddServerInterceptor appends an interceptor to the inbound chain.
+// AddServerInterceptor appends an interceptor to the inbound chain,
+// with AddClientInterceptor's copy-on-write discipline.
 func (o *ORB) AddServerInterceptor(si ServerInterceptor) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	o.serverInterceptors = append(o.serverInterceptors, si)
+	var cur []ServerInterceptor
+	if p := o.serverInterceptors.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]ServerInterceptor, len(cur), len(cur)+1)
+	copy(next, cur)
+	next = append(next, si)
+	o.serverInterceptors.Store(&next)
 }
 
-// clientChain snapshots the outbound interceptor chain.
+// clientChain snapshots the outbound interceptor chain. Lock-free: this
+// runs on every invocation in every caller goroutine, where a shared
+// RWMutex would bounce its cacheline between cores.
 func (o *ORB) clientChain() []ClientInterceptor {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	return o.clientInterceptors
+	if p := o.clientInterceptors.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // serverChain snapshots the inbound interceptor chain.
 func (o *ORB) serverChain() []ServerInterceptor {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	return o.serverInterceptors
+	if p := o.serverInterceptors.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // Stats is the shipped stats/latency collector: it counts requests and

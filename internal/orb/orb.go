@@ -74,12 +74,18 @@ type ORB struct {
 	version giop.Version
 	order   cdr.ByteOrder
 
-	mu                 sync.RWMutex
-	transports         map[uint32]Transport
-	channels           map[string]Channel // endpoint -> live channel
-	decorators         []IORDecorator
-	clientInterceptors []ClientInterceptor
-	serverInterceptors []ServerInterceptor
+	// The registry tables below are read on every invocation by every
+	// caller goroutine but mutated only by rare control-plane calls
+	// (RegisterTransport, AddInterceptor, channel adoption), so they are
+	// copy-on-write: readers load an immutable snapshot through an
+	// atomic pointer — no shared lock, no cacheline bouncing between
+	// cores — while writers copy-and-publish under mu.
+	mu                 sync.Mutex // serialises COW writers and guards host/port
+	transports         atomic.Pointer[map[uint32]Transport]
+	channels           atomic.Pointer[map[string]Channel] // endpoint -> live channel
+	decorators         atomic.Pointer[[]IORDecorator]
+	clientInterceptors atomic.Pointer[[]ClientInterceptor]
+	serverInterceptors atomic.Pointer[[]ServerInterceptor]
 	host               string
 	port               uint16
 
@@ -122,14 +128,16 @@ func WithByteOrder(bo cdr.ByteOrder) Option { return func(o *ORB) { o.order = bo
 // NewORB creates an ORB with an empty adapter and no transports.
 func NewORB(opts ...Option) *ORB {
 	o := &ORB{
-		id:         fmt.Sprintf("orb-%s-%d", processNonce, orbSeq.Add(1)),
-		adapter:    NewAdapter(),
-		version:    giop.V12,
-		order:      cdr.LittleEndian,
-		transports: make(map[uint32]Transport),
-		channels:   make(map[string]Channel),
-		stats:      &Stats{},
+		id:      fmt.Sprintf("orb-%s-%d", processNonce, orbSeq.Add(1)),
+		adapter: NewAdapter(),
+		version: giop.V12,
+		order:   cdr.LittleEndian,
+		stats:   &Stats{},
 	}
+	transports := make(map[uint32]Transport)
+	channels := make(map[string]Channel)
+	o.transports.Store(&transports)
+	o.channels.Store(&channels)
 	// Stats accounting and deadline enforcement are intrinsic to the
 	// dispatch loops (see invoke and handleRequest), not chain members:
 	// an empty chain lets the hot path skip building the RequestInfo
@@ -159,7 +167,19 @@ func (o *ORB) RequestsSent() uint64 { return o.stats.RequestsSent() }
 func (o *ORB) RegisterTransport(t Transport) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	o.transports[t.Tag()] = t
+	cur := *o.transports.Load()
+	next := make(map[uint32]Transport, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[t.Tag()] = t
+	o.transports.Store(&next)
+}
+
+// transportFor returns the transport registered for an IOR profile tag.
+func (o *ORB) transportFor(tag uint32) (Transport, bool) {
+	t, ok := (*o.transports.Load())[tag]
+	return t, ok
 }
 
 // AddIORDecorator registers a decorator applied to every IOR this ORB
@@ -167,7 +187,14 @@ func (o *ORB) RegisterTransport(t Transport) {
 func (o *ORB) AddIORDecorator(d IORDecorator) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	o.decorators = append(o.decorators, d)
+	var cur []IORDecorator
+	if p := o.decorators.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]IORDecorator, len(cur), len(cur)+1)
+	copy(next, cur)
+	next = append(next, d)
+	o.decorators.Store(&next)
 }
 
 // SetEndpoint records the advertised IIOP endpoint used when minting
@@ -180,8 +207,8 @@ func (o *ORB) SetEndpoint(host string, port uint16) {
 
 // Endpoint returns the advertised host and port ("" and 0 if unset).
 func (o *ORB) Endpoint() (string, uint16) {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	return o.host, o.port
 }
 
@@ -203,11 +230,10 @@ func (o *ORB) NewIOR(typeID, key string) *ior.IOR {
 		ref = &ior.IOR{TypeID: typeID}
 	}
 	ref.AddProfile(ior.TagCorbalcInProcess, []byte(o.id+"\x00"+key))
-	o.mu.RLock()
-	decs := o.decorators
-	o.mu.RUnlock()
-	for _, d := range decs {
-		d(ref, key)
+	if p := o.decorators.Load(); p != nil {
+		for _, d := range *p {
+			d(ref, key)
+		}
 	}
 	return ref
 }
@@ -251,6 +277,10 @@ type serverScratch struct {
 	dec cdr.Decoder
 	req giop.RequestHeader
 	ops map[string]string
+	// cctx is the reusable call-ID context for the interceptor-free,
+	// deadline-free dispatch path; it is rebound per request, so (like
+	// every pooled request context) servants must not retain it.
+	cctx svcctx.CallCtx
 }
 
 var scratchPool = sync.Pool{New: func() any {
@@ -272,25 +302,36 @@ func (o *ORB) handleRequest(ctx context.Context, m *giop.Message) (*giop.Message
 	}
 
 	// Derive the request context from the propagated service contexts:
-	// deadline applied, call ID attached.
-	scInfo := svcctx.Extract(req.ServiceContexts)
-	ctx, cancel := svcctx.NewContextInfo(ctx, scInfo)
-	defer cancel()
+	// deadline applied, call ID attached. The common case — no deadline
+	// shipped, no interceptor registered — binds the scratch's reusable
+	// call-ID context instead of deriving real context nodes, so the
+	// dispatch itself allocates nothing; a deadline or a chain (whose
+	// RequestInfo needs a durable string) takes the full derivation.
+	scInfo := svcctx.ExtractBytes(req.ServiceContexts)
 	chain := o.serverChain()
 	var info *RequestInfo
-	if len(chain) > 0 {
-		// Only interceptors observe the RequestInfo (and the clock reads
-		// feeding its Elapsed); with none registered, skip both.
-		info = &RequestInfo{
-			Operation: req.Operation,
-			ObjectKey: req.ObjectKey,
-			RequestID: req.RequestID,
-			CallID:    scInfo.CallID,
-			Oneway:    !req.ResponseExpected,
+	if scInfo.HasDeadline || len(chain) > 0 {
+		full := scInfo.Materialise()
+		var cancel context.CancelFunc
+		ctx, cancel = svcctx.NewContextInfo(ctx, full)
+		defer cancel()
+		if len(chain) > 0 {
+			// Only interceptors observe the RequestInfo (and the clock
+			// reads feeding its Elapsed); with none registered, skip both.
+			info = &RequestInfo{
+				Operation: req.Operation,
+				ObjectKey: req.ObjectKey,
+				RequestID: req.RequestID,
+				CallID:    full.CallID,
+				Oneway:    !req.ResponseExpected,
+			}
+			if scInfo.HasDeadline {
+				info.Deadline = scInfo.Deadline
+			}
 		}
-		if scInfo.HasDeadline {
-			info.Deadline = scInfo.Deadline
-		}
+	} else if len(scInfo.CallID) > 0 {
+		sc.cctx.Bind(ctx, scInfo.CallID)
+		ctx = &sc.cctx
 	}
 
 	// The reply is built optimistically in its final wire form: header
@@ -444,9 +485,7 @@ func (o *ORB) handleLocateRequest(m *giop.Message) (*giop.Message, error) {
 // Call/Send, where the pool evicts just the failed stripe instead of
 // the whole endpoint.
 func (o *ORB) channelFor(ctx context.Context, tag uint32, profile []byte) (Channel, error) {
-	o.mu.RLock()
-	t, ok := o.transports[tag]
-	o.mu.RUnlock()
+	t, ok := o.transportFor(tag)
 	if !ok {
 		return nil, fmt.Errorf("orb: no transport for profile tag %#x", tag)
 	}
@@ -456,10 +495,7 @@ func (o *ORB) channelFor(ctx context.Context, tag uint32, profile []byte) (Chann
 	}
 	key := fmt.Sprintf("%#x/%s", tag, ep)
 
-	o.mu.RLock()
-	ch, ok := o.channels[key]
-	o.mu.RUnlock()
-	if ok {
+	if ch, ok := (*o.channels.Load())[key]; ok {
 		return ch, nil
 	}
 
@@ -473,14 +509,22 @@ func (o *ORB) channelFor(ctx context.Context, tag uint32, profile []byte) (Chann
 
 // adoptChannel caches ch under key unless a concurrent dial won the
 // race; the cached winner is returned along with whether ch was the one
-// adopted.
+// adopted. The endpoint table is copy-on-write: adoption copies it once
+// per endpoint lifetime, keeping the per-call lookup in channelFor
+// lock-free.
 func (o *ORB) adoptChannel(key string, ch Channel) (Channel, bool) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if existing, ok := o.channels[key]; ok {
+	cur := *o.channels.Load()
+	if existing, ok := cur[key]; ok {
 		return existing, false
 	}
-	o.channels[key] = ch
+	next := make(map[string]Channel, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[key] = ch
+	o.channels.Store(&next)
 	return ch, true
 }
 
@@ -491,8 +535,9 @@ func (o *ORB) adoptChannel(key string, ch Channel) (Channel, bool) {
 func (o *ORB) Shutdown() {
 	o.chanGen.Add(1)
 	o.mu.Lock()
-	chans := o.channels
-	o.channels = make(map[string]Channel)
+	chans := *o.channels.Load()
+	empty := make(map[string]Channel)
+	o.channels.Store(&empty)
 	o.mu.Unlock()
 	for _, ch := range chans {
 		_ = ch.Close()

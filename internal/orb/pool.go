@@ -1,11 +1,19 @@
 // Striped per-endpoint connection pools. The ORB's channel cache used
 // to hold exactly one Channel per endpoint, so every concurrent caller
 // funneled through one connection's write path and one reply-demux map.
-// It now holds a channelPool: N independently-dialed stripes that calls
-// round-robin across, giving the transport N write paths and N sharded
-// pending maps, while failure handling narrows from "drop the endpoint"
-// to "evict one stripe" — the surviving stripes keep serving during the
-// lazy redial.
+// It now holds a channelPool: N independently-dialed stripes, giving
+// the transport N write paths and N sharded pending maps, while failure
+// handling narrows from "drop the endpoint" to "evict one stripe" — the
+// surviving stripes keep serving during the lazy redial.
+//
+// Stripe selection is processor-affine rather than round-robin: each
+// caller draws a reusable hint from a sync.Pool (which is per-P under
+// the hood), so goroutines scheduled on the same core keep hitting the
+// same stripe. That keeps one stripe's pending-map mutex and write
+// coalescer core-local — round-robin made every caller touch every
+// stripe, bouncing all N locks across all cores — while different cores
+// naturally land on different stripes. Dial failures still fall through
+// to the remaining stripes, so availability is unchanged.
 package orb
 
 import (
@@ -42,11 +50,23 @@ type channelPool struct {
 	transport Transport
 	profile   []byte
 	size      int
-	rr        atomic.Uint32
+	// rr seeds newly-minted affinity hints; it advances only when a
+	// hint is created (or a stripe fails over), not per call.
+	rr atomic.Uint32
+	// hints holds per-P stripe affinity tokens: a caller's pick reuses
+	// whatever stripe its core used last.
+	hints sync.Pool
 
 	mu      sync.RWMutex
 	stripes []Channel
 	closed  bool
+}
+
+// stripeHint is a per-P affinity token: the stripe index this core's
+// callers should keep using. It lives in a sync.Pool purely for the
+// pool's per-P caching — the value is advisory, never a lock.
+type stripeHint struct {
+	idx uint32
 }
 
 func newChannelPool(t Transport, profile []byte) *channelPool {
@@ -128,18 +148,25 @@ func (p *channelPool) evict(i int, ch Channel) {
 	_ = ch.Close()
 }
 
-// pick selects the next stripe round-robin, skipping stripes whose dial
-// fails. The first dial error is reported only when every stripe is
-// down; a context failure aborts immediately (the caller gave up, not
-// the stripes).
+// pick selects this core's affine stripe, falling through the remaining
+// stripes when its dial fails. The first dial error is reported only
+// when every stripe is down; a context failure aborts immediately (the
+// caller gave up, not the stripes).
 func (p *channelPool) pick(ctx context.Context) (Channel, int, error) {
-	start := p.rr.Add(1)
+	h, _ := p.hints.Get().(*stripeHint)
+	if h == nil {
+		// First pick on this P (or the GC emptied the pool): seed the
+		// hint round-robin so cores spread across stripes.
+		h = &stripeHint{idx: p.rr.Add(1)}
+	}
+	start := h.idx
 	var firstErr error
 	for a := 0; a < p.size; a++ {
 		i := int((start + uint32(a)) % uint32(p.size))
 		ch, err := p.stripe(ctx, i)
 		if err != nil {
 			if ctxDone(ctx, err) || errors.Is(err, errPoolClosed) {
+				p.hints.Put(h)
 				return nil, 0, err
 			}
 			if firstErr == nil {
@@ -147,8 +174,15 @@ func (p *channelPool) pick(ctx context.Context) (Channel, int, error) {
 			}
 			continue
 		}
+		if a != 0 {
+			// Failed over: rebind this core's affinity to the stripe
+			// that actually worked.
+			h.idx = start + uint32(a)
+		}
+		p.hints.Put(h)
 		return ch, i, nil
 	}
+	p.hints.Put(h)
 	return nil, 0, firstErr
 }
 

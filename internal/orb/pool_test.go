@@ -15,7 +15,19 @@ import (
 
 	"corbalc/internal/giop"
 	"corbalc/internal/leak"
+	"corbalc/internal/race"
 )
+
+// skipUnderRace skips tests that assert exact per-stripe dial counts:
+// stripe affinity rides on sync.Pool, and under -race sync.Pool drops a
+// random quarter of Put items, reseeding hints nondeterministically. The
+// pool's failure and concurrency behaviour stays covered under race by
+// the failover and context tests.
+func skipUnderRace(t *testing.T) {
+	if race.Enabled {
+		t.Skip("stripe-affinity dial counts are nondeterministic under -race (sync.Pool drops Puts)")
+	}
+}
 
 // fakeChannel is a scriptable Channel stripe.
 type fakeChannel struct {
@@ -86,7 +98,8 @@ func (t *fakeTransport) dials() []*fakeChannel {
 	return append([]*fakeChannel(nil), t.dialed...)
 }
 
-func TestPoolLazyDialAndRoundRobin(t *testing.T) {
+func TestPoolLazyDialAndStripeAffinity(t *testing.T) {
+	skipUnderRace(t)
 	leak.Check(t)
 	tr := &fakeTransport{poolSize: 4}
 	p := newChannelPool(tr, []byte("ep"))
@@ -105,19 +118,46 @@ func TestPoolLazyDialAndRoundRobin(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Stripe selection is processor-affine: one caller on one core keeps
+	// its stripe, so the other three are never dialed.
+	chans := tr.dials()
+	if len(chans) != 1 {
+		t.Fatalf("dials after 8 calls = %d, want 1 (affine caller sticks to its stripe)", len(chans))
+	}
+	if got := chans[0].calls.Load(); got != 8 {
+		t.Fatalf("stripe %d served %d calls, want all 8", chans[0].id, got)
+	}
+}
+
+func TestPoolFreshHintsSpreadAcrossStripes(t *testing.T) {
+	leak.Check(t)
+	tr := &fakeTransport{poolSize: 4}
+	p := newChannelPool(tr, []byte("ep"))
+	defer p.Close()
+	ctx := context.Background()
+
+	// Steal the affinity token after every call: each subsequent caller
+	// then plays the part of a fresh core and must be seeded onto the
+	// next stripe round-robin.
+	for i := 0; i < 4; i++ {
+		if _, err := p.Call(ctx, nil, uint32(i+1)); err != nil {
+			t.Fatal(err)
+		}
+		p.hints.Get()
+	}
 	chans := tr.dials()
 	if len(chans) != 4 {
-		t.Fatalf("dials after 8 calls = %d, want 4 (one per stripe)", len(chans))
+		t.Fatalf("dials = %d, want 4 (fresh hints spread round-robin)", len(chans))
 	}
-	// Round-robin: 8 calls over 4 stripes land 2 each.
 	for _, ch := range chans {
-		if got := ch.calls.Load(); got != 2 {
-			t.Fatalf("stripe %d served %d calls, want 2 (round-robin)", ch.id, got)
+		if got := ch.calls.Load(); got != 1 {
+			t.Fatalf("stripe %d served %d calls, want 1", ch.id, got)
 		}
 	}
 }
 
 func TestPoolEvictsFailedStripeAndRedials(t *testing.T) {
+	skipUnderRace(t)
 	leak.Check(t)
 	tr := &fakeTransport{poolSize: 2}
 	p := newChannelPool(tr, []byte("ep"))
@@ -146,18 +186,20 @@ func TestPoolEvictsFailedStripeAndRedials(t *testing.T) {
 		t.Fatal("failed stripe was not evicted (Close not called)")
 	}
 
-	// Survivor keeps serving; the evicted slot redials lazily.
+	// The evicted slot redials lazily (the caller's affinity hint still
+	// points at it) and keeps serving.
 	for i := 0; i < 4; i++ {
 		if _, err := p.Call(ctx, nil, uint32(20+i)); err != nil {
 			t.Fatalf("call after eviction: %v", err)
 		}
 	}
-	if n := len(tr.dials()); n != 3 {
-		t.Fatalf("dials after redial = %d, want 3 (2 initial + 1 replacement)", n)
+	if n := len(tr.dials()); n != 2 {
+		t.Fatalf("dials after redial = %d, want 2 (1 initial + 1 replacement)", n)
 	}
 }
 
 func TestPoolUnusableStripeEvictedWithoutWastingACall(t *testing.T) {
+	skipUnderRace(t)
 	leak.Check(t)
 	tr := &fakeTransport{poolSize: 2}
 	p := newChannelPool(tr, []byte("ep"))
@@ -184,8 +226,8 @@ func TestPoolUnusableStripeEvictedWithoutWastingACall(t *testing.T) {
 	if !dead.closed.Load() {
 		t.Fatal("unusable stripe not closed on eviction")
 	}
-	if n := len(tr.dials()); n != 3 {
-		t.Fatalf("dials = %d, want 3 (replacement dialed)", n)
+	if n := len(tr.dials()); n != 2 {
+		t.Fatalf("dials = %d, want 2 (replacement dialed)", n)
 	}
 }
 
@@ -281,6 +323,7 @@ func TestPoolCloseClosesStripesAndFailsFast(t *testing.T) {
 	if err := p.Close(); err != nil {
 		t.Fatal(err)
 	}
+	dialed := len(tr.dials())
 	for _, ch := range tr.dials() {
 		if !ch.closed.Load() {
 			t.Fatalf("stripe %d not closed by pool Close", ch.id)
@@ -292,7 +335,7 @@ func TestPoolCloseClosesStripesAndFailsFast(t *testing.T) {
 	if err := p.Close(); err != nil { // idempotent
 		t.Fatal(err)
 	}
-	if n := len(tr.dials()); n != 3 {
-		t.Fatalf("dials = %d, want 3 (no post-Close redial)", n)
+	if n := len(tr.dials()); n != dialed {
+		t.Fatalf("dials = %d, want %d (no post-Close redial)", n, dialed)
 	}
 }

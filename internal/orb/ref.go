@@ -181,9 +181,7 @@ func (r *ObjectRef) ExistsContext(ctx context.Context) (bool, error) {
 	rc := r.resolved(ctx)
 	for i, tp := range rc.profiles {
 		if objectKey == nil {
-			o.mu.RLock()
-			tr, ok := o.transports[tp.Tag]
-			o.mu.RUnlock()
+			tr, ok := o.transportFor(tp.Tag)
 			if ok {
 				if ke, ok := tr.(KeyExtractor); ok {
 					if k, err := ke.ObjectKey(tp.Data); err == nil {
@@ -305,9 +303,7 @@ func (r *ObjectRef) targetKey() (objectKey []byte, local bool, err error) {
 	// extract the object key (vendor profiles embed it).
 	found := false
 	for _, tp := range r.ior.Profiles {
-		o.mu.RLock()
-		tr, ok := o.transports[tp.Tag]
-		o.mu.RUnlock()
+		tr, ok := o.transportFor(tp.Tag)
 		if !ok {
 			continue
 		}
@@ -335,16 +331,13 @@ func (r *ObjectRef) invoke(ctx context.Context, op string, args Marshaller, resu
 	}
 	chain := o.clientChain()
 	callID := svcctx.CallID(ctx)
-	if callID == "" {
-		if len(chain) > 0 {
-			// Interceptors observe ctx, so the minted ID must be
-			// attached there, not just put on the wire.
-			ctx, callID = svcctx.EnsureCallID(ctx)
-		} else {
-			// No observer: skip the context wrapping, the ID travels
-			// only in the request's service contexts.
-			callID = svcctx.NewCallID()
-		}
+	if callID == "" && len(chain) > 0 {
+		// Interceptors observe ctx, so the minted ID must be attached
+		// there, not just put on the wire. With no observer callID stays
+		// "" and buildRequest mints the ID straight into the scratch
+		// buffer: the ID then travels only in the request's service
+		// contexts, and the mint allocates nothing.
+		ctx, callID = svcctx.EnsureCallID(ctx)
 	}
 
 	// Build the request message once, independent of transport.
@@ -542,7 +535,13 @@ var clientScratchPool = sync.Pool{New: func() any { return new(clientScratch) }}
 // it and must Release it once every transport attempt is done with it.
 func (o *ORB) buildRequest(ctx context.Context, sc *clientScratch, callID string, reqID uint32, objectKey []byte, op string, args Marshaller, twoway bool) (*giop.Message, error) {
 	e := giop.GetBodyEncoder(o.order)
-	sc.idbuf = append(sc.idbuf[:0], callID...)
+	if callID == "" {
+		// No interceptor observed the ID, so it was never materialised as
+		// a string: mint it directly into the reusable buffer.
+		sc.idbuf = svcctx.AppendNewCallID(sc.idbuf[:0])
+	} else {
+		sc.idbuf = append(sc.idbuf[:0], callID...)
+	}
 	hdr := &sc.req
 	hdr.RequestID = reqID
 	hdr.ResponseExpected = twoway

@@ -67,6 +67,16 @@ func NewCallID() string {
 	return string(b)
 }
 
+// AppendNewCallID appends a freshly-minted correlation ID to b and
+// returns the extended buffer: NewCallID for a caller that keeps the ID
+// in a reusable byte buffer (the invocation fast path, where even the
+// one-string mint would be the only allocation left on the client side).
+func AppendNewCallID(b []byte) []byte {
+	b = append(b, callIDBase...)
+	b = append(b, '-')
+	return strconv.AppendUint(b, callIDSeq.Add(1), 16)
+}
+
 // EnsureCallID returns ctx guaranteed to carry a correlation ID, minting
 // one if absent, along with the ID.
 func EnsureCallID(ctx context.Context) (context.Context, string) {
@@ -147,7 +157,34 @@ type Info struct {
 // Malformed entries are ignored — a bad vendor context must not fail the
 // request.
 func Extract(scs []giop.ServiceContext) Info {
-	var info Info
+	return ExtractBytes(scs).Materialise()
+}
+
+// InfoBytes is Info with the call ID still in wire form: CallID ALIASES
+// the service-context buffer, so it is valid only while the request
+// message is. The dispatch fast path reads it without the string copy
+// Extract pays; anything that outlives the request goes through
+// Materialise.
+type InfoBytes struct {
+	Deadline    time.Time
+	HasDeadline bool
+	CallID      []byte
+}
+
+// Materialise converts to an Info, detaching the call ID from the
+// request buffer.
+func (ib InfoBytes) Materialise() Info {
+	info := Info{Deadline: ib.Deadline, HasDeadline: ib.HasDeadline}
+	if len(ib.CallID) > 0 {
+		info.CallID = string(ib.CallID)
+	}
+	return info
+}
+
+// ExtractBytes is Extract without the call-ID copy; see InfoBytes for
+// the aliasing contract.
+func ExtractBytes(scs []giop.ServiceContext) InfoBytes {
+	var info InfoBytes
 	for _, sc := range scs {
 		switch sc.ID {
 		case giop.SvcDeadline:
@@ -156,7 +193,7 @@ func Extract(scs []giop.ServiceContext) Info {
 			}
 		case giop.SvcCallID:
 			if n := len(sc.Data); n > 0 && n <= maxCallIDLen {
-				info.CallID = string(sc.Data)
+				info.CallID = sc.Data
 			}
 		}
 	}
@@ -176,16 +213,56 @@ func NewContext(parent context.Context, scs []giop.ServiceContext) (context.Cont
 
 // NewContextInfo is NewContext for a caller that has already run Extract
 // (the ORB dispatch loop needs the Info itself and must not pay for a
-// second pass over the service contexts).
+// second pass over the service contexts). The deadline is applied
+// directly to parent, with the call ID layered outside: transports hand
+// in custom cancellable contexts (e.g. iiop's pooled request context,
+// which exposes AfterFunc for exactly this), and context.WithDeadline
+// only links to such a parent without spawning a propagation goroutine
+// when no value wrapper sits in between.
 func NewContextInfo(parent context.Context, info Info) (context.Context, context.CancelFunc) {
+	cancel := context.CancelFunc(noopCancel)
 	ctx := parent
+	if info.HasDeadline {
+		ctx, cancel = context.WithDeadline(ctx, info.Deadline)
+	}
 	if info.CallID != "" {
 		ctx = WithCallID(ctx, info.CallID)
 	}
-	if info.HasDeadline {
-		return context.WithDeadline(ctx, info.Deadline)
-	}
-	return ctx, noopCancel
+	return ctx, cancel
 }
 
 func noopCancel() {}
+
+// CallCtx is a reusable context deriving a parent with a call ID held in
+// wire (byte) form: the dispatch loop's alternative to WithCallID when no
+// deadline and no interceptor forces a full context derivation. Bind
+// copies the ID into an internal buffer whose capacity survives reuse, so
+// a pooled CallCtx adds zero steady-state allocations per request; the
+// string a CallID lookup returns is copied out on each read instead.
+//
+// A CallCtx is request-scoped in the strictest sense: the dispatch loop
+// rebinds it for the next request as soon as the current one returns, so
+// servants must not retain it (the same rule every pooled request context
+// has).
+type CallCtx struct {
+	context.Context
+	id []byte
+}
+
+// Bind points c at parent carrying the given call ID.
+func (c *CallCtx) Bind(parent context.Context, id []byte) {
+	c.Context = parent
+	c.id = append(c.id[:0], id...)
+}
+
+// Value implements context.Context, answering call-ID lookups from the
+// bound bytes and delegating everything else.
+func (c *CallCtx) Value(key any) any {
+	if _, ok := key.(callIDKey); ok {
+		if len(c.id) == 0 {
+			return c.Context.Value(key)
+		}
+		return string(c.id)
+	}
+	return c.Context.Value(key)
+}
