@@ -236,3 +236,22 @@ func BenchmarkA2_ReplicaAblation(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkE13_Gateway(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.E13Gateway(benchScale)
+		if i == b.N-1 {
+			logTable(b, t)
+			for _, row := range t.Rows {
+				if row[0] == "64" {
+					if v, ok := parseCell(row[2]); ok {
+						b.ReportMetric(v, "gw-rps-C64")
+					}
+					if v, ok := parseCell(row[3]); ok {
+						b.ReportMetric(v, "cached-rps-C64")
+					}
+				}
+			}
+		}
+	}
+}

@@ -23,13 +23,18 @@
 //	    invoke any operation through the Dynamic Invocation Interface:
 //	    the component's own IDL (shipped in its package) provides the
 //	    signature; scalar arguments are parsed per parameter type
+//	gateway <addr>              per-route counters of a corbalc-gateway
+//	    (no -contact needed; addr is the gateway's HTTP address)
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -41,6 +46,7 @@ import (
 	"corbalc/internal/cohesion"
 	"corbalc/internal/component"
 	"corbalc/internal/dii"
+	"corbalc/internal/gateway"
 	"corbalc/internal/idl"
 	"corbalc/internal/iiop"
 	"corbalc/internal/ior"
@@ -51,6 +57,12 @@ import (
 func main() {
 	contact := flag.String("contact", "", "contact IOR (IOR:... or @file)")
 	flag.Parse()
+	// The gateway subcommand inspects an HTTP web gateway
+	// (corbalc-gateway), not a CORBA-LC network: no contact IOR needed.
+	if flag.NArg() > 0 && flag.Arg(0) == "gateway" {
+		gatewayCmd(flag.Args()[1:])
+		return
+	}
 	if *contact == "" || flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: corbalc-admin -contact IOR:...|@file <dir|report|components|query|install|instantiate|ports> ...")
 		os.Exit(2)
@@ -569,4 +581,60 @@ func must(err error) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "corbalc-admin:", err)
 	os.Exit(1)
+}
+
+// gatewayCmd renders a corbalc-gateway's /metrics as a per-route,
+// per-operation table.
+func gatewayCmd(args []string) {
+	if len(args) != 1 {
+		fatal(fmt.Errorf("gateway needs the gateway's HTTP address"))
+	}
+	addr := args[0]
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	hc := &http.Client{Timeout: 10 * time.Second}
+	resp, err := hc.Get(addr + "/metrics")
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("%s/metrics: HTTP %d", addr, resp.StatusCode))
+	}
+	var m gateway.Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		fatal(err)
+	}
+	limit := "unbounded"
+	if m.MaxInFlight > 0 {
+		limit = strconv.Itoa(m.MaxInFlight)
+	}
+	fmt.Printf("in-flight %d/%s, rejected %d, translation buffers %d\n",
+		m.InFlight, limit, m.Rejected, m.TransBufs)
+	routes := make([]string, 0, len(m.Routes))
+	for name := range m.Routes {
+		routes = append(routes, name)
+	}
+	sort.Strings(routes)
+	for _, name := range routes {
+		rt := m.Routes[name]
+		fmt.Printf("route /obj/%s (%s) generation=%d\n", name, rt.Interface, rt.Generation)
+		ops := make([]string, 0, len(rt.Ops))
+		for op := range rt.Ops {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		if len(ops) == 0 {
+			fmt.Println("  (no requests yet)")
+			continue
+		}
+		fmt.Printf("  %-24s %10s %8s %8s %8s %10s\n",
+			"operation", "requests", "errors", "hits", "misses", "avg-us")
+		for _, op := range ops {
+			s := rt.Ops[op]
+			fmt.Printf("  %-24s %10d %8d %8d %8d %10d\n",
+				op, s.Requests, s.Errors, s.CacheHits, s.CacheMisses, s.AvgMicros)
+		}
+	}
 }

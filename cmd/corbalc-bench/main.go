@@ -50,6 +50,7 @@ func main() {
 		{"E8", experiments.E8TinyDevices},
 		{"E9", experiments.E9Grid},
 		{"E10", experiments.E10Predictive},
+		{"E13", experiments.E13Gateway},
 		{"A1", experiments.A1Fanout},
 		{"A2", experiments.A2Replicas},
 	}
@@ -67,7 +68,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "no experiments selected; ids are E1..E10, A1, A2")
+		fmt.Fprintln(os.Stderr, "no experiments selected; ids are E1..E10, E13, A1, A2")
 		os.Exit(2)
 	}
 	fmt.Printf("ran %d experiments in %v\n", ran, time.Since(start).Round(time.Millisecond))

@@ -119,8 +119,8 @@ type EventOptions struct {
 // in internal/iiop.
 type IIOPOptions struct {
 	// PoolSize is the striped connection-pool size kept per remote
-	// endpoint (default min(4, GOMAXPROCS); negative forces a single
-	// multiplexed connection).
+	// endpoint (default iiop.DefaultPoolSize = min(8, GOMAXPROCS);
+	// negative forces a single multiplexed connection).
 	PoolSize int
 	// CallTimeout bounds one two-way call (default
 	// iiop.DefaultCallTimeout; negative disables the limit).

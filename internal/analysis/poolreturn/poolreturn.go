@@ -81,6 +81,10 @@ var acquirers = map[[2]string]obligation{
 	// who will.
 	{"internal/orb", "ObjectRef.CallAsync"}:        {"settle it with Wait or abandon it with Cancel", futureMethods},
 	{"internal/orb", "ObjectRef.CallAsyncContext"}: {"settle it with Wait or abandon it with Cancel", futureMethods},
+	// The web gateway's translation buffer wraps a pooled body buffer
+	// and the decoded-argument scratch: one per HTTP request, released
+	// when the response is written.
+	{"internal/gateway", "GetTransBuf"}: {"call its Release method", releaseMethod},
 }
 
 func run(pass *analysis.Pass) error {

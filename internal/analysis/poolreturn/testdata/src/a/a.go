@@ -9,6 +9,7 @@ import (
 
 	"corbalc/internal/bufpool"
 	"corbalc/internal/cdr"
+	"corbalc/internal/gateway"
 	"corbalc/internal/giop"
 	"corbalc/internal/orb"
 )
@@ -200,4 +201,31 @@ func suppressedAbandon(r io.Reader) error {
 	}
 	_ = m.Header.Size
 	return nil
+}
+
+// Bad: a gateway translation buffer that is acquired and only read —
+// its pooled body bytes and argument scratch never return to the pool.
+func badLeakTransBuf() int {
+	tb := gateway.GetTransBuf() // want `result of gateway\.GetTransBuf is neither released nor transferred`
+	_ = tb
+	return 0
+}
+
+// Bad: discarded outright.
+func badDiscardTransBuf() {
+	gateway.GetTransBuf() // want `result of gateway\.GetTransBuf is discarded`
+}
+
+// Good: the handler shape — acquire, defer Release, use.
+func goodDeferReleaseTransBuf() {
+	tb := gateway.GetTransBuf()
+	defer tb.Release()
+	_ = tb
+}
+
+// Good: handing the buffer to another function transfers the release
+// obligation.
+func goodTransferTransBuf(sink func(*gateway.TransBuf)) {
+	tb := gateway.GetTransBuf()
+	sink(tb)
 }

@@ -14,6 +14,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"corbalc/internal/cdr"
 	"corbalc/internal/idl"
@@ -42,6 +44,63 @@ func (e *Exception) Error() string {
 type Object struct {
 	Ref   *orb.ObjectRef
 	Iface *idl.Type
+
+	// sigs memoizes resolved operation signatures behind an atomic
+	// snapshot pointer: idl.Type.LookupOperation re-walks the whole
+	// inheritance graph and rebuilds the operation list on every call,
+	// which costs several allocations on the request hot path. Readers
+	// load the snapshot lock-free; a miss clones the map, adds the
+	// resolved signature and publishes the copy under sigMu (the
+	// copy-on-write registry idiom from internal/orb). Only operations
+	// that exist are memoized, so the map is bounded by the interface's
+	// operation count.
+	sigs  atomic.Pointer[map[string]*Signature]
+	sigMu sync.Mutex
+}
+
+// Signature is one resolved operation signature: the operation and its
+// in/inout parameters in declaration order (the arguments a caller must
+// supply). Both are shared snapshots — callers must not mutate them.
+type Signature struct {
+	Op *idl.Operation
+	In []idl.Param
+}
+
+// Signature resolves (and memoizes) an operation's signature by name,
+// including inherited operations and implied attribute accessors.
+func (o *Object) Signature(opName string) (*Signature, bool) {
+	if m := o.sigs.Load(); m != nil {
+		if s, ok := (*m)[opName]; ok {
+			return s, true
+		}
+	}
+	op, ok := o.Iface.LookupOperation(opName)
+	if !ok {
+		return nil, false
+	}
+	sig := &Signature{Op: op}
+	for _, p := range op.Params {
+		if p.Dir == idl.DirIn || p.Dir == idl.DirInOut {
+			sig.In = append(sig.In, p)
+		}
+	}
+	o.sigMu.Lock()
+	defer o.sigMu.Unlock()
+	var cur map[string]*Signature
+	if m := o.sigs.Load(); m != nil {
+		if s, ok := (*m)[opName]; ok {
+			// Lost the publish race; keep the first snapshot's entry.
+			return s, true
+		}
+		cur = *m
+	}
+	next := make(map[string]*Signature, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[opName] = sig
+	o.sigs.Store(&next)
+	return sig, true
 }
 
 // Bind builds a typed object from a reference and an interface type.
@@ -75,16 +134,11 @@ type Result struct {
 // Outputs are decoded per the signature. Attribute accessors use their
 // implied names ("_get_x"/"_set_x").
 func (o *Object) CallContext(ctx context.Context, opName string, args ...any) (*Result, error) {
-	op, ok := o.Iface.LookupOperation(opName)
+	sig, ok := o.Signature(opName)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s.%s", ErrNoOperation, o.Iface.ScopedName(), opName)
 	}
-	var inParams []idl.Param
-	for _, p := range op.Params {
-		if p.Dir == idl.DirIn || p.Dir == idl.DirInOut {
-			inParams = append(inParams, p)
-		}
-	}
+	op, inParams := sig.Op, sig.In
 	if len(args) != len(inParams) {
 		return nil, fmt.Errorf("%w: %s takes %d, got %d", ErrArity, opName, len(inParams), len(args))
 	}

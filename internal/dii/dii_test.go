@@ -2,6 +2,7 @@ package dii
 
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -238,5 +239,75 @@ func TestBindErrors(t *testing.T) {
 	st, _ := repo.LookupType("S")
 	if _, err := Bind(ref, st); err == nil {
 		t.Fatal("non-interface accepted")
+	}
+}
+
+func TestSignatureMemoized(t *testing.T) {
+	obj, _ := bind(t)
+	s1, ok := obj.Signature("divmod")
+	if !ok {
+		t.Fatal("divmod not found")
+	}
+	if len(s1.In) != 2 || s1.Op.Name != "divmod" {
+		t.Fatalf("signature = %+v", s1)
+	}
+	s2, _ := obj.Signature("divmod")
+	if s1 != s2 {
+		t.Error("second lookup did not return the memoized signature")
+	}
+	if _, ok := obj.Signature("no_such_op"); ok {
+		t.Error("unknown operation resolved")
+	}
+	// Misses are not memoized (the map stays bounded by the interface).
+	if m := obj.sigs.Load(); m != nil {
+		if _, leaked := (*m)["no_such_op"]; leaked {
+			t.Error("negative lookup was memoized")
+		}
+	}
+}
+
+// TestSignatureLookupAllocs is the satellite regression gate: once an
+// operation's signature is memoized, resolving it again must not touch
+// the heap — the pre-memoization path re-ran LookupOperation (a full
+// inheritance walk plus a fresh operations slice) on every call.
+func TestSignatureLookupAllocs(t *testing.T) {
+	obj, _ := bind(t)
+	for _, op := range []string{"add", "divmod", "_get_call_count"} {
+		if _, ok := obj.Signature(op); !ok {
+			t.Fatalf("%s not found", op)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, op := range []string{"add", "divmod", "_get_call_count"} {
+			if _, ok := obj.Signature(op); !ok {
+				t.Fatal("memoized signature vanished")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("memoized Signature lookups allocate %.1f per run, want 0", allocs)
+	}
+}
+
+func TestSignatureConcurrentPublish(t *testing.T) {
+	obj, _ := bind(t)
+	ops := []string{"add", "divmod", "scale", "describe", "_get_label", "_set_label", "_get_call_count", "reset"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				op := ops[(g+i)%len(ops)]
+				if _, ok := obj.Signature(op); !ok {
+					t.Errorf("%s not found", op)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m := obj.sigs.Load(); m == nil || len(*m) != len(ops) {
+		t.Fatalf("snapshot has %d entries, want %d", len(*obj.sigs.Load()), len(ops))
 	}
 }

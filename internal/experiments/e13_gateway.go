@@ -1,0 +1,188 @@
+package experiments
+
+// E13: the web-gateway experiment. The paper positions CORBA-LC nodes
+// as peers any client can reach through standard middleware (§2.1.2
+// "CORBA 2 standard" interoperability); the HTTP/1.1+JSON gateway
+// (internal/gateway, DESIGN.md §15) extends that reach to clients with
+// no ORB at all, translating JSON to CDR through DII at runtime. E13
+// quantifies what the translation edge costs and what the idempotent
+// response cache gives back: direct IIOP invocation rate vs gateway
+// rate vs cache-hit rate over client concurrency, against the same
+// backend object.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"corbalc/internal/cdr"
+	"corbalc/internal/gateway"
+	"corbalc/internal/idl"
+	"corbalc/internal/iiop"
+	"corbalc/internal/orb"
+)
+
+const e13IDL = `
+module e13 {
+  interface Echo {
+    long ping(in long x);
+    // idempotent
+    long cached_ping(in long x);
+  };
+};
+`
+
+// e13Servant answers ping/cached_ping with the identity.
+type e13Servant struct{}
+
+func (e13Servant) RepositoryID() string { return "IDL:e13/Echo:1.0" }
+
+func (e13Servant) Invoke(op string, args *cdr.Decoder, reply *cdr.Encoder) error {
+	switch op {
+	case "ping", "cached_ping":
+		x, err := args.ReadLong()
+		if err != nil {
+			return err
+		}
+		reply.WriteLong(x)
+		return nil
+	}
+	return orb.BadOperation()
+}
+
+// E13Gateway measures the HTTP gateway against direct IIOP invocation.
+func E13Gateway(sc Scale) *Table {
+	t := &Table{
+		ID:    "E13",
+		Title: "Web gateway RPS vs direct IIOP vs cache hits over concurrency",
+		Claim: "a runtime JSON/CDR gateway extends component reach to ORB-less clients at a bounded multiple of the native invocation cost, and the idempotent response cache claws the HTTP edge back above uncached throughput",
+		Columns: []string{
+			"concurrency", "direct-iiop/s", "gateway/s", "cached/s", "gw-cost-x", "hit-speedup-x",
+		},
+		Notes: "same backend object for all three paths; gw-cost-x = direct/gateway (HTTP+JSON edge overhead), hit-speedup-x = cached/gateway (what the response cache recovers)",
+	}
+
+	repo := idl.NewRepository()
+	if err := repo.ParseString("e13.idl", e13IDL); err != nil {
+		panic(err)
+	}
+	backend := orb.NewORB()
+	srv, err := iiop.ListenAndActivate(backend, "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+	backend.Activate("echo", e13Servant{})
+
+	client := orb.NewORB()
+	client.RegisterTransport(&iiop.Transport{})
+	defer client.Shutdown()
+	ref := client.NewRef(backend.NewIOR("IDL:e13/Echo:1.0", "echo"))
+
+	gw, err := gateway.New(gateway.Options{
+		ORB: client, Repo: repo,
+		MaxInFlight: 1024, CacheTTL: time.Hour,
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := gw.Register("echo", ref, "e13::Echo"); err != nil {
+		panic(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	hsrv := &http.Server{Handler: gw.Handler()}
+	var srvWG sync.WaitGroup
+	srvWG.Add(1)
+	go func() { defer srvWG.Done(); _ = hsrv.Serve(ln) }()
+	defer srvWG.Wait()
+	defer hsrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	direct := func() error {
+		return ref.InvokeContext(context.Background(), "ping",
+			func(e *cdr.Encoder) { e.WriteLong(7) },
+			func(d *cdr.Decoder) error { _, err := d.ReadLong(); return err })
+	}
+	tr := &http.Transport{MaxIdleConns: 128, MaxIdleConnsPerHost: 128}
+	defer tr.CloseIdleConnections()
+	hc := &http.Client{Transport: tr}
+	post := func(op string) error {
+		resp, err := hc.Post(base+"/obj/echo/"+op, "application/json", strings.NewReader(`[7]`))
+		if err != nil {
+			return err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		if resp.StatusCode != 200 {
+			return fmt.Errorf("%s: HTTP %d", op, resp.StatusCode)
+		}
+		return nil
+	}
+
+	window := sc.window(150 * time.Millisecond)
+	for _, c := range []int{1, 8, 64} {
+		directRate := measureRate(c, window, direct)
+		gwRate := measureRate(c, window, func() error { return post("ping") })
+		cachedRate := measureRate(c, window, func() error { return post("cached_ping") })
+		costX, hitX := 0.0, 0.0
+		if gwRate > 0 {
+			costX = directRate / gwRate
+			hitX = cachedRate / gwRate
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(c),
+			fmt.Sprintf("%.0f", directRate),
+			fmt.Sprintf("%.0f", gwRate),
+			fmt.Sprintf("%.0f", cachedRate),
+			fmt.Sprintf("%.1f", costX),
+			fmt.Sprintf("%.1f", hitX),
+		})
+	}
+	return t
+}
+
+// measureRate drives fn from c goroutines for the window and returns
+// completed calls per second. A call error aborts the cell at zero (a
+// rate of 0 in the table is the failure signal; experiments have no
+// testing.T to fail).
+func measureRate(c int, window time.Duration, fn func() error) float64 {
+	// Warm pools, dials and cache fills outside the window.
+	for i := 0; i < 4; i++ {
+		if err := fn(); err != nil {
+			return 0
+		}
+	}
+	var done atomic.Int64
+	var failed atomic.Bool
+	deadline := time.Now().Add(window)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < c; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) && !failed.Load() {
+				if err := fn(); err != nil {
+					failed.Store(true)
+					return
+				}
+				done.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if failed.Load() {
+		return 0
+	}
+	return float64(done.Load()) / elapsed.Seconds()
+}

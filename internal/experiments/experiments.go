@@ -114,6 +114,7 @@ func All(sc Scale) []*Table {
 		E10Predictive(sc),
 		E11FanOut(sc),
 		E12Swarm(sc),
+		E13Gateway(sc),
 	}
 }
 

@@ -401,3 +401,29 @@ func TestA2ReplicasShape(t *testing.T) {
 	}
 	t.Log("\n" + tab.Render())
 }
+
+func TestE13GatewayShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tab := E13Gateway(quick)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		// A zero rate means a path errored mid-window (measureRate's
+		// failure signal) — any positive rate is shape enough; absolute
+		// throughput is the bench gate's job (BENCH_9).
+		for col := 1; col <= 3; col++ {
+			if v := num(t, row[col]); v <= 0 {
+				t.Errorf("C=%s: %s = %v", row[0], tab.Columns[col], v)
+			}
+		}
+	}
+	// At high concurrency the cache-hit path must beat the uncached
+	// gateway path: hits skip the IIOP round trip entirely.
+	if hit := num(t, cell(tab, 2, 5)); hit < 1 {
+		t.Errorf("C=64 hit-speedup-x = %v, want >= 1", hit)
+	}
+	t.Log("\n" + tab.Render())
+}

@@ -1,0 +1,109 @@
+package gateway
+
+// BenchmarkGatewayRPS drives the full HTTP→JSON→CDR→IIOP→backend path
+// at increasing client concurrency, uncached (every request crosses to
+// the backend) and cached (idempotent op, one key — steady state serves
+// from the sharded response cache). The bench-json gate (BENCH_9.json)
+// holds an absolute RPS floor on the uncached C=64 point and a ≥3×
+// cached/uncached ratio at the same concurrency, plus allocs/op
+// ceilings, so HTTP-edge regressions fail CI the same way IIOP
+// throughput regressions do.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func benchGatewayRPS(b *testing.B, callers int, cached bool) {
+	ttl := time.Duration(-1)
+	if cached {
+		ttl = time.Hour
+	}
+	tg := startGateway(b, Options{CacheTTL: ttl, MaxInFlight: 4 * callers})
+
+	tr := &http.Transport{MaxIdleConns: callers + 8, MaxIdleConnsPerHost: callers + 8}
+	defer tr.CloseIdleConnections()
+	client := &http.Client{Transport: tr}
+	// slow_echo models a backend with real service time (15ms): the
+	// uncached path pays it on every request, the cached path only on
+	// the fill, which is precisely the trade the response cache exists
+	// for. Sleep-bound rather than CPU-bound, so the uncached floor is
+	// stable across core counts.
+	url := tg.ts.URL + "/obj/calc/slow_echo"
+
+	call := func() error {
+		resp, err := client.Post(url, "application/json", strings.NewReader(`["bench", 15]`))
+		if err != nil {
+			return err
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != 200 || !strings.Contains(string(raw), `"result":"bench"`) {
+			return fmt.Errorf("status %d body %q", resp.StatusCode, raw)
+		}
+		return nil
+	}
+	// Warm the path: dial stripes, prime the cache, fill pools.
+	for i := 0; i < 16; i++ {
+		if err := call(); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	errs := make(chan error, callers)
+	done := make(chan struct{})
+	work := make(chan struct{}, callers)
+	for g := 0; g < callers; g++ {
+		go func() {
+			for range work {
+				if err := call(); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+				}
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < b.N; i++ {
+		work <- struct{}{}
+	}
+	close(work)
+	for g := 0; g < callers; g++ {
+		<-done
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	select {
+	case err := <-errs:
+		b.Fatal(err)
+	default:
+	}
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "rps")
+}
+
+func BenchmarkGatewayRPS(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		cached bool
+	}{{"uncached", false}, {"cached", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for _, c := range []int{1, 8, 64, 256} {
+				b.Run(fmt.Sprintf("C=%d", c), func(b *testing.B) {
+					benchGatewayRPS(b, c, mode.cached)
+				})
+			}
+		})
+	}
+}

@@ -1,0 +1,101 @@
+package gateway
+
+// Fuzz the JSON→CDR translation edge: whatever body a client sends —
+// malformed JSON, wrong arity, out-of-range integrals, misshapen nested
+// structs — the gateway must answer a clean HTTP status with a JSON
+// error body, never panic, never leak a pooled translation buffer, and
+// never let a half-translated argument list reach the wire.
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+
+	"corbalc/internal/leak"
+)
+
+func FuzzGatewayTranslate(f *testing.F) {
+	// The goroutine-leak check holds in seed-corpus mode (what CI runs);
+	// the fuzz engine itself spawns a signal-handling goroutine that
+	// would trip it under -fuzz.
+	if fz := flag.Lookup("test.fuzz"); fz == nil || fz.Value.String() == "" {
+		leak.Check(f)
+	}
+	tg := startGateway(f, Options{CacheTTL: -1})
+
+	seeds := []struct {
+		op   string
+		body string
+	}{
+		{"add", `[1, 2]`},
+		{"add", `{"a": 1, "b": 2}`},
+		{"add", `{"a": 1`},           // truncated JSON
+		{"add", `[1]`},               // wrong arity
+		{"add", `[1, 2, 3]`},         // wrong arity
+		{"add", `["x", 2]`},          // wrong type
+		{"add", `[2.5, 2]`},          // fractional integral
+		{"add", `[1e99, 2]`},         // out of range
+		{"add", `[-2147483649, 0]`},  // just below long range
+		{"add", `[null, null]`},      // nulls
+		{"add", `{"a": 1, "zz": 2}`}, // unknown name
+		{"mul", `[[1], 2]`},          // nested array where scalar due
+		{"divmod", `[7, 0]`},         // user exception path
+		{"dot", `{"p": {"x": 1, "y": 2}, "q": {"x": 3, "y": 4}}`},
+		{"dot", `{"p": {"x": 1}, "q": {"x": 3, "y": 4}}`},                 // missing field
+		{"dot", `{"p": {"x": 1, "y": 2, "z": 9}, "q": {"x": 0, "y": 0}}`}, // extra field
+		{"dot", `[{"x": 1, "y": 2}, 7]`},                                  // struct position holds scalar
+		{"_set_label", `[null]`},                                          // null where string due
+		{"_get_calls", ``},                                                // empty body, zero args
+		{"fire", `[]`},                                                    // oneway
+		{"nosuch_op", `[]`},                                               // unknown operation
+		{"add", `"just a string"`},                                        // not an argument list
+		{"add", `{}`},                                                     // empty object
+		{"add", "[1, 2]" + strings.Repeat(" ", 100)},                      // trailing space
+	}
+	for _, s := range seeds {
+		f.Add(s.op, []byte(s.body))
+	}
+
+	// 405 covers op names like "." whose cleaned path lands on a route
+	// registered for another method (DELETE /obj/{object}).
+	allowed := map[int]bool{200: true, 202: true, 400: true, 404: true,
+		405: true, 413: true, 500: true, 502: true, 503: true, 504: true}
+
+	f.Fuzz(func(t *testing.T, op string, body []byte) {
+		req, err := http.NewRequest(http.MethodPost,
+			tg.ts.URL+"/obj/calc/"+url.PathEscape(op), strings.NewReader(string(body)))
+		if err != nil {
+			t.Skip() // op not expressible as a URL path segment
+		}
+		resp, err := tg.ts.Client().Do(req)
+		if err != nil {
+			t.Fatalf("op %q body %q: transport error %v (gateway must answer, not die)", op, body, err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("op %q body %q: reading response: %v", op, body, err)
+		}
+		if !allowed[resp.StatusCode] {
+			t.Fatalf("op %q body %q: status %d outside the gateway's contract", op, body, resp.StatusCode)
+		}
+		// Every gateway-authored response declares and delivers JSON;
+		// plain-text 404/405s for unroutable paths come from net/http's
+		// mux itself.
+		if ct := resp.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
+			var v any
+			if err := json.Unmarshal(raw, &v); err != nil {
+				t.Fatalf("op %q body %q: non-JSON response %q", op, body, raw)
+			}
+		} else if resp.StatusCode != 404 && resp.StatusCode != 405 {
+			t.Fatalf("op %q body %q: status %d without a JSON body (%q)", op, body, resp.StatusCode, raw)
+		}
+		if n := TransBufsInFlight(); n != 0 {
+			t.Fatalf("op %q body %q: %d translation buffers leaked", op, body, n)
+		}
+	})
+}

@@ -1,0 +1,109 @@
+package gateway
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+)
+
+// opStats is one route+operation's counter block. All fields are
+// atomics: the hot path bumps them lock-free.
+type opStats struct {
+	requests    atomic.Uint64
+	errors      atomic.Uint64
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	micros      atomic.Uint64 // summed wall time of completed requests
+}
+
+// op returns the stats block for an operation, creating it through the
+// route's copy-on-write ops map (lock-free reads on the hot path,
+// clone-and-publish on first sight of an operation).
+func (rt *route) op(name string) *opStats {
+	if m := rt.ops.Load(); m != nil {
+		if st, ok := (*m)[name]; ok {
+			return st
+		}
+	}
+	rt.opsMu.Lock()
+	defer rt.opsMu.Unlock()
+	cur := *rt.ops.Load()
+	if st, ok := cur[name]; ok {
+		return st
+	}
+	st := new(opStats)
+	next := make(map[string]*opStats, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[name] = st
+	rt.ops.Store(&next)
+	return st
+}
+
+// Metrics is the gateway-wide counter snapshot GET /metrics serves and
+// corbalc-admin's `gateway` subcommand renders.
+type Metrics struct {
+	InFlight    int64                   `json:"in_flight"`
+	MaxInFlight int                     `json:"max_in_flight"`
+	Rejected    uint64                  `json:"rejected"`
+	TransBufs   int64                   `json:"trans_bufs_in_flight"`
+	Routes      map[string]RouteMetrics `json:"routes"`
+}
+
+// RouteMetrics is one published object's snapshot.
+type RouteMetrics struct {
+	Interface  string               `json:"interface"`
+	Generation uint64               `json:"generation"`
+	Ops        map[string]OpMetrics `json:"ops,omitempty"`
+}
+
+// OpMetrics is one operation's counters.
+type OpMetrics struct {
+	Requests    uint64 `json:"requests"`
+	Errors      uint64 `json:"errors"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	AvgMicros   uint64 `json:"avg_micros"`
+}
+
+// Metrics snapshots the gateway's counters.
+func (g *Gateway) Metrics() Metrics {
+	m := Metrics{
+		InFlight:    g.inFlight.Load(),
+		MaxInFlight: g.maxInFlight,
+		Rejected:    g.rejected.Load(),
+		TransBufs:   TransBufsInFlight(),
+		Routes:      make(map[string]RouteMetrics),
+	}
+	for name, rt := range *g.routes.Load() {
+		rm := RouteMetrics{
+			Interface:  rt.obj.Iface.ScopedName(),
+			Generation: rt.gen.Load(),
+			Ops:        make(map[string]OpMetrics),
+		}
+		for opName, st := range *rt.ops.Load() {
+			om := OpMetrics{
+				Requests:    st.requests.Load(),
+				Errors:      st.errors.Load(),
+				CacheHits:   st.cacheHits.Load(),
+				CacheMisses: st.cacheMisses.Load(),
+			}
+			if om.Requests > 0 {
+				om.AvgMicros = st.micros.Load() / om.Requests
+			}
+			rm.Ops[opName] = om
+		}
+		m.Routes[name] = rm
+	}
+	return m
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	b, err := json.MarshalIndent(g.Metrics(), "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding metrics", "")
+		return
+	}
+	writeBody(w, http.StatusOK, append(b, '\n'))
+}

@@ -1,0 +1,92 @@
+package gateway
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"corbalc/internal/bufpool"
+)
+
+// TransBuf is the pooled per-request JSON↔CDR translation state: the
+// request-body read buffer (size-classed, from internal/bufpool) and the
+// decoded-argument scratch slice. One TransBuf serves one HTTP request;
+// steady state allocates nothing for buffer management. TransBufs follow
+// the repo's single-owner release discipline — the acquirer must call
+// Release exactly once (enforced by the poolreturn analyzer).
+type TransBuf struct {
+	body []byte // pooled request-body bytes; nil until readBody
+	args []any  // converted in-parameters, reused across requests
+	key  []byte // cache-key scratch, reused across requests
+}
+
+var transBufPool = sync.Pool{New: func() any { return new(TransBuf) }}
+
+// transBufsInFlight counts acquired-but-unreleased TransBufs so tests
+// can assert the fuzz and failover storms leak no pooled buffers.
+var transBufsInFlight atomic.Int64
+
+// GetTransBuf returns a translation buffer from the pool. The caller
+// owns it and must Release it when the request is done.
+func GetTransBuf() *TransBuf {
+	transBufsInFlight.Add(1)
+	return transBufPool.Get().(*TransBuf)
+}
+
+// Release returns the buffer (and its pooled body bytes) to the pool.
+func (t *TransBuf) Release() {
+	if t.body != nil {
+		bufpool.Put(t.body)
+		t.body = nil
+	}
+	clear(t.args) // drop value references so the pool pins nothing
+	t.args = t.args[:0]
+	t.key = t.key[:0]
+	transBufsInFlight.Add(-1)
+	transBufPool.Put(t)
+}
+
+// TransBufsInFlight reports the number of acquired-but-unreleased
+// translation buffers (zero when the gateway is idle).
+func TransBufsInFlight() int64 { return transBufsInFlight.Load() }
+
+// errBodyTooLarge aborts reads past the configured request-body bound.
+var errBodyTooLarge = errors.New("gateway: request body exceeds limit")
+
+// readBody reads r (at most max bytes) into the pooled body buffer and
+// returns the filled slice. The bytes stay owned by the TransBuf.
+func (t *TransBuf) readBody(r io.Reader, contentLength int64, max int) ([]byte, error) {
+	if contentLength > int64(max) {
+		return nil, errBodyTooLarge
+	}
+	hint := 512
+	if contentLength > 0 {
+		hint = int(contentLength)
+	}
+	if t.body == nil {
+		t.body = bufpool.Get(hint)
+	}
+	buf := t.body[:0]
+	for {
+		if len(buf) == cap(buf) {
+			if len(buf) >= max {
+				t.body = buf
+				return nil, errBodyTooLarge
+			}
+			grown := bufpool.Get(2 * cap(buf))
+			buf = append(grown[:0], buf...)
+			bufpool.Put(t.body)
+			t.body = grown
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		t.body = buf
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}

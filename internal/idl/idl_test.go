@@ -310,3 +310,90 @@ func TestTypesDeclarationOrder(t *testing.T) {
 		t.Fatalf("interfaces = %d", len(ifaces))
 	}
 }
+
+func TestIdempotentPragma(t *testing.T) {
+	r := NewRepository()
+	src := `
+module cache {
+  interface Store {
+    readonly attribute long size;
+    attribute string label;
+
+    // idempotent
+    string lookup(in string key);
+
+    // a prose comment does not mark anything
+    void put(in string key, in string value);
+
+    // idempotent
+    long count_matching(in string prefix);
+  };
+};
+`
+	if err := r.ParseString("cache.idl", src); err != nil {
+		t.Fatal(err)
+	}
+	iface, ok := r.LookupType("cache::Store")
+	if !ok {
+		t.Fatal("cache::Store not found")
+	}
+	want := map[string]bool{
+		"_get_size":      true,  // readonly attribute getter
+		"_get_label":     false, // writable attribute getter may race _set_
+		"_set_label":     false,
+		"lookup":         true,
+		"put":            false,
+		"count_matching": true,
+	}
+	for _, op := range iface.AllOperations() {
+		exp, known := want[op.Name]
+		if !known {
+			t.Fatalf("unexpected operation %s", op.Name)
+		}
+		if op.Idempotent != exp {
+			t.Errorf("%s: Idempotent = %v, want %v", op.Name, op.Idempotent, exp)
+		}
+		delete(want, op.Name)
+	}
+	if len(want) != 0 {
+		t.Fatalf("operations not seen: %v", want)
+	}
+}
+
+func TestIdempotentPragmaDoesNotLeak(t *testing.T) {
+	// The flag rides on exactly the next token: an intervening
+	// declaration must not inherit it.
+	r := NewRepository()
+	src := `
+interface I {
+  // idempotent
+  long a();
+  long b();
+};
+`
+	if err := r.ParseString("leak.idl", src); err != nil {
+		t.Fatal(err)
+	}
+	iface, _ := r.LookupType("I")
+	for _, op := range iface.AllOperations() {
+		if op.Name == "a" && !op.Idempotent {
+			t.Error("a should be idempotent")
+		}
+		if op.Name == "b" && op.Idempotent {
+			t.Error("b must not inherit the pragma")
+		}
+	}
+}
+
+func TestIdempotentOnewayRejected(t *testing.T) {
+	r := NewRepository()
+	err := r.ParseString("bad.idl", `
+interface I {
+  // idempotent
+  oneway void fire();
+};
+`)
+	if err == nil || !strings.Contains(err.Error(), "idempotent") {
+		t.Fatalf("err = %v, want idempotent-oneway rejection", err)
+	}
+}

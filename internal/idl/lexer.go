@@ -31,6 +31,10 @@ type token struct {
 	text string
 	line int
 	col  int
+	// idem marks a token immediately preceded by a `// idempotent`
+	// pragma comment; the parser reads it off the first token of an
+	// operation declaration.
+	idem bool
 }
 
 func (t token) String() string {
@@ -68,6 +72,9 @@ type lexer struct {
 	pos  int
 	line int
 	col  int
+	// pendingIdem records that a `// idempotent` pragma comment was
+	// consumed since the last token; the next token carries it.
+	pendingIdem bool
 }
 
 func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
@@ -120,12 +127,19 @@ func (l *lexer) skipSpaceAndComments() error {
 			}
 			switch l.src[l.pos+1] {
 			case '/':
+				start := l.pos
 				for {
 					c, ok := l.peekByte()
 					if !ok || c == '\n' {
 						break
 					}
 					l.advance()
+				}
+				// `// idempotent` is a pragma, not prose: it flags the
+				// next token (the start of an operation declaration).
+				body := strings.TrimSpace(strings.TrimPrefix(l.src[start:l.pos], "//"))
+				if body == "idempotent" {
+					l.pendingIdem = true
 				}
 			case '*':
 				l.advance()
@@ -152,8 +166,19 @@ func (l *lexer) skipSpaceAndComments() error {
 	}
 }
 
-// next scans the following token.
+// next scans the following token, attaching (and clearing) the pending
+// pragma flag set by skipSpaceAndComments.
 func (l *lexer) next() (token, error) {
+	t, err := l.scan()
+	if err == nil {
+		t.idem = l.pendingIdem
+		l.pendingIdem = false
+	}
+	return t, err
+}
+
+// scan scans the following token.
+func (l *lexer) scan() (token, error) {
 	if err := l.skipSpaceAndComments(); err != nil {
 		return token{}, err
 	}

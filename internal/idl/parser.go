@@ -319,6 +319,9 @@ func (p *parser) attribute(iface *Type) error {
 }
 
 func (p *parser) operation(iface *Type) error {
+	// The `// idempotent` pragma rides on the declaration's first token
+	// (the lexer pins it to the token following the comment).
+	idempotent := p.tok.idem
 	oneway := p.accept(tokKeyword, "oneway")
 	var result *Type
 	var err error
@@ -337,7 +340,10 @@ func (p *parser) operation(iface *Type) error {
 	if err != nil {
 		return err
 	}
-	op := Operation{Name: name.text, Oneway: oneway, Result: result}
+	if oneway && idempotent {
+		return p.errorf("oneway operation cannot be idempotent (it has no reply to cache)")
+	}
+	op := Operation{Name: name.text, Oneway: oneway, Idempotent: idempotent, Result: result}
 	if _, err := p.expect(tokPunct, "("); err != nil {
 		return err
 	}

@@ -172,9 +172,16 @@ type Param struct {
 type Operation struct {
 	Name   string
 	Oneway bool
-	Result *Type
-	Params []Param
-	Raises []*Type // exception types
+	// Idempotent marks an operation whose result depends only on its
+	// arguments and whose invocation does not change component state,
+	// so callers (the web gateway's response cache, in particular) may
+	// reuse a prior reply. Declared with a `// idempotent` pragma
+	// comment immediately before the operation; the implied _get_
+	// accessor of a readonly attribute is idempotent automatically.
+	Idempotent bool
+	Result     *Type
+	Params     []Param
+	Raises     []*Type // exception types
 }
 
 // Attribute is one interface attribute; the repository models it as the
@@ -208,7 +215,10 @@ func (t *Type) AllOperations() []Operation {
 		for _, a := range it.Iface.Attributes {
 			if !seen["_get_"+a.Name] {
 				seen["_get_"+a.Name] = true
-				out = append(out, Operation{Name: "_get_" + a.Name, Result: a.Type})
+				// A readonly attribute cannot change, so its getter is
+				// idempotent by construction; a writable attribute's
+				// getter is not (a _set_ may race the cached value).
+				out = append(out, Operation{Name: "_get_" + a.Name, Result: a.Type, Idempotent: a.ReadOnly})
 			}
 			if !a.ReadOnly && !seen["_set_"+a.Name] {
 				seen["_set_"+a.Name] = true

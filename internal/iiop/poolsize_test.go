@@ -1,0 +1,33 @@
+package iiop
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestDefaultPoolSize pins the documented default: one stripe per core,
+// capped at eight (README tuning table, DESIGN.md §10/§14.2). The docs
+// and code disagreed once; this test keeps them honest.
+func TestDefaultPoolSize(t *testing.T) {
+	want := runtime.GOMAXPROCS(0)
+	if want > 8 {
+		want = 8
+	}
+	if got := DefaultPoolSize(); got != want {
+		t.Fatalf("DefaultPoolSize() = %d, want min(8, GOMAXPROCS) = %d", got, want)
+	}
+}
+
+// TestChannelPoolSizeKnob pins the PoolSize knob convention: zero means
+// the default, negative means one multiplexed connection.
+func TestChannelPoolSizeKnob(t *testing.T) {
+	if got := (&Transport{}).ChannelPoolSize(); got != DefaultPoolSize() {
+		t.Fatalf("zero PoolSize = %d, want default %d", got, DefaultPoolSize())
+	}
+	if got := (&Transport{PoolSize: -1}).ChannelPoolSize(); got != 1 {
+		t.Fatalf("negative PoolSize = %d, want 1", got)
+	}
+	if got := (&Transport{PoolSize: 3}).ChannelPoolSize(); got != 3 {
+		t.Fatalf("explicit PoolSize = %d, want 3", got)
+	}
+}
